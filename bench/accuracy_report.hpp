@@ -1,0 +1,52 @@
+// Shared reporting helper for the Fig. 4 / Fig. 5 accuracy benchmarks.
+#pragma once
+
+#include <iostream>
+
+#include "exp/harness.hpp"
+#include "util/table.hpp"
+
+namespace autopower::bench {
+
+/// Trains AutoPower and the baselines on `k_train` spread configurations
+/// and prints the paper-style comparison: per-sample scatter points plus
+/// the MAPE / R^2 summary.
+inline void print_accuracy_comparison(int k_train, bool print_scatter) {
+  sim::PerfSimulator sim;
+  power::GoldenPowerModel golden;
+  const auto data = exp::ExperimentData::build(sim, golden);
+
+  exp::MethodSelection sel;
+  sel.autopower_minus = false;
+  const auto results = exp::compare_methods(data, golden, k_train, sel);
+
+  const auto train = exp::ExperimentData::training_configs(k_train);
+  std::cout << "Training configurations:";
+  for (const auto& name : train) std::cout << ' ' << name;
+  std::cout << "\nEvaluation: all workloads on the remaining "
+            << 15 - k_train << " configurations\n\n";
+
+  if (print_scatter) {
+    util::TablePrinter scatter({"Sample", "Golden (mW)", "AutoPower",
+                                "McPAT-Calib", "McPAT-Calib+Comp"});
+    for (std::size_t i = 0; i < results[0].actual.size(); ++i) {
+      scatter.add_row({results[0].sample_names[i],
+                       util::fmt(results[0].actual[i]),
+                       util::fmt(results[0].predicted[i]),
+                       util::fmt(results[1].predicted[i]),
+                       util::fmt(results[2].predicted[i])});
+    }
+    scatter.print(std::cout);
+    std::cout << '\n';
+  }
+
+  util::TablePrinter summary({"Method", "MAPE", "R2", "R", "n"});
+  for (const auto& r : results) {
+    summary.add_row({r.method, util::fmt_pct(r.accuracy.mape),
+                     util::fmt(r.accuracy.r2), util::fmt(r.accuracy.pearson),
+                     std::to_string(r.accuracy.n)});
+  }
+  summary.print(std::cout);
+}
+
+}  // namespace autopower::bench

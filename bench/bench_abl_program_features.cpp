@@ -1,0 +1,65 @@
+// Design ablation ABL1 (DESIGN.md): the paper argues that program-level
+// features — microarchitecture-independent quantities the performance
+// simulator cannot distort — improve the SRAM activity model ("All prior
+// works do not take the program-level features into consideration",
+// Sec. II-B).  This bench trains AutoPower with and without them and
+// compares SRAM-group and end-to-end accuracy at k = 2.
+
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "core/autopower.hpp"
+#include "exp/dataset.hpp"
+#include "ml/metrics.hpp"
+#include "util/table.hpp"
+
+using namespace autopower;
+
+namespace {
+
+struct Variant {
+  const char* name;
+  bool program_features;
+};
+
+}  // namespace
+
+int main() {
+  std::puts("=== Ablation: program-level features in the activity model ===\n");
+
+  sim::PerfSimulator sim;
+  power::GoldenPowerModel golden;
+  const auto data = exp::ExperimentData::build(sim, golden);
+  const auto train_configs = exp::ExperimentData::training_configs(2);
+  const auto train_ctx = data.contexts_of(train_configs);
+  const auto eval = data.samples_excluding(train_configs);
+
+  util::TablePrinter table({"Variant", "SRAM MAPE", "SRAM R",
+                            "Total MAPE", "Total R2"});
+  for (const Variant v : {Variant{"with P features", true},
+                          Variant{"without P features", false}}) {
+    core::AutoPowerOptions options;
+    options.sram.program_features = v.program_features;
+    core::AutoPowerModel model(options);
+    model.train(train_ctx, golden);
+
+    std::vector<double> sram_actual;
+    std::vector<double> sram_pred;
+    std::vector<double> total_actual;
+    std::vector<double> total_pred;
+    for (const auto* s : eval) {
+      const auto pred = model.predict(s->ctx);
+      sram_actual.push_back(s->golden.totals().sram);
+      sram_pred.push_back(pred.totals().sram);
+      total_actual.push_back(s->golden.total());
+      total_pred.push_back(pred.total());
+    }
+    table.add_row({v.name, util::fmt_pct(ml::mape(sram_actual, sram_pred)),
+                   util::fmt(ml::pearson_r(sram_actual, sram_pred)),
+                   util::fmt_pct(ml::mape(total_actual, total_pred)),
+                   util::fmt(ml::r2_score(total_actual, total_pred))});
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Design ablation ABL2 (DESIGN.md): sub-model family choice.
+//
+// The paper picks ridge ("linear model with L2 normalization") for the
+// *structural* quantities (register count, gating rate) because they must
+// extrapolate from two configurations, and XGBoost for the *activity*
+// quantities (effective active rate alpha') because that correlation "can
+// be relatively complex".  This bench quantifies both choices at k = 2:
+//   1. clock group with GBT-alpha' vs ridge-alpha',
+//   2. register-count prediction with ridge vs a GBT fitted on the same
+//      two structural samples (trees cannot extrapolate).
+
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "core/autopower.hpp"
+#include "core/features.hpp"
+#include "exp/dataset.hpp"
+#include "ml/gbt.hpp"
+#include "ml/metrics.hpp"
+#include "util/table.hpp"
+
+using namespace autopower;
+
+int main() {
+  std::puts("=== Ablation: sub-model family choice (k=2) ===\n");
+
+  sim::PerfSimulator sim;
+  power::GoldenPowerModel golden;
+  const auto data = exp::ExperimentData::build(sim, golden);
+  const auto train_configs = exp::ExperimentData::training_configs(2);
+  const auto train_ctx = data.contexts_of(train_configs);
+  const auto eval = data.samples_excluding(train_configs);
+
+  // --- Part 1: alpha' as GBT (paper) vs ridge -----------------------------
+  util::TablePrinter alpha_table(
+      {"alpha' model", "Clock MAPE", "Clock R", "Total MAPE"});
+  for (const bool linear : {false, true}) {
+    core::AutoPowerOptions options;
+    options.clock.linear_alpha = linear;
+    core::AutoPowerModel model(options);
+    model.train(train_ctx, golden);
+
+    std::vector<double> clk_actual;
+    std::vector<double> clk_pred;
+    std::vector<double> tot_actual;
+    std::vector<double> tot_pred;
+    for (const auto* s : eval) {
+      const auto pred = model.predict(s->ctx);
+      clk_actual.push_back(s->golden.totals().clock);
+      clk_pred.push_back(pred.totals().clock);
+      tot_actual.push_back(s->golden.total());
+      tot_pred.push_back(pred.total());
+    }
+    alpha_table.add_row({linear ? "ridge (ablation)" : "XGBoost (paper)",
+                         util::fmt_pct(ml::mape(clk_actual, clk_pred)),
+                         util::fmt(ml::pearson_r(clk_actual, clk_pred)),
+                         util::fmt_pct(ml::mape(tot_actual, tot_pred))});
+  }
+  alpha_table.print(std::cout);
+
+  // --- Part 2: register count as ridge (paper) vs GBT ---------------------
+  // Trees cannot extrapolate beyond the two training configurations; ridge
+  // captures the near-affine structural scaling.
+  std::puts("\nRegister-count prediction over held-out configs:");
+  std::vector<double> actual;
+  std::vector<double> ridge_pred;
+  std::vector<double> gbt_pred;
+  core::AutoPowerModel reference;
+  reference.train(train_ctx, golden);
+
+  for (arch::ComponentKind c : arch::all_components()) {
+    // GBT on the same two structural samples.
+    ml::Dataset structural(
+        core::feature_names(c, core::FeatureSpec::h()));
+    for (const auto& name : train_configs) {
+      const auto& cfg = arch::boom_config(name);
+      structural.add_sample(
+          cfg.features_for(arch::component_hw_params(c)),
+          golden.netlist_of(cfg)[static_cast<std::size_t>(c)]
+              .register_count);
+    }
+    ml::GBTRegressor gbt;
+    gbt.fit(structural);
+
+    for (const auto& cfg : arch::boom_design_space()) {
+      bool is_train = false;
+      for (const auto& name : train_configs) is_train |= cfg.name() == name;
+      if (is_train) continue;
+      actual.push_back(
+          golden.netlist_of(cfg)[static_cast<std::size_t>(c)]
+              .register_count);
+      ridge_pred.push_back(
+          reference.clock_model(c).predict_register_count(cfg));
+      gbt_pred.push_back(gbt.predict(
+          cfg.features_for(arch::component_hw_params(c))));
+    }
+  }
+  std::printf("  ridge (paper): MAPE=%.2f%%\n", ml::mape(actual, ridge_pred));
+  std::printf("  GBT (ablation): MAPE=%.2f%%\n", ml::mape(actual, gbt_pred));
+  return 0;
+}

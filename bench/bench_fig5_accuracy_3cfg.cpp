@@ -1,0 +1,16 @@
+// Reproduces paper Fig. 5: end-to-end total-power accuracy with THREE
+// known configurations for training.
+//
+// Paper reference points: AutoPower MAPE 3.64% / R^2 0.97;
+// McPAT-Calib MAPE 7.07% / R^2 0.91.
+
+#include <cstdio>
+
+#include "accuracy_report.hpp"
+
+int main() {
+  std::puts("=== Fig. 5: accuracy with 3 training configurations ===\n");
+  autopower::bench::print_accuracy_comparison(/*k_train=*/3,
+                                              /*print_scatter=*/true);
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Reproduces paper Fig. 6: accuracy summary under different numbers of
+// known configurations for training (AutoPower, McPAT-Calib, and
+// McPAT-Calib + Component; "Comp" in the paper's legend).
+//
+// Expected shape: every method improves as the training set grows;
+// AutoPower dominates throughout and its advantage is largest in the
+// extreme few-shot regime (k = 2).
+
+#include <cstdio>
+#include <iostream>
+
+#include "exp/harness.hpp"
+#include "util/table.hpp"
+
+using namespace autopower;
+
+int main() {
+  std::puts("=== Fig. 6: accuracy vs number of training configurations ===\n");
+
+  sim::PerfSimulator sim;
+  power::GoldenPowerModel golden;
+  const auto data = exp::ExperimentData::build(sim, golden);
+
+  util::TablePrinter mape_table(
+      {"k", "AutoPower MAPE", "McPAT-Calib MAPE", "McPAT-Calib+Comp MAPE"});
+  util::TablePrinter r2_table(
+      {"k", "AutoPower R2", "McPAT-Calib R2", "McPAT-Calib+Comp R2"});
+
+  for (int k = 2; k <= 6; ++k) {
+    const auto results = exp::compare_methods(data, golden, k);
+    mape_table.add_row({std::to_string(k),
+                        util::fmt_pct(results[0].accuracy.mape),
+                        util::fmt_pct(results[1].accuracy.mape),
+                        util::fmt_pct(results[2].accuracy.mape)});
+    r2_table.add_row({std::to_string(k), util::fmt(results[0].accuracy.r2),
+                      util::fmt(results[1].accuracy.r2),
+                      util::fmt(results[2].accuracy.r2)});
+  }
+
+  mape_table.print(std::cout);
+  std::cout << '\n';
+  r2_table.print(std::cout);
+  return 0;
+}

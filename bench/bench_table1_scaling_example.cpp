@@ -1,0 +1,88 @@
+// Reproduces paper Table I and the Sec. II-B worked example: the
+// scaling-pattern hardware model fitted on the IFU metadata table (meta)
+// with only C1 and C15 known.
+//
+// The paper derives: Capacity = 240 * FetchWidth * DecodeWidth,
+// Throughput = 30 * FetchWidth, Width = 30 * FetchWidth, hence Count = 1
+// and Depth = 8 * DecodeWidth.  This bench prints the fitted laws and the
+// predicted vs actual block shape for all 15 configurations.
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/scaling_model.hpp"
+#include "netlist/synthesis.hpp"
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+using namespace autopower;
+
+int main() {
+  std::puts("=== Table I: scaling-pattern hardware model, IFU 'meta' ===\n");
+
+  const netlist::SynthesisModel synth;
+  const auto find_meta = [&](const arch::HardwareConfig& cfg) {
+    const auto nl = synth.synthesize(cfg, arch::ComponentKind::kIfu);
+    for (const auto& pos : nl.sram_positions) {
+      if (pos.name == "meta") return pos;
+    }
+    throw util::Error("IFU has no 'meta' position");
+  };
+
+  // Table I: the two known configurations.
+  util::TablePrinter known({"Training Config", "FetchWidth", "DecodeWidth",
+                            "FetchBufferEntry", "width", "depth", "count"});
+  std::vector<core::BlockObservation> obs;
+  for (const char* name : {"C1", "C15"}) {
+    const auto& cfg = arch::boom_config(name);
+    const auto meta = find_meta(cfg);
+    known.add_row(
+        {name, std::to_string(cfg.value(arch::HwParam::kFetchWidth)),
+         std::to_string(cfg.value(arch::HwParam::kDecodeWidth)),
+         std::to_string(cfg.value(arch::HwParam::kFetchBufferEntry)),
+         std::to_string(meta.block_width), std::to_string(meta.block_depth),
+         std::to_string(meta.block_count)});
+    obs.push_back({&cfg, meta.block_width, meta.block_depth,
+                   meta.block_count});
+  }
+  known.print(std::cout);
+
+  core::ScalingPatternModel model;
+  model.fit(arch::component_hw_params(arch::ComponentKind::kIfu), obs);
+
+  std::puts("\nFitted directly-proportional laws:");
+  std::printf("  Capacity   = %s  (max rel. err %.2e)\n",
+              model.capacity_law().to_string().c_str(),
+              model.capacity_law().max_rel_error);
+  std::printf("  Throughput = %s  (max rel. err %.2e)\n",
+              model.throughput_law().to_string().c_str(),
+              model.throughput_law().max_rel_error);
+  std::printf("  Width      = %s  (max rel. err %.2e)\n",
+              model.width_law().to_string().c_str(),
+              model.width_law().max_rel_error);
+
+  std::puts("\nPrediction on the full design space:");
+  util::TablePrinter pred_table({"Config", "width (pred/actual)",
+                                 "depth (pred/actual)",
+                                 "count (pred/actual)", "exact"});
+  int exact = 0;
+  for (const auto& cfg : arch::boom_design_space()) {
+    const auto meta = find_meta(cfg);
+    const auto pred = model.predict(cfg);
+    const bool ok = pred.width == meta.block_width &&
+                    pred.depth == meta.block_depth &&
+                    pred.count == meta.block_count;
+    exact += ok;
+    pred_table.add_row(
+        {cfg.name(),
+         std::to_string(pred.width) + "/" + std::to_string(meta.block_width),
+         std::to_string(pred.depth) + "/" + std::to_string(meta.block_depth),
+         std::to_string(pred.count) + "/" + std::to_string(meta.block_count),
+         ok ? "yes" : "NO"});
+  }
+  pred_table.print(std::cout);
+  std::printf("\nExact shape recovery: %d / 15 configurations.\n", exact);
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Quickstart: train AutoPower on two known configurations and predict the
+// power of an unseen one.
+//
+//   $ ./examples/quickstart
+//
+// Walks the full public API: performance simulation (gem5 stand-in),
+// golden label collection (VLSI-flow stand-in), few-shot training, and
+// per-component / per-group prediction.
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/autopower.hpp"
+#include "exp/dataset.hpp"
+#include "util/table.hpp"
+
+using namespace autopower;
+
+int main() {
+  // 1. The substrates: a performance simulator and the golden power flow.
+  sim::PerfSimulator simulator;
+  power::GoldenPowerModel golden;
+
+  // 2. Build the evaluation grid (15 configurations x 8 workloads) and
+  //    pick the two "known" configurations: C1 and C15.
+  const auto data = exp::ExperimentData::build(simulator, golden);
+  const auto known = exp::ExperimentData::training_configs(2);
+  std::cout << "Known configurations: " << known[0] << ", " << known[1]
+            << "\n\n";
+
+  // 3. Train AutoPower. Golden labels (netlist reports, RTL activity,
+  //    power simulation) are read for the known configurations only.
+  core::AutoPowerModel model;
+  model.train(data.contexts_of(known), golden);
+
+  // 4. Predict an unseen configuration running an unseen-to-training
+  //    workload combination: C11 running dhrystone.
+  const auto& cfg = arch::boom_config("C11");
+  core::EvalContext ctx;
+  ctx.cfg = &cfg;
+  ctx.workload = "dhrystone";
+  const auto& profile = workload::workload_by_name("dhrystone");
+  ctx.program = workload::program_features(profile);
+  ctx.events = simulator.simulate(cfg, profile);
+
+  const auto prediction = model.predict(ctx);
+  const auto reference = golden.evaluate(cfg, ctx.events);
+
+  util::TablePrinter table({"Component", "Clock (mW)", "SRAM (mW)",
+                            "Logic (mW)", "Total (mW)", "Golden (mW)"});
+  for (const auto& cp : prediction.components) {
+    table.add_row({std::string(arch::component_name(cp.component)),
+                   util::fmt(cp.groups.clock), util::fmt(cp.groups.sram),
+                   util::fmt(cp.groups.logic()),
+                   util::fmt(cp.groups.total()),
+                   util::fmt(reference.of(cp.component).total())});
+  }
+  table.print(std::cout);
+
+  std::printf("\nPredicted total: %.2f mW   golden: %.2f mW   error: %.2f%%\n",
+              prediction.total(), reference.total(),
+              100.0 * (prediction.total() - reference.total()) /
+                  reference.total());
+  return 0;
+}

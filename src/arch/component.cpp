@@ -1,0 +1,120 @@
+#include "arch/component.hpp"
+
+#include <array>
+
+namespace autopower::arch {
+
+namespace {
+
+constexpr std::array<ComponentKind, kNumComponents> kAllComponents = {
+    ComponentKind::kBpTage,         ComponentKind::kBpBtb,
+    ComponentKind::kBpOthers,       ComponentKind::kICacheTagArray,
+    ComponentKind::kICacheDataArray, ComponentKind::kICacheOthers,
+    ComponentKind::kRnu,            ComponentKind::kRob,
+    ComponentKind::kRegfile,        ComponentKind::kDCacheTagArray,
+    ComponentKind::kDCacheDataArray, ComponentKind::kDCacheOthers,
+    ComponentKind::kFpIsu,          ComponentKind::kIntIsu,
+    ComponentKind::kMemIsu,         ComponentKind::kITlb,
+    ComponentKind::kDTlb,           ComponentKind::kFuPool,
+    ComponentKind::kOtherLogic,     ComponentKind::kDCacheMshr,
+    ComponentKind::kLsu,            ComponentKind::kIfu,
+};
+
+constexpr std::array<std::string_view, kNumComponents> kNames = {
+    "BPTAGE",        "BPBTB",          "BPOthers",     "ICacheTagArray",
+    "ICacheDataArray", "ICacheOthers", "RNU",          "ROB",
+    "Regfile",       "DCacheTagArray", "DCacheDataArray", "DCacheOthers",
+    "FP-ISU",        "Int-ISU",        "Mem-ISU",      "I-TLB",
+    "D-TLB",         "FU Pool",        "Other Logic",  "DCacheMSHR",
+    "LSU",           "IFU",
+};
+
+// Table III, row by row.  Other Logic uses all 14 parameters.
+constexpr std::array<HwParam, 2> kBpParams = {HwParam::kFetchWidth,
+                                              HwParam::kBranchCount};
+constexpr std::array<HwParam, 2> kICacheParams = {HwParam::kCacheWay,
+                                                  HwParam::kICacheFetchBytes};
+constexpr std::array<HwParam, 1> kRnuParams = {HwParam::kDecodeWidth};
+constexpr std::array<HwParam, 2> kRobParams = {HwParam::kDecodeWidth,
+                                               HwParam::kRobEntry};
+constexpr std::array<HwParam, 3> kRegfileParams = {HwParam::kDecodeWidth,
+                                                   HwParam::kIntPhyRegister,
+                                                   HwParam::kFpPhyRegister};
+constexpr std::array<HwParam, 3> kDCacheTagParams = {
+    HwParam::kCacheWay, HwParam::kMemFpIssueWidth, HwParam::kTlbEntry};
+constexpr std::array<HwParam, 2> kDCacheDataParams = {
+    HwParam::kCacheWay, HwParam::kMemFpIssueWidth};
+constexpr std::array<HwParam, 3> kDCacheOthersParams = {
+    HwParam::kCacheWay, HwParam::kMemFpIssueWidth, HwParam::kTlbEntry};
+constexpr std::array<HwParam, 2> kFpIsuParams = {HwParam::kDecodeWidth,
+                                                 HwParam::kMemFpIssueWidth};
+constexpr std::array<HwParam, 2> kIntIsuParams = {HwParam::kDecodeWidth,
+                                                  HwParam::kIntIssueWidth};
+constexpr std::array<HwParam, 2> kMemIsuParams = {HwParam::kDecodeWidth,
+                                                  HwParam::kMemFpIssueWidth};
+constexpr std::array<HwParam, 1> kTlbParams = {HwParam::kTlbEntry};
+constexpr std::array<HwParam, 2> kFuPoolParams = {HwParam::kMemFpIssueWidth,
+                                                  HwParam::kIntIssueWidth};
+constexpr std::array<HwParam, 1> kMshrParams = {HwParam::kMshrEntry};
+constexpr std::array<HwParam, 2> kLsuParams = {HwParam::kLdqStqEntry,
+                                               HwParam::kMemFpIssueWidth};
+constexpr std::array<HwParam, 3> kIfuParams = {HwParam::kFetchWidth,
+                                               HwParam::kDecodeWidth,
+                                               HwParam::kFetchBufferEntry};
+
+}  // namespace
+
+std::span<const ComponentKind> all_components() noexcept {
+  return kAllComponents;
+}
+
+std::string_view component_name(ComponentKind c) noexcept {
+  return kNames[static_cast<std::size_t>(c)];
+}
+
+std::span<const HwParam> component_hw_params(ComponentKind c) noexcept {
+  switch (c) {
+    case ComponentKind::kBpTage:
+    case ComponentKind::kBpBtb:
+    case ComponentKind::kBpOthers:
+      return kBpParams;
+    case ComponentKind::kICacheTagArray:
+    case ComponentKind::kICacheDataArray:
+    case ComponentKind::kICacheOthers:
+      return kICacheParams;
+    case ComponentKind::kRnu:
+      return kRnuParams;
+    case ComponentKind::kRob:
+      return kRobParams;
+    case ComponentKind::kRegfile:
+      return kRegfileParams;
+    case ComponentKind::kDCacheTagArray:
+      return kDCacheTagParams;
+    case ComponentKind::kDCacheDataArray:
+      return kDCacheDataParams;
+    case ComponentKind::kDCacheOthers:
+      return kDCacheOthersParams;
+    case ComponentKind::kFpIsu:
+      return kFpIsuParams;
+    case ComponentKind::kIntIsu:
+      return kIntIsuParams;
+    case ComponentKind::kMemIsu:
+      return kMemIsuParams;
+    case ComponentKind::kITlb:
+    case ComponentKind::kDTlb:
+      return kTlbParams;
+    case ComponentKind::kFuPool:
+      return kFuPoolParams;
+    case ComponentKind::kOtherLogic:
+      return all_hw_params();
+    case ComponentKind::kDCacheMshr:
+      return kMshrParams;
+    case ComponentKind::kLsu:
+      return kLsuParams;
+    case ComponentKind::kIfu:
+      return kIfuParams;
+  }
+  return {};
+}
+
+}  // namespace autopower::arch

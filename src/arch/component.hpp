@@ -1,0 +1,57 @@
+// CPU components and their architecture-level parameter mapping
+// (paper Table III).
+//
+// AutoPower builds per-component models; each component sees only its own
+// hardware parameters (Table III) and its own event parameters.  The 22
+// components here are exactly the rows of Table III, including the three
+// "Others" buckets and the catch-all Other Logic.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string_view>
+
+#include "arch/params.hpp"
+
+namespace autopower::arch {
+
+/// One row of paper Table III.
+enum class ComponentKind : std::size_t {
+  kBpTage = 0,
+  kBpBtb,
+  kBpOthers,
+  kICacheTagArray,
+  kICacheDataArray,
+  kICacheOthers,
+  kRnu,
+  kRob,
+  kRegfile,
+  kDCacheTagArray,
+  kDCacheDataArray,
+  kDCacheOthers,
+  kFpIsu,
+  kIntIsu,
+  kMemIsu,
+  kITlb,
+  kDTlb,
+  kFuPool,
+  kOtherLogic,
+  kDCacheMshr,
+  kLsu,
+  kIfu,
+};
+
+inline constexpr std::size_t kNumComponents = 22;
+
+/// All components in Table III order.
+[[nodiscard]] std::span<const ComponentKind> all_components() noexcept;
+
+/// Component name as printed in the paper's figures.
+[[nodiscard]] std::string_view component_name(ComponentKind c) noexcept;
+
+/// The hardware parameters visible to a component (Table III row).
+/// Other Logic maps to all 14 parameters.
+[[nodiscard]] std::span<const HwParam> component_hw_params(
+    ComponentKind c) noexcept;
+
+}  // namespace autopower::arch

@@ -1,0 +1,91 @@
+#include "arch/params.hpp"
+
+#include "util/error.hpp"
+
+namespace autopower::arch {
+
+namespace {
+
+constexpr std::array<HwParam, kNumHwParams> kAllParams = {
+    HwParam::kFetchWidth,      HwParam::kDecodeWidth,
+    HwParam::kFetchBufferEntry, HwParam::kRobEntry,
+    HwParam::kIntPhyRegister,  HwParam::kFpPhyRegister,
+    HwParam::kLdqStqEntry,     HwParam::kBranchCount,
+    HwParam::kMemFpIssueWidth, HwParam::kIntIssueWidth,
+    HwParam::kCacheWay,        HwParam::kTlbEntry,
+    HwParam::kMshrEntry,       HwParam::kICacheFetchBytes,
+};
+
+constexpr std::array<std::string_view, kNumHwParams> kParamNames = {
+    "FetchWidth",      "DecodeWidth",   "FetchBufferEntry", "RobEntry",
+    "IntPhyRegister",  "FpPhyRegister", "LdqStqEntry",      "BranchCount",
+    "MemFpIssueWidth", "IntIssueWidth", "CacheWay",         "TlbEntry",
+    "MshrEntry",       "ICacheFetchBytes",
+};
+
+// Paper Table II, columns C1..C15; rows in HwParam order.
+struct ConfigRow {
+  std::string_view name;
+  std::array<int, kNumHwParams> values;
+};
+
+constexpr std::array<ConfigRow, 15> kTableII = {{
+    //        FW DW FBE ROB IPR FPR LQ  BC MFW IW CW TLB MSHR IFB
+    {"C1", {4, 1, 5, 16, 36, 36, 4, 6, 1, 1, 2, 8, 2, 2}},
+    {"C2", {4, 1, 8, 32, 53, 48, 8, 8, 1, 1, 4, 8, 2, 2}},
+    {"C3", {4, 1, 16, 48, 68, 56, 16, 10, 1, 1, 8, 16, 4, 2}},
+    {"C4", {4, 2, 8, 64, 64, 56, 12, 10, 1, 1, 4, 8, 2, 2}},
+    {"C5", {4, 2, 16, 64, 80, 64, 16, 12, 1, 2, 4, 8, 2, 2}},
+    {"C6", {8, 2, 24, 80, 88, 72, 20, 14, 1, 2, 8, 16, 4, 4}},
+    {"C7", {8, 3, 18, 81, 88, 88, 16, 14, 1, 2, 8, 16, 4, 4}},
+    {"C8", {8, 3, 24, 96, 110, 96, 24, 16, 1, 3, 8, 16, 4, 4}},
+    {"C9", {8, 3, 30, 114, 112, 112, 32, 16, 2, 3, 8, 32, 4, 4}},
+    {"C10", {8, 4, 24, 112, 108, 108, 24, 18, 1, 4, 8, 32, 4, 4}},
+    {"C11", {8, 4, 32, 128, 128, 128, 32, 20, 2, 4, 8, 32, 4, 4}},
+    {"C12", {8, 4, 40, 136, 136, 136, 36, 20, 2, 4, 8, 32, 8, 4}},
+    {"C13", {8, 5, 30, 125, 108, 108, 24, 18, 2, 5, 8, 32, 8, 4}},
+    {"C14", {8, 5, 35, 130, 128, 128, 32, 20, 2, 5, 8, 32, 8, 4}},
+    {"C15", {8, 5, 40, 140, 140, 140, 36, 20, 2, 5, 8, 32, 8, 4}},
+}};
+
+}  // namespace
+
+std::span<const HwParam> all_hw_params() noexcept { return kAllParams; }
+
+std::string_view hw_param_name(HwParam p) noexcept {
+  return kParamNames[static_cast<std::size_t>(p)];
+}
+
+std::vector<double> HardwareConfig::as_features() const {
+  return features_for(all_hw_params());
+}
+
+std::vector<double> HardwareConfig::features_for(
+    std::span<const HwParam> params) const {
+  std::vector<double> out;
+  out.reserve(params.size());
+  for (HwParam p : params) out.push_back(value_d(p));
+  return out;
+}
+
+const std::vector<HardwareConfig>& boom_design_space() {
+  static const std::vector<HardwareConfig> configs = [] {
+    std::vector<HardwareConfig> out;
+    out.reserve(kTableII.size());
+    for (const auto& row : kTableII) {
+      out.emplace_back(std::string(row.name), row.values);
+    }
+    return out;
+  }();
+  return configs;
+}
+
+const HardwareConfig& boom_config(std::string_view name) {
+  for (const auto& cfg : boom_design_space()) {
+    if (cfg.name() == name) return cfg;
+  }
+  throw util::InvalidArgument("unknown BOOM configuration: " +
+                              std::string(name));
+}
+
+}  // namespace autopower::arch

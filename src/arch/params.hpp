@@ -1,0 +1,85 @@
+// Architecture-level hardware parameters (paper Table II).
+//
+// The 14 parameters parameterise the BOOM-style out-of-order core.  Rows
+// that Table II shares between two structures (LDQ/STQEntry,
+// Mem/FpIssueWidth, DCache/ICacheWay) are modelled as single shared
+// parameters, exactly as the paper's configuration table does.  The paper's
+// I-TLB entry count is not an independent row of Table II; it shares the
+// TlbEntry parameter with the D-TLB (documented in DESIGN.md).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace autopower::arch {
+
+/// One hardware parameter axis of the design space (one row of Table II).
+enum class HwParam : std::size_t {
+  kFetchWidth = 0,
+  kDecodeWidth,
+  kFetchBufferEntry,
+  kRobEntry,
+  kIntPhyRegister,
+  kFpPhyRegister,
+  kLdqStqEntry,      // LDQ/STQEntry (shared value)
+  kBranchCount,
+  kMemFpIssueWidth,  // Mem/FpIssueWidth (shared value)
+  kIntIssueWidth,
+  kCacheWay,         // DCache/ICacheWay (shared value)
+  kTlbEntry,         // DTLBEntry (shared with the I-TLB)
+  kMshrEntry,
+  kICacheFetchBytes,
+};
+
+inline constexpr std::size_t kNumHwParams = 14;
+
+/// All parameter axes in Table II row order.
+[[nodiscard]] std::span<const HwParam> all_hw_params() noexcept;
+
+/// Human-readable parameter name matching the paper's nomenclature.
+[[nodiscard]] std::string_view hw_param_name(HwParam p) noexcept;
+
+/// A complete CPU configuration: a value per hardware parameter.
+class HardwareConfig {
+ public:
+  HardwareConfig() = default;
+
+  /// Values in HwParam order.
+  explicit HardwareConfig(std::string name,
+                          std::array<int, kNumHwParams> values)
+      : name_(std::move(name)), values_(values) {}
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  [[nodiscard]] int value(HwParam p) const noexcept {
+    return values_[static_cast<std::size_t>(p)];
+  }
+  [[nodiscard]] double value_d(HwParam p) const noexcept {
+    return static_cast<double>(value(p));
+  }
+
+  /// All 14 values as a feature vector (HwParam order).
+  [[nodiscard]] std::vector<double> as_features() const;
+
+  /// Values for an arbitrary subset of parameters, in the given order.
+  [[nodiscard]] std::vector<double> features_for(
+      std::span<const HwParam> params) const;
+
+  [[nodiscard]] bool operator==(const HardwareConfig&) const = default;
+
+ private:
+  std::string name_;
+  std::array<int, kNumHwParams> values_{};
+};
+
+/// The 15 BOOM configurations of paper Table II, C1..C15 (index 0..14).
+[[nodiscard]] const std::vector<HardwareConfig>& boom_design_space();
+
+/// Looks up a configuration by name ("C1".."C15"); throws if unknown.
+[[nodiscard]] const HardwareConfig& boom_config(std::string_view name);
+
+}  // namespace autopower::arch

@@ -1,0 +1,76 @@
+#include "baselines/autopower_minus.hpp"
+
+#include "core/features.hpp"
+#include "util/error.hpp"
+
+namespace autopower::baselines {
+
+namespace {
+
+double group_power(const power::PowerGroups& g, PowerGroup group) {
+  switch (group) {
+    case PowerGroup::kClock:
+      return g.clock;
+    case PowerGroup::kSram:
+      return g.sram;
+    case PowerGroup::kLogic:
+      return g.logic();
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+void AutoPowerMinus::train(std::span<const core::EvalContext> samples,
+                           const power::GoldenPowerModel& golden) {
+  AP_REQUIRE(!samples.empty(), "AutoPower- needs training samples");
+  const auto spec = core::FeatureSpec::he();
+  for (arch::ComponentKind c : arch::all_components()) {
+    const auto names = core::feature_names(c, spec);
+    for (int gi = 0; gi < 3; ++gi) {
+      const auto group = static_cast<PowerGroup>(gi);
+      ml::Dataset data(names);
+      for (const auto& s : samples) {
+        data.add_sample(
+            core::feature_vector(c, spec, *s.cfg, s.events, s.program),
+            group_power(golden.evaluate(*s.cfg, s.events).of(c), group));
+      }
+      auto& model = models_[static_cast<std::size_t>(c)]
+                           [static_cast<std::size_t>(gi)];
+      model = ml::GBTRegressor(options_.gbt);
+      model.fit(data);
+    }
+  }
+  trained_ = true;
+}
+
+double AutoPowerMinus::predict_group(arch::ComponentKind c, PowerGroup group,
+                                     const core::EvalContext& ctx) const {
+  AP_REQUIRE(trained_, "AutoPower- not trained");
+  const auto spec = core::FeatureSpec::he();
+  return models_[static_cast<std::size_t>(c)]
+                [static_cast<std::size_t>(group)]
+                    .predict(core::feature_vector(c, spec, *ctx.cfg,
+                                                  ctx.events, ctx.program));
+}
+
+power::PowerResult AutoPowerMinus::predict(
+    const core::EvalContext& ctx) const {
+  power::PowerResult out;
+  out.components.reserve(arch::kNumComponents);
+  for (arch::ComponentKind c : arch::all_components()) {
+    power::ComponentPower cp;
+    cp.component = c;
+    cp.groups.clock = predict_group(c, PowerGroup::kClock, ctx);
+    cp.groups.sram = predict_group(c, PowerGroup::kSram, ctx);
+    cp.groups.logic_comb = predict_group(c, PowerGroup::kLogic, ctx);
+    out.components.push_back(cp);
+  }
+  return out;
+}
+
+double AutoPowerMinus::predict_total(const core::EvalContext& ctx) const {
+  return predict(ctx).total();
+}
+
+}  // namespace autopower::baselines

@@ -1,0 +1,64 @@
+// AutoPower− ablation baseline (paper Sec. III-B3/B4, Figs. 7-8).
+//
+// Decouples across power groups only: for every (component, power group)
+// it trains one direct XGBoost regressor on (H, E) with the golden group
+// power as target — no structural sub-models, no scaling-pattern hardware
+// model, no macro mapping.  Comparing it against AutoPower isolates the
+// value of the *within-group* decoupling.
+#pragma once
+
+#include <array>
+#include <span>
+
+#include "arch/component.hpp"
+#include "core/sample.hpp"
+#include "ml/gbt.hpp"
+#include "power/golden.hpp"
+#include "power/report.hpp"
+
+namespace autopower::baselines {
+
+/// Which power group a direct model predicts.
+enum class PowerGroup { kClock, kSram, kLogic };
+
+/// Hyper-parameters for AutoPower−.
+struct AutoPowerMinusOptions {
+  ml::GbtOptions gbt{
+      .num_rounds = 120,
+      .learning_rate = 0.15,
+      .tree = {.max_depth = 3, .lambda = 1.0, .gamma = 0.0,
+               .min_child_weight = 1.0},
+      .nonnegative_prediction = true};
+};
+
+/// Group-decoupled direct-ML power model.
+class AutoPowerMinus {
+ public:
+  AutoPowerMinus() = default;
+  explicit AutoPowerMinus(AutoPowerMinusOptions options)
+      : options_(options) {}
+
+  void train(std::span<const core::EvalContext> samples,
+             const power::GoldenPowerModel& golden);
+
+  /// Predicted group power of one component (mW).
+  [[nodiscard]] double predict_group(arch::ComponentKind c, PowerGroup group,
+                                     const core::EvalContext& ctx) const;
+
+  /// Predicted per-component, per-group power.
+  [[nodiscard]] power::PowerResult predict(
+      const core::EvalContext& ctx) const;
+
+  /// Predicted total core power (mW).
+  [[nodiscard]] double predict_total(const core::EvalContext& ctx) const;
+
+  [[nodiscard]] bool trained() const noexcept { return trained_; }
+
+ private:
+  AutoPowerMinusOptions options_;
+  // [component][group]
+  std::array<std::array<ml::GBTRegressor, 3>, arch::kNumComponents> models_;
+  bool trained_ = false;
+};
+
+}  // namespace autopower::baselines

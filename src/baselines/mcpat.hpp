@@ -1,0 +1,34 @@
+// Analytical architecture-level power model — the McPAT stand-in.
+//
+// McPAT-style models are hand-built for a reference processor and applied
+// to new designs without re-characterisation; the literature (and this
+// paper's introduction) documents the resulting large systematic error.
+// This stand-in reproduces that situation: a plausible hand-written
+// area/activity energy model whose coefficients were "tuned for an older
+// reference core" — structurally different from the golden flow, so its
+// absolute numbers are biased, but its trends carry information.  It is
+// used as a *feature generator* for McPAT-Calib, exactly how the
+// McPAT-Calib baseline consumes McPAT.
+#pragma once
+
+#include "arch/component.hpp"
+#include "arch/events.hpp"
+#include "arch/params.hpp"
+#include "power/report.hpp"
+
+namespace autopower::baselines {
+
+/// Hand-written analytical power model (not trained, no golden access).
+class McPatAnalytical {
+ public:
+  /// Analytical per-component power estimate (mW).
+  [[nodiscard]] double component_power(arch::ComponentKind c,
+                                       const arch::HardwareConfig& cfg,
+                                       const arch::EventVector& events) const;
+
+  /// Analytical whole-core estimate (mW).
+  [[nodiscard]] double total_power(const arch::HardwareConfig& cfg,
+                                   const arch::EventVector& events) const;
+};
+
+}  // namespace autopower::baselines

@@ -1,0 +1,126 @@
+#include "baselines/mcpat_calib.hpp"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace autopower::baselines {
+
+namespace {
+
+using arch::EventKind;
+using core::EvalContext;
+
+/// Monolithic feature schema: all 14 hardware parameters, every event rate,
+/// and the McPAT analytical estimate.
+std::vector<std::string> monolithic_feature_names() {
+  std::vector<std::string> names;
+  for (arch::HwParam p : arch::all_hw_params()) {
+    names.push_back("H." + std::string(arch::hw_param_name(p)));
+  }
+  for (std::size_t i = 0; i < arch::kNumEvents; ++i) {
+    names.push_back(
+        "E." + std::string(arch::event_name(static_cast<EventKind>(i))));
+  }
+  names.emplace_back("McPAT.Total");
+  return names;
+}
+
+std::vector<double> monolithic_features(const McPatAnalytical& mcpat,
+                                        const EvalContext& ctx) {
+  std::vector<double> f = ctx.cfg->as_features();
+  for (std::size_t i = 0; i < arch::kNumEvents; ++i) {
+    f.push_back(ctx.events.rate(static_cast<EventKind>(i)));
+  }
+  f.push_back(mcpat.total_power(*ctx.cfg, ctx.events));
+  return f;
+}
+
+/// Per-component schema: the component's H and E features plus its McPAT
+/// estimate.
+std::vector<std::string> component_feature_names(arch::ComponentKind c) {
+  std::vector<std::string> names;
+  for (arch::HwParam p : arch::component_hw_params(c)) {
+    names.push_back("H." + std::string(arch::hw_param_name(p)));
+  }
+  auto e = arch::component_event_feature_names(c);
+  names.insert(names.end(), e.begin(), e.end());
+  names.emplace_back("McPAT.Component");
+  return names;
+}
+
+std::vector<double> component_features(const McPatAnalytical& mcpat,
+                                       arch::ComponentKind c,
+                                       const EvalContext& ctx) {
+  std::vector<double> f =
+      ctx.cfg->features_for(arch::component_hw_params(c));
+  auto e = arch::component_event_features(c, ctx.events);
+  f.insert(f.end(), e.begin(), e.end());
+  f.push_back(mcpat.component_power(c, *ctx.cfg, ctx.events));
+  return f;
+}
+
+}  // namespace
+
+void McPatCalib::train(std::span<const EvalContext> samples,
+                       const power::GoldenPowerModel& golden) {
+  AP_REQUIRE(!samples.empty(), "McPAT-Calib needs training samples");
+  model_ = ml::GBTRegressor(options_.gbt);
+  ml::Dataset data(monolithic_feature_names());
+  // Calibration formulation: the regressor learns the correction ratio
+  // golden / McPAT, so the analytical model carries the configuration
+  // scaling and the ML model fixes its systematic bias (this is what
+  // makes McPAT-Calib usable at all in the few-shot regime).
+  for (const auto& s : samples) {
+    const double mcpat = mcpat_.total_power(*s.cfg, s.events);
+    data.add_sample(monolithic_features(mcpat_, s),
+                    golden.evaluate(*s.cfg, s.events).total() /
+                        std::max(mcpat, 1e-9));
+  }
+  model_.fit(data);
+}
+
+double McPatCalib::predict_total(const EvalContext& ctx) const {
+  if (!model_.fitted()) throw util::NotFitted("McPAT-Calib not trained");
+  return model_.predict(monolithic_features(mcpat_, ctx)) *
+         mcpat_.total_power(*ctx.cfg, ctx.events);
+}
+
+void McPatCalibComponent::train(std::span<const EvalContext> samples,
+                                const power::GoldenPowerModel& golden) {
+  AP_REQUIRE(!samples.empty(),
+             "McPAT-Calib+Component needs training samples");
+  for (arch::ComponentKind c : arch::all_components()) {
+    const auto i = static_cast<std::size_t>(c);
+    models_[i] = ml::GBTRegressor(options_.gbt);
+    ml::Dataset data(component_feature_names(c));
+    // Per-component power is regressed directly (the McPAT estimate stays
+    // a feature): at component granularity the analytical proxy is too
+    // erratic to carry the scaling as a calibration base.
+    for (const auto& s : samples) {
+      data.add_sample(component_features(mcpat_, c, s),
+                      golden.evaluate(*s.cfg, s.events).of(c).total());
+    }
+    models_[i].fit(data);
+  }
+  trained_ = true;
+}
+
+double McPatCalibComponent::predict_component(arch::ComponentKind c,
+                                              const EvalContext& ctx) const {
+  AP_REQUIRE(trained_, "McPAT-Calib+Component not trained");
+  return models_[static_cast<std::size_t>(c)].predict(
+      component_features(mcpat_, c, ctx));
+}
+
+double McPatCalibComponent::predict_total(const EvalContext& ctx) const {
+  double acc = 0.0;
+  for (arch::ComponentKind c : arch::all_components()) {
+    acc += predict_component(c, ctx);
+  }
+  return acc;
+}
+
+}  // namespace autopower::baselines

@@ -1,0 +1,82 @@
+// McPAT-Calib baselines (paper Sec. III-B1).
+//
+// McPAT-Calib [Zhai et al., TCAD'22] calibrates an analytical McPAT
+// estimate with an ML regressor (XGBoost, the best model it reports):
+// features are the hardware parameters, the event parameters, and the
+// McPAT output; the target is the golden total power.
+//
+// Two variants, matching the paper's comparison:
+//   * McPatCalib          — one monolithic model for total core power;
+//   * McPatCalibComponent — the paper's extra ablation baseline: one
+//     McPAT-Calib model per component (trained on golden per-component
+//     power), summed for the core total.
+#pragma once
+
+#include <array>
+#include <span>
+
+#include "arch/component.hpp"
+#include "baselines/mcpat.hpp"
+#include "core/sample.hpp"
+#include "ml/gbt.hpp"
+#include "power/golden.hpp"
+
+namespace autopower::baselines {
+
+/// Hyper-parameters (shared by both variants).
+struct McPatCalibOptions {
+  ml::GbtOptions gbt{
+      .num_rounds = 150,
+      .learning_rate = 0.12,
+      .tree = {.max_depth = 4, .lambda = 1.0, .gamma = 0.0,
+               .min_child_weight = 1.0},
+      .nonnegative_prediction = true};
+};
+
+/// Monolithic McPAT-Calib: XGBoost over (H, E, McPAT) -> total power.
+class McPatCalib {
+ public:
+  McPatCalib() = default;
+  explicit McPatCalib(McPatCalibOptions options) : options_(options) {}
+
+  void train(std::span<const core::EvalContext> samples,
+             const power::GoldenPowerModel& golden);
+
+  /// Predicted total core power (mW).
+  [[nodiscard]] double predict_total(const core::EvalContext& ctx) const;
+
+  [[nodiscard]] bool trained() const noexcept { return model_.fitted(); }
+
+ private:
+  McPatCalibOptions options_;
+  McPatAnalytical mcpat_;
+  ml::GBTRegressor model_;
+};
+
+/// Per-component McPAT-Calib ("McPAT-Calib + Component" in Fig. 6).
+class McPatCalibComponent {
+ public:
+  McPatCalibComponent() = default;
+  explicit McPatCalibComponent(McPatCalibOptions options)
+      : options_(options) {}
+
+  void train(std::span<const core::EvalContext> samples,
+             const power::GoldenPowerModel& golden);
+
+  /// Predicted power of one component (mW).
+  [[nodiscard]] double predict_component(arch::ComponentKind c,
+                                         const core::EvalContext& ctx) const;
+
+  /// Predicted total core power (sum over components, mW).
+  [[nodiscard]] double predict_total(const core::EvalContext& ctx) const;
+
+  [[nodiscard]] bool trained() const noexcept { return trained_; }
+
+ private:
+  McPatCalibOptions options_;
+  McPatAnalytical mcpat_;
+  std::array<ml::GBTRegressor, arch::kNumComponents> models_;
+  bool trained_ = false;
+};
+
+}  // namespace autopower::baselines

@@ -1,0 +1,120 @@
+#include "baselines/panda.hpp"
+
+#include <algorithm>
+
+#include "core/features.hpp"
+#include "util/error.hpp"
+
+namespace autopower::baselines {
+
+namespace {
+using arch::ComponentKind;
+using arch::HwParam;
+}  // namespace
+
+double PandaBaseline::resource_function(ComponentKind c,
+                                        const arch::HardwareConfig& cfg) {
+  const double fw = cfg.value_d(HwParam::kFetchWidth);
+  const double dw = cfg.value_d(HwParam::kDecodeWidth);
+  const double fbe = cfg.value_d(HwParam::kFetchBufferEntry);
+  const double rob = cfg.value_d(HwParam::kRobEntry);
+  const double ipr = cfg.value_d(HwParam::kIntPhyRegister);
+  const double fpr = cfg.value_d(HwParam::kFpPhyRegister);
+  const double lq = cfg.value_d(HwParam::kLdqStqEntry);
+  const double bc = cfg.value_d(HwParam::kBranchCount);
+  const double mfw = cfg.value_d(HwParam::kMemFpIssueWidth);
+  const double iw = cfg.value_d(HwParam::kIntIssueWidth);
+  const double way = cfg.value_d(HwParam::kCacheWay);
+  const double tlb = cfg.value_d(HwParam::kTlbEntry);
+  const double mshr = cfg.value_d(HwParam::kMshrEntry);
+  const double ifb = cfg.value_d(HwParam::kICacheFetchBytes);
+
+  // Hand-written first-order sizing: the kind of resource function a BOOM
+  // architect would write down (rounded coefficients, dominant term only).
+  switch (c) {
+    case ComponentKind::kBpTage:
+    case ComponentKind::kBpBtb:
+    case ComponentKind::kBpOthers:
+      return fw * (10.0 + bc);
+    case ComponentKind::kICacheTagArray:
+      return way * 20.0;
+    case ComponentKind::kICacheDataArray:
+      return way * ifb * 8.0;
+    case ComponentKind::kICacheOthers:
+      return way * 5.0 + ifb * 8.0;
+    case ComponentKind::kRnu:
+      return dw * 100.0;
+    case ComponentKind::kRob:
+      return rob * 4.0 + dw * 20.0;
+    case ComponentKind::kRegfile:
+      return (ipr + fpr) * dw;
+    case ComponentKind::kDCacheTagArray:
+      return way * mfw * 20.0;
+    case ComponentKind::kDCacheDataArray:
+      return way * mfw * 32.0;
+    case ComponentKind::kDCacheOthers:
+      return way * 6.0 + mfw * 18.0 + tlb;
+    case ComponentKind::kFpIsu:
+      return dw * 50.0 + mfw * 36.0;
+    case ComponentKind::kIntIsu:
+      return dw * 55.0 + iw * 45.0;
+    case ComponentKind::kMemIsu:
+      return dw * 45.0 + mfw * 32.0;
+    case ComponentKind::kITlb:
+    case ComponentKind::kDTlb:
+      return 20.0 + tlb * 2.0;
+    case ComponentKind::kFuPool:
+      return iw * 130.0 + mfw * 200.0;
+    case ComponentKind::kOtherLogic:
+      return 200.0 + fw * 25.0 + dw * 70.0 + rob * 0.5;
+    case ComponentKind::kDCacheMshr:
+      return 15.0 + mshr * 15.0;
+    case ComponentKind::kLsu:
+      return lq * 10.0 + mfw * 28.0;
+    case ComponentKind::kIfu:
+      return fw * 16.0 + fbe * 3.5 + dw * 12.0;
+  }
+  return 1.0;
+}
+
+void PandaBaseline::train(std::span<const core::EvalContext> samples,
+                          const power::GoldenPowerModel& golden) {
+  AP_REQUIRE(!samples.empty(), "PANDA needs training samples");
+  const auto spec = core::FeatureSpec::he();
+  for (ComponentKind c : arch::all_components()) {
+    ml::Dataset data(core::feature_names(c, spec));
+    for (const auto& s : samples) {
+      const double resource = resource_function(c, *s.cfg);
+      const double label =
+          golden.evaluate(*s.cfg, s.events).of(c).total() /
+          std::max(resource, 1e-9);
+      data.add_sample(
+          core::feature_vector(c, spec, *s.cfg, s.events, s.program),
+          label);
+    }
+    auto& model = activity_models_[static_cast<std::size_t>(c)];
+    model = ml::GBTRegressor(options_.gbt);
+    model.fit(data);
+  }
+  trained_ = true;
+}
+
+double PandaBaseline::predict_component(ComponentKind c,
+                                        const core::EvalContext& ctx) const {
+  AP_REQUIRE(trained_, "PANDA not trained");
+  const auto spec = core::FeatureSpec::he();
+  const double activity =
+      activity_models_[static_cast<std::size_t>(c)].predict(
+          core::feature_vector(c, spec, *ctx.cfg, ctx.events, ctx.program));
+  return std::max(0.0, resource_function(c, *ctx.cfg) * activity);
+}
+
+double PandaBaseline::predict_total(const core::EvalContext& ctx) const {
+  double acc = 0.0;
+  for (ComponentKind c : arch::all_components()) {
+    acc += predict_component(c, ctx);
+  }
+  return acc;
+}
+
+}  // namespace autopower::baselines

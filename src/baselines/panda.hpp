@@ -1,0 +1,63 @@
+// PANDA-style baseline (paper reference [4]: "PANDA: architecture-level
+// power evaluation by unifying analytical and machine learning solutions").
+//
+// PANDA multiplies an engineer-written per-component *resource function*
+// (capturing how the component's size scales with hardware parameters)
+// with an ML model of the activity: P_c = Resource_c(H) * ML_c(H, E).
+// The resource functions embody design-specific expertise — exactly the
+// dependence AutoPower's automation removes (paper Sec. I: "[4] relies on
+// analytical resource functions, which are design-dependent and heavily
+// based on architect expertise").
+//
+// Our stand-in gives PANDA credible hand-written resource functions:
+// roughly the right parameter dependencies with rounded coefficients, but
+// none of the synthesis noise or secondary terms of the golden netlist.
+#pragma once
+
+#include <array>
+#include <span>
+
+#include "arch/component.hpp"
+#include "core/sample.hpp"
+#include "ml/gbt.hpp"
+#include "power/golden.hpp"
+
+namespace autopower::baselines {
+
+/// Hyper-parameters for the PANDA baseline.
+struct PandaOptions {
+  ml::GbtOptions gbt{
+      .num_rounds = 120,
+      .learning_rate = 0.15,
+      .tree = {.max_depth = 3, .lambda = 1.0, .gamma = 0.0,
+               .min_child_weight = 1.0},
+      .nonnegative_prediction = true};
+};
+
+/// PANDA-style per-component resource x activity model.
+class PandaBaseline {
+ public:
+  PandaBaseline() = default;
+  explicit PandaBaseline(PandaOptions options) : options_(options) {}
+
+  /// The engineer-written resource function of one component (unitless,
+  /// proportional to the component's expected size).
+  [[nodiscard]] static double resource_function(
+      arch::ComponentKind c, const arch::HardwareConfig& cfg);
+
+  void train(std::span<const core::EvalContext> samples,
+             const power::GoldenPowerModel& golden);
+
+  [[nodiscard]] double predict_component(arch::ComponentKind c,
+                                         const core::EvalContext& ctx) const;
+  [[nodiscard]] double predict_total(const core::EvalContext& ctx) const;
+
+  [[nodiscard]] bool trained() const noexcept { return trained_; }
+
+ private:
+  PandaOptions options_;
+  std::array<ml::GBTRegressor, arch::kNumComponents> activity_models_;
+  bool trained_ = false;
+};
+
+}  // namespace autopower::baselines

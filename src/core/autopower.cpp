@@ -1,0 +1,112 @@
+#include "core/autopower.hpp"
+
+#include <fstream>
+
+#include "util/archive.hpp"
+#include "util/error.hpp"
+
+namespace autopower::core {
+
+void AutoPowerModel::train(std::span<const EvalContext> samples,
+                           const power::GoldenPowerModel& golden) {
+  AP_REQUIRE(!samples.empty(), "AutoPower needs training samples");
+  for (arch::ComponentKind c : arch::all_components()) {
+    const auto i = static_cast<std::size_t>(c);
+    clock_[i] = ClockPowerModel(options_.clock);
+    sram_[i] = SramPowerModel(options_.sram);
+    logic_[i] = LogicPowerModel(options_.logic);
+    clock_[i].train(c, samples, golden);
+    sram_[i].train(c, samples, golden);
+    logic_[i].train(c, samples, golden);
+  }
+  trained_ = true;
+}
+
+void AutoPowerModel::save(std::ostream& out) const {
+  AP_REQUIRE(trained_, "cannot save an untrained AutoPower model");
+  util::ArchiveWriter w(out);
+  w.write("autopower.format", std::int64_t{1});
+  w.write("autopower.components",
+          static_cast<std::int64_t>(arch::kNumComponents));
+  for (arch::ComponentKind c : arch::all_components()) {
+    const auto i = static_cast<std::size_t>(c);
+    clock_[i].save(w);
+    sram_[i].save(w);
+    logic_[i].save(w);
+  }
+}
+
+void AutoPowerModel::load(std::istream& in) {
+  util::ArchiveReader r(in);
+  AP_REQUIRE(r.read_int("autopower.format") == 1,
+             "unsupported AutoPower archive format");
+  AP_REQUIRE(r.read_int("autopower.components") ==
+                 static_cast<std::int64_t>(arch::kNumComponents),
+             "archive component count does not match this build");
+  for (arch::ComponentKind c : arch::all_components()) {
+    const auto i = static_cast<std::size_t>(c);
+    clock_[i].load(r);
+    sram_[i].load(r);
+    logic_[i].load(r);
+  }
+  trained_ = true;
+}
+
+void AutoPowerModel::save_to_file(const std::string& path) const {
+  std::ofstream out(path);
+  AP_REQUIRE(out.good(), "cannot open file for writing: " + path);
+  save(out);
+  AP_REQUIRE(out.good(), "failed writing model file: " + path);
+}
+
+void AutoPowerModel::load_from_file(const std::string& path) {
+  std::ifstream in(path);
+  AP_REQUIRE(in.good(), "cannot open model file: " + path);
+  load(in);
+}
+
+power::PowerResult AutoPowerModel::predict(const EvalContext& ctx) const {
+  AP_REQUIRE(trained_, "AutoPower not trained");
+  power::PowerResult out;
+  out.components.reserve(arch::kNumComponents);
+  for (arch::ComponentKind c : arch::all_components()) {
+    const auto i = static_cast<std::size_t>(c);
+    power::ComponentPower cp;
+    cp.component = c;
+    cp.groups.clock = clock_[i].predict(ctx);
+    cp.groups.sram = sram_[i].predict(ctx);
+    cp.groups.logic_register = logic_[i].predict_register_power(ctx);
+    cp.groups.logic_comb = logic_[i].predict_comb_power(ctx);
+    out.components.push_back(cp);
+  }
+  return out;
+}
+
+double AutoPowerModel::predict_total(const EvalContext& ctx) const {
+  return predict(ctx).total();
+}
+
+std::vector<double> AutoPowerModel::predict_trace(
+    std::span<const EvalContext> windows) const {
+  std::vector<double> out;
+  out.reserve(windows.size());
+  for (const auto& w : windows) out.push_back(predict_total(w));
+  return out;
+}
+
+const ClockPowerModel& AutoPowerModel::clock_model(
+    arch::ComponentKind c) const {
+  return clock_[static_cast<std::size_t>(c)];
+}
+
+const SramPowerModel& AutoPowerModel::sram_model(
+    arch::ComponentKind c) const {
+  return sram_[static_cast<std::size_t>(c)];
+}
+
+const LogicPowerModel& AutoPowerModel::logic_model(
+    arch::ComponentKind c) const {
+  return logic_[static_cast<std::size_t>(c)];
+}
+
+}  // namespace autopower::core

@@ -1,0 +1,89 @@
+// AutoPower — the paper's primary contribution.
+//
+// Fully automated, few-shot architecture-level power modeling by power
+// group decoupling: per component, independent models for the clock, SRAM
+// and logic power groups (each itself decoupled into structural ridge
+// sub-models and activity GBT sub-models).  Train on as few as two known
+// configurations; predict per-component, per-group power for any
+// configuration/workload — including per-50-cycle windows for time-based
+// power traces (paper Sec. III-B5).
+//
+// Typical use:
+//
+//   sim::PerfSimulator sim;                    // gem5 stand-in
+//   power::GoldenPowerModel golden;            // VLSI-flow stand-in
+//   auto train = exp::make_contexts(sim, {"C1", "C15"}, workloads);
+//   core::AutoPowerModel model;
+//   model.train(train, golden);
+//   auto prediction = model.predict(ctx);      // PowerResult, mW
+#pragma once
+
+#include <array>
+#include <iosfwd>
+#include <span>
+#include <string>
+
+#include "core/clock_model.hpp"
+#include "core/logic_model.hpp"
+#include "core/sample.hpp"
+#include "core/sram_model.hpp"
+#include "power/report.hpp"
+
+namespace autopower::core {
+
+/// Hyper-parameters for all of AutoPower's sub-models.
+struct AutoPowerOptions {
+  ClockModelOptions clock;
+  SramModelOptions sram;
+  LogicModelOptions logic;
+};
+
+/// The end-to-end AutoPower model: 22 components x 3 power groups.
+class AutoPowerModel {
+ public:
+  AutoPowerModel() = default;
+  explicit AutoPowerModel(AutoPowerOptions options) : options_(options) {}
+
+  /// Trains every per-component group model.  `samples` should cover the
+  /// known configurations x training workloads; golden labels are read
+  /// from the golden flow (synthesis reports, RTL activity, power sim).
+  void train(std::span<const EvalContext> samples,
+             const power::GoldenPowerModel& golden);
+
+  /// Full per-component, per-group power prediction (mW).
+  [[nodiscard]] power::PowerResult predict(const EvalContext& ctx) const;
+
+  /// Total core power (mW).
+  [[nodiscard]] double predict_total(const EvalContext& ctx) const;
+
+  /// Per-window total power for a time-based power trace.
+  [[nodiscard]] std::vector<double> predict_trace(
+      std::span<const EvalContext> windows) const;
+
+  // Per-component group models, for the Fig. 7 / Fig. 8 studies.
+  [[nodiscard]] const ClockPowerModel& clock_model(
+      arch::ComponentKind c) const;
+  [[nodiscard]] const SramPowerModel& sram_model(
+      arch::ComponentKind c) const;
+  [[nodiscard]] const LogicPowerModel& logic_model(
+      arch::ComponentKind c) const;
+
+  [[nodiscard]] bool trained() const noexcept { return trained_; }
+
+  /// Serializes the fully-trained model (all 22 x 3 sub-models).
+  void save(std::ostream& out) const;
+  /// Restores a model previously written by save().
+  void load(std::istream& in);
+  /// File-based convenience wrappers.
+  void save_to_file(const std::string& path) const;
+  void load_from_file(const std::string& path);
+
+ private:
+  AutoPowerOptions options_;
+  std::array<ClockPowerModel, arch::kNumComponents> clock_;
+  std::array<SramPowerModel, arch::kNumComponents> sram_;
+  std::array<LogicPowerModel, arch::kNumComponents> logic_;
+  bool trained_ = false;
+};
+
+}  // namespace autopower::core

@@ -1,0 +1,144 @@
+#include "core/clock_model.hpp"
+
+#include <algorithm>
+
+#include "core/features.hpp"
+#include "util/error.hpp"
+
+namespace autopower::core {
+
+namespace {
+
+/// Deduplicates configurations: structural sub-models (F_reg, F_gate) get
+/// one sample per known configuration, not one per workload.
+std::vector<const arch::HardwareConfig*> unique_configs(
+    std::span<const EvalContext> samples) {
+  std::vector<const arch::HardwareConfig*> out;
+  for (const auto& s : samples) {
+    if (std::find(out.begin(), out.end(), s.cfg) == out.end()) {
+      out.push_back(s.cfg);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void ClockPowerModel::train(arch::ComponentKind c,
+                            std::span<const EvalContext> samples,
+                            const power::GoldenPowerModel& golden) {
+  AP_REQUIRE(!samples.empty(), "clock model needs training samples");
+  component_ = c;
+  reg_model_ = ml::RidgeRegression(options_.ridge);
+  gate_model_ = ml::RidgeRegression(options_.ridge);
+  alpha_model_ = ml::GBTRegressor(options_.gbt);
+
+  const auto h_names = feature_names(c, FeatureSpec::h());
+  const auto he_names = feature_names(c, FeatureSpec::he());
+  const double p_reg = golden.library().clock_pin_energy;
+
+  // F_reg and F_gate: structural labels from the synthesized netlists of
+  // the known configurations.
+  ml::Dataset reg_data(h_names);
+  ml::Dataset gate_data(h_names);
+  for (const arch::HardwareConfig* cfg : unique_configs(samples)) {
+    const auto& nl = golden.netlist_of(*cfg)[static_cast<std::size_t>(c)];
+    const auto h = cfg->features_for(arch::component_hw_params(c));
+    reg_data.add_sample(h, nl.register_count);
+    gate_data.add_sample(h, nl.gating_rate);
+  }
+  reg_model_.fit(reg_data);
+  gate_model_.fit(gate_data);
+
+  // F_a': labels extracted from golden clock power via Eq. 7 inverted,
+  //   alpha' = (P_clk - R (1 - g) p_reg) / (R g),
+  // using the *known* R and g of the training configurations (they come
+  // from the same netlists the labels were collected from).
+  ml::Dataset alpha_data(he_names);
+  for (const auto& s : samples) {
+    const auto& nl = golden.netlist_of(*s.cfg)[static_cast<std::size_t>(c)];
+    const double p_clk =
+        golden.evaluate(*s.cfg, s.events).of(c).clock;
+    const double rg = nl.register_count * nl.gating_rate;
+    const double alpha_eff =
+        rg > 1e-9
+            ? std::max(0.0, (p_clk - nl.register_count *
+                                         (1.0 - nl.gating_rate) * p_reg) /
+                                rg)
+            : 0.0;
+    alpha_data.add_sample(
+        feature_vector(c, FeatureSpec::he(), *s.cfg, s.events, s.program),
+        alpha_eff);
+  }
+  if (options_.linear_alpha) {
+    alpha_linear_model_ = ml::RidgeRegression(options_.ridge);
+    alpha_linear_model_.fit(alpha_data);
+  } else {
+    alpha_model_.fit(alpha_data);
+  }
+  trained_ = true;
+}
+
+void ClockPowerModel::save(util::ArchiveWriter& out) const {
+  out.write("clock.component", static_cast<std::int64_t>(component_));
+  out.write("clock.trained", trained_);
+  out.write("clock.linear_alpha", options_.linear_alpha);
+  reg_model_.save(out);
+  gate_model_.save(out);
+  if (options_.linear_alpha) {
+    alpha_linear_model_.save(out);
+  } else {
+    alpha_model_.save(out);
+  }
+}
+
+void ClockPowerModel::load(util::ArchiveReader& in) {
+  component_ =
+      static_cast<arch::ComponentKind>(in.read_int("clock.component"));
+  trained_ = in.read_bool("clock.trained");
+  options_.linear_alpha = in.read_bool("clock.linear_alpha");
+  reg_model_.load(in);
+  gate_model_.load(in);
+  if (options_.linear_alpha) {
+    alpha_linear_model_.load(in);
+  } else {
+    alpha_model_.load(in);
+  }
+}
+
+double ClockPowerModel::predict_register_count(
+    const arch::HardwareConfig& cfg) const {
+  if (!trained_) throw util::NotFitted("clock model not trained");
+  return reg_model_.predict(
+      cfg.features_for(arch::component_hw_params(component_)));
+}
+
+double ClockPowerModel::predict_gating_rate(
+    const arch::HardwareConfig& cfg) const {
+  if (!trained_) throw util::NotFitted("clock model not trained");
+  return std::clamp(
+      gate_model_.predict(
+          cfg.features_for(arch::component_hw_params(component_))),
+      0.0, 0.99);
+}
+
+double ClockPowerModel::predict_effective_active_rate(
+    const EvalContext& ctx) const {
+  if (!trained_) throw util::NotFitted("clock model not trained");
+  const auto f = feature_vector(component_, FeatureSpec::he(), *ctx.cfg,
+                                ctx.events, ctx.program);
+  return options_.linear_alpha ? alpha_linear_model_.predict(f)
+                               : alpha_model_.predict(f);
+}
+
+double ClockPowerModel::predict(const EvalContext& ctx) const {
+  const double r = predict_register_count(*ctx.cfg);
+  const double g = predict_gating_rate(*ctx.cfg);
+  const double alpha_eff = predict_effective_active_rate(ctx);
+  const double p_reg =
+      techlib::TechLibrary::default_40nm().clock_pin_energy;
+  // Eq. 7: P_clk = R (1 - g) p_reg + alpha' R g.
+  return std::max(0.0, r * (1.0 - g) * p_reg + alpha_eff * r * g);
+}
+
+}  // namespace autopower::core

@@ -1,0 +1,45 @@
+#include "core/features.hpp"
+
+namespace autopower::core {
+
+std::vector<std::string> feature_names(arch::ComponentKind c,
+                                       const FeatureSpec& spec) {
+  std::vector<std::string> out;
+  if (spec.hardware) {
+    for (arch::HwParam p : arch::component_hw_params(c)) {
+      out.push_back("H." + std::string(arch::hw_param_name(p)));
+    }
+  }
+  if (spec.events) {
+    auto e = arch::component_event_feature_names(c);
+    out.insert(out.end(), e.begin(), e.end());
+  }
+  if (spec.program) {
+    auto p = workload::ProgramFeatures::names();
+    out.insert(out.end(), p.begin(), p.end());
+  }
+  return out;
+}
+
+std::vector<double> feature_vector(arch::ComponentKind c,
+                                   const FeatureSpec& spec,
+                                   const arch::HardwareConfig& cfg,
+                                   const arch::EventVector& events,
+                                   const workload::ProgramFeatures& program) {
+  std::vector<double> out;
+  if (spec.hardware) {
+    auto h = cfg.features_for(arch::component_hw_params(c));
+    out.insert(out.end(), h.begin(), h.end());
+  }
+  if (spec.events) {
+    auto e = arch::component_event_features(c, events);
+    out.insert(out.end(), e.begin(), e.end());
+  }
+  if (spec.program) {
+    auto p = program.as_vector();
+    out.insert(out.end(), p.begin(), p.end());
+  }
+  return out;
+}
+
+}  // namespace autopower::core

@@ -1,0 +1,129 @@
+#include "core/logic_model.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "core/features.hpp"
+#include "util/error.hpp"
+
+namespace autopower::core {
+
+void LogicPowerModel::train(arch::ComponentKind c,
+                            std::span<const EvalContext> samples,
+                            const power::GoldenPowerModel& golden) {
+  AP_REQUIRE(!samples.empty(), "logic model needs training samples");
+  component_ = c;
+  reg_count_model_ = ml::RidgeRegression(options_.ridge);
+  reg_act_model_ = ml::GBTRegressor(options_.gbt);
+  comb_stable_model_ = ml::RidgeRegression(options_.ridge);
+  comb_var_model_ = ml::GBTRegressor(options_.gbt);
+
+  const auto h_names = feature_names(c, FeatureSpec::h());
+  const auto he_names = feature_names(c, FeatureSpec::he());
+
+  // Golden per-sample logic power, gathered once.
+  std::vector<double> reg_power(samples.size());
+  std::vector<double> comb_power(samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const auto groups =
+        golden.evaluate(*samples[i].cfg, samples[i].events).of(c);
+    reg_power[i] = groups.logic_register;
+    comb_power[i] = groups.logic_comb;
+  }
+
+  // --- Register power: F_reg(H) on netlist register counts ---------------
+  ml::Dataset reg_count_data(h_names);
+  std::map<const arch::HardwareConfig*, double> cfg_comb_avg;
+  std::map<const arch::HardwareConfig*, int> cfg_count;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    cfg_comb_avg[samples[i].cfg] += comb_power[i];
+    cfg_count[samples[i].cfg] += 1;
+  }
+  for (auto& [cfg, acc] : cfg_comb_avg) acc /= cfg_count[cfg];
+
+  for (const auto& [cfg, unused] : cfg_comb_avg) {
+    (void)unused;
+    const auto& nl = golden.netlist_of(*cfg)[static_cast<std::size_t>(c)];
+    reg_count_data.add_sample(
+        cfg->features_for(arch::component_hw_params(c)),
+        nl.register_count);
+  }
+  reg_count_model_.fit(reg_count_data);
+
+  // --- F_act(H, E): golden register power per register -------------------
+  ml::Dataset reg_act_data(he_names);
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const auto& s = samples[i];
+    const auto& nl = golden.netlist_of(*s.cfg)[static_cast<std::size_t>(c)];
+    const double label =
+        nl.register_count > 1e-9 ? reg_power[i] / nl.register_count : 0.0;
+    reg_act_data.add_sample(
+        feature_vector(c, FeatureSpec::he(), *s.cfg, s.events, s.program),
+        label);
+  }
+  reg_act_model_.fit(reg_act_data);
+
+  // --- F_sta(H): average combinational power across training workloads ---
+  ml::Dataset stable_data(h_names);
+  for (const auto& [cfg, avg] : cfg_comb_avg) {
+    stable_data.add_sample(cfg->features_for(arch::component_hw_params(c)),
+                           avg);
+  }
+  comb_stable_model_.fit(stable_data);
+
+  // --- F_var(H, E): ratio of combinational power to the stable power -----
+  ml::Dataset var_data(he_names);
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const auto& s = samples[i];
+    const double sta = cfg_comb_avg[s.cfg];
+    const double label = sta > 1e-9 ? comb_power[i] / sta : 1.0;
+    var_data.add_sample(
+        feature_vector(c, FeatureSpec::he(), *s.cfg, s.events, s.program),
+        label);
+  }
+  comb_var_model_.fit(var_data);
+  trained_ = true;
+}
+
+void LogicPowerModel::save(util::ArchiveWriter& out) const {
+  out.write("logic.component", static_cast<std::int64_t>(component_));
+  out.write("logic.trained", trained_);
+  reg_count_model_.save(out);
+  reg_act_model_.save(out);
+  comb_stable_model_.save(out);
+  comb_var_model_.save(out);
+}
+
+void LogicPowerModel::load(util::ArchiveReader& in) {
+  component_ =
+      static_cast<arch::ComponentKind>(in.read_int("logic.component"));
+  trained_ = in.read_bool("logic.trained");
+  reg_count_model_.load(in);
+  reg_act_model_.load(in);
+  comb_stable_model_.load(in);
+  comb_var_model_.load(in);
+}
+
+double LogicPowerModel::predict_register_power(const EvalContext& ctx) const {
+  AP_REQUIRE(trained_, "logic model not trained");
+  const double r = reg_count_model_.predict(
+      ctx.cfg->features_for(arch::component_hw_params(component_)));
+  const double act = reg_act_model_.predict(feature_vector(
+      component_, FeatureSpec::he(), *ctx.cfg, ctx.events, ctx.program));
+  return std::max(0.0, r * act);  // Eq. 11
+}
+
+double LogicPowerModel::predict_comb_power(const EvalContext& ctx) const {
+  AP_REQUIRE(trained_, "logic model not trained");
+  const double sta = comb_stable_model_.predict(
+      ctx.cfg->features_for(arch::component_hw_params(component_)));
+  const double var = comb_var_model_.predict(feature_vector(
+      component_, FeatureSpec::he(), *ctx.cfg, ctx.events, ctx.program));
+  return std::max(0.0, sta * var);  // Eq. 12
+}
+
+double LogicPowerModel::predict(const EvalContext& ctx) const {
+  return predict_register_power(ctx) + predict_comb_power(ctx);
+}
+
+}  // namespace autopower::core

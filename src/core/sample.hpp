@@ -1,0 +1,26 @@
+// One (configuration, workload-window) evaluation context.
+//
+// Everything an architecture-level power model is allowed to see at
+// prediction time: the hardware parameters, the performance-simulator
+// event counters, and the program-level features.  Golden labels are NOT
+// part of the context; trainers obtain them from the golden flow
+// separately (the equivalent of reading synthesis and power-simulation
+// reports for the known configurations).
+#pragma once
+
+#include <string>
+
+#include "arch/events.hpp"
+#include "arch/params.hpp"
+#include "workload/workload.hpp"
+
+namespace autopower::core {
+
+struct EvalContext {
+  const arch::HardwareConfig* cfg = nullptr;
+  std::string workload;
+  workload::ProgramFeatures program;
+  arch::EventVector events;
+};
+
+}  // namespace autopower::core

@@ -1,0 +1,173 @@
+#include "core/scaling_model.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace autopower::core {
+
+double ProportionalLaw::evaluate(const arch::HardwareConfig& cfg) const {
+  double x = 1.0;
+  for (arch::HwParam p : params) x *= cfg.value_d(p);
+  return k * x;
+}
+
+std::string ProportionalLaw::to_string() const {
+  std::string out = std::to_string(k);
+  for (arch::HwParam p : params) {
+    out += " * ";
+    out += std::string(arch::hw_param_name(p));
+  }
+  return out;
+}
+
+ProportionalLaw fit_proportional_law(
+    std::span<const arch::HwParam> params,
+    std::span<const arch::HardwareConfig* const> configs,
+    std::span<const double> values) {
+  AP_REQUIRE(configs.size() == values.size() && !configs.empty(),
+             "need matching non-empty configs/values");
+  AP_REQUIRE(params.size() <= 20, "too many parameters to enumerate");
+
+  ProportionalLaw best;
+  double best_error = std::numeric_limits<double>::infinity();
+  std::size_t best_arity = params.size() + 1;
+
+  const std::size_t subsets = 1ULL << params.size();
+  std::vector<double> predictor(configs.size());
+  for (std::size_t mask = 0; mask < subsets; ++mask) {
+    // Build the product predictor for this combination.
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+      double x = 1.0;
+      for (std::size_t b = 0; b < params.size(); ++b) {
+        if (mask & (1ULL << b)) x *= configs[i]->value_d(params[b]);
+      }
+      predictor[i] = x;
+    }
+    // Least-squares through the origin.
+    double num = 0.0;
+    double den = 0.0;
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+      num += predictor[i] * values[i];
+      den += predictor[i] * predictor[i];
+    }
+    if (den < 1e-24) continue;
+    const double k = num / den;
+
+    double max_err = 0.0;
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+      const double pred = k * predictor[i];
+      const double denom = std::max(std::abs(values[i]), 1e-9);
+      max_err = std::max(max_err, std::abs(pred - values[i]) / denom);
+    }
+
+    const std::size_t arity =
+        static_cast<std::size_t>(std::popcount(mask));
+    // Prefer strictly better fits; among near-ties prefer fewer factors
+    // (the constant law wins over spurious products on degenerate data).
+    const bool better = max_err < best_error - 1e-9 ||
+                        (max_err < best_error + 1e-9 && arity < best_arity);
+    if (better) {
+      best_error = max_err;
+      best_arity = arity;
+      best.k = k;
+      best.params.clear();
+      for (std::size_t b = 0; b < params.size(); ++b) {
+        if (mask & (1ULL << b)) best.params.push_back(params[b]);
+      }
+      best.max_rel_error = max_err;
+    }
+  }
+  AP_ASSERT_MSG(std::isfinite(best_error), "no proportional law fitted");
+  return best;
+}
+
+void ScalingPatternModel::fit(
+    std::span<const arch::HwParam> params,
+    std::span<const BlockObservation> observations) {
+  AP_REQUIRE(!observations.empty(),
+             "scaling model needs at least one observation");
+
+  std::vector<const arch::HardwareConfig*> configs;
+  std::vector<double> capacity;
+  std::vector<double> throughput;
+  std::vector<double> width;
+  configs.reserve(observations.size());
+  for (const auto& obs : observations) {
+    AP_REQUIRE(obs.cfg != nullptr, "observation without configuration");
+    AP_REQUIRE(obs.width > 0 && obs.depth > 0 && obs.count > 0,
+               "observation with non-positive block shape");
+    configs.push_back(obs.cfg);
+    capacity.push_back(static_cast<double>(obs.width) * obs.depth *
+                       obs.count);
+    throughput.push_back(static_cast<double>(obs.width) * obs.count);
+    width.push_back(static_cast<double>(obs.width));
+  }
+
+  capacity_ = fit_proportional_law(params, configs, capacity);
+  throughput_ = fit_proportional_law(params, configs, throughput);
+  width_ = fit_proportional_law(params, configs, width);
+  fitted_ = true;
+}
+
+namespace {
+
+void save_law(util::ArchiveWriter& out, const ProportionalLaw& law) {
+  out.write("law.k", law.k);
+  out.write("law.err", law.max_rel_error);
+  std::vector<std::int64_t> ids;
+  ids.reserve(law.params.size());
+  for (arch::HwParam p : law.params) {
+    ids.push_back(static_cast<std::int64_t>(p));
+  }
+  out.write("law.params", ids);
+}
+
+ProportionalLaw load_law(util::ArchiveReader& in) {
+  ProportionalLaw law;
+  law.k = in.read_double("law.k");
+  law.max_rel_error = in.read_double("law.err");
+  for (std::int64_t id : in.read_ints("law.params")) {
+    AP_REQUIRE(id >= 0 && id < static_cast<std::int64_t>(arch::kNumHwParams),
+               "corrupt scaling-law archive: bad parameter id");
+    law.params.push_back(static_cast<arch::HwParam>(id));
+  }
+  return law;
+}
+
+}  // namespace
+
+void ScalingPatternModel::save(util::ArchiveWriter& out) const {
+  out.write("scaling.fitted", fitted_);
+  save_law(out, capacity_);
+  save_law(out, throughput_);
+  save_law(out, width_);
+}
+
+void ScalingPatternModel::load(util::ArchiveReader& in) {
+  fitted_ = in.read_bool("scaling.fitted");
+  capacity_ = load_law(in);
+  throughput_ = load_law(in);
+  width_ = load_law(in);
+}
+
+BlockPrediction ScalingPatternModel::predict(
+    const arch::HardwareConfig& cfg) const {
+  AP_REQUIRE(fitted_, "ScalingPatternModel::predict before fit");
+  const double cap = capacity_.evaluate(cfg);
+  const double thr = throughput_.evaluate(cfg);
+  const double wid = width_.evaluate(cfg);
+
+  BlockPrediction out;
+  out.width = std::max(1, static_cast<int>(std::llround(wid)));
+  out.count = std::max(
+      1, static_cast<int>(std::llround(thr / std::max(wid, 1e-9))));
+  out.depth = std::max(
+      1, static_cast<int>(std::llround(cap / std::max(thr, 1e-9))));
+  return out;
+}
+
+}  // namespace autopower::core

@@ -1,0 +1,100 @@
+// Scaling-pattern-based SRAM Block hardware model (paper Sec. II-B,
+// worked example in Table I).
+//
+// Infers the width/depth/count of a component's SRAM Blocks from hardware
+// parameters alone, using the two scaling patterns the paper observes:
+// capacity scales linearly with a product of hardware parameters, and
+// throughput (width x count) likewise.  For every quantity the model tries
+// *all* combinations (subsets, including the constant) of the component's
+// hardware parameters, fits a directly-proportional function to the known
+// configurations, and keeps the combination with the smallest error.
+//
+// From the fitted capacity, throughput and width laws it derives
+//   count = throughput / width,   depth = capacity / throughput,
+// exactly as the paper's IFU-meta example derives Count = 1 and
+// Depth = 8 * DecodeWidth.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "arch/params.hpp"
+#include "util/archive.hpp"
+
+namespace autopower::core {
+
+/// One fitted directly-proportional law: value = k * prod(params).
+struct ProportionalLaw {
+  double k = 0.0;
+  std::vector<arch::HwParam> params;  ///< empty = constant law
+  double max_rel_error = 0.0;         ///< on the training configurations
+
+  /// Evaluates the law on a configuration.
+  [[nodiscard]] double evaluate(const arch::HardwareConfig& cfg) const;
+
+  /// Human-readable form, e.g. "240 * FetchWidth * DecodeWidth".
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// A training observation: a configuration plus the observed block shape.
+struct BlockObservation {
+  const arch::HardwareConfig* cfg = nullptr;
+  int width = 0;
+  int depth = 0;
+  int count = 0;
+};
+
+/// Predicted block shape for an unseen configuration.
+struct BlockPrediction {
+  int width = 0;
+  int depth = 0;
+  int count = 0;
+};
+
+/// The scaling-pattern hardware model for one SRAM Position.
+class ScalingPatternModel {
+ public:
+  /// Fits capacity / throughput / width laws from the known
+  /// configurations.  `params` is the component's hardware-parameter set
+  /// (Table III); all its subsets are tried.  Needs >= 1 observation.
+  void fit(std::span<const arch::HwParam> params,
+           std::span<const BlockObservation> observations);
+
+  /// Predicts the block shape on an unseen configuration.
+  [[nodiscard]] BlockPrediction predict(
+      const arch::HardwareConfig& cfg) const;
+
+  [[nodiscard]] bool fitted() const noexcept { return fitted_; }
+  [[nodiscard]] const ProportionalLaw& capacity_law() const noexcept {
+    return capacity_;
+  }
+  [[nodiscard]] const ProportionalLaw& throughput_law() const noexcept {
+    return throughput_;
+  }
+  [[nodiscard]] const ProportionalLaw& width_law() const noexcept {
+    return width_;
+  }
+
+  /// Serialization (see util/archive.hpp).
+  void save(util::ArchiveWriter& out) const;
+  void load(util::ArchiveReader& in);
+
+ private:
+  ProportionalLaw capacity_;
+  ProportionalLaw throughput_;
+  ProportionalLaw width_;
+  bool fitted_ = false;
+};
+
+/// Fits value = k * prod(params in subset) over observations, trying every
+/// subset of `params` (including the empty/constant subset), and returns
+/// the law with minimal maximum relative error (ties: fewer parameters).
+/// Exposed for unit tests and the Table I example benchmark.
+[[nodiscard]] ProportionalLaw fit_proportional_law(
+    std::span<const arch::HwParam> params,
+    std::span<const arch::HardwareConfig* const> configs,
+    std::span<const double> values);
+
+}  // namespace autopower::core

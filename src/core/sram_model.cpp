@@ -1,0 +1,178 @@
+#include "core/sram_model.hpp"
+
+#include <algorithm>
+
+#include "core/features.hpp"
+#include "techlib/sram_macro.hpp"
+#include "util/error.hpp"
+
+namespace autopower::core {
+
+namespace {
+
+std::vector<const arch::HardwareConfig*> unique_configs(
+    std::span<const EvalContext> samples) {
+  std::vector<const arch::HardwareConfig*> out;
+  for (const auto& s : samples) {
+    if (std::find(out.begin(), out.end(), s.cfg) == out.end()) {
+      out.push_back(s.cfg);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void SramPowerModel::train(arch::ComponentKind c,
+                           std::span<const EvalContext> samples,
+                           const power::GoldenPowerModel& golden) {
+  AP_REQUIRE(!samples.empty(), "SRAM model needs training samples");
+  component_ = c;
+  positions_.clear();
+
+  const auto configs = unique_configs(samples);
+  const auto& first_netlist = golden.netlist_of(*configs.front());
+  const auto& first_positions =
+      first_netlist[static_cast<std::size_t>(c)].sram_positions;
+  if (first_positions.empty()) {
+    trained_ = true;  // flop-based component: zero SRAM power
+    return;
+  }
+
+  const FeatureSpec spec = options_.program_features ? FeatureSpec::hep()
+                                                     : FeatureSpec::he();
+  const auto names = feature_names(c, spec);
+
+  for (std::size_t pi = 0; pi < first_positions.size(); ++pi) {
+    PositionModel pm;
+    pm.name = first_positions[pi].name;
+    pm.read_model = ml::GBTRegressor(options_.gbt);
+    pm.write_model = ml::GBTRegressor(options_.gbt);
+
+    // --- Hardware model: block observations across known configs --------
+    std::vector<BlockObservation> obs;
+    for (const arch::HardwareConfig* cfg : configs) {
+      const auto& pos = golden.netlist_of(
+          *cfg)[static_cast<std::size_t>(c)].sram_positions[pi];
+      AP_ASSERT_MSG(pos.name == pm.name,
+                    "SRAM position order differs across configurations");
+      obs.push_back({cfg, pos.block_width, pos.block_depth,
+                     pos.block_count});
+    }
+    pm.hardware.fit(arch::component_hw_params(c), obs);
+
+    // --- Activity models: labels from RTL-simulation traces -------------
+    ml::Dataset read_data(names);
+    ml::Dataset write_data(names);
+    for (const auto& s : samples) {
+      const auto act = golden.activity().sram_activity(*s.cfg, c, pm.name,
+                                                       s.events);
+      const auto f = feature_vector(c, spec, *s.cfg, s.events, s.program);
+      read_data.add_sample(f, act.read_freq);
+      write_data.add_sample(f, act.write_freq);
+    }
+    pm.read_model.fit(read_data);
+    pm.write_model.fit(write_data);
+
+    // --- Pin-toggle constant C (Eq. 10): residual of the golden position
+    // power after the read/write term, averaged over training samples.
+    double c_sum = 0.0;
+    for (const auto& s : samples) {
+      const auto& pos = golden.netlist_of(
+          *s.cfg)[static_cast<std::size_t>(c)].sram_positions[pi];
+      const auto act = golden.activity().sram_activity(*s.cfg, c, pm.name,
+                                                       s.events);
+      const auto mapping = techlib::map_block_to_macros(
+          golden.macro_library(), pos.block_width, pos.block_depth);
+      const double rw = golden.library().power_mw(
+          act.read_freq * mapping.per_row * mapping.macro.read_energy +
+          act.write_freq * mapping.per_row * mapping.macro.write_energy);
+      const double golden_power =
+          golden.sram_position_power(*s.cfg, c, pos, s.events);
+      c_sum += golden_power / pos.block_count - rw;
+    }
+    pm.pin_constant =
+        std::max(0.0, c_sum / static_cast<double>(samples.size()));
+
+    positions_.push_back(std::move(pm));
+  }
+  trained_ = true;
+}
+
+void SramPowerModel::save(util::ArchiveWriter& out) const {
+  out.write("sram.component", static_cast<std::int64_t>(component_));
+  out.write("sram.trained", trained_);
+  out.write("sram.program_features", options_.program_features);
+  out.write("sram.num_positions",
+            static_cast<std::int64_t>(positions_.size()));
+  for (const auto& pm : positions_) {
+    out.write("sram.position", pm.name);
+    out.write("sram.pin_constant", pm.pin_constant);
+    pm.hardware.save(out);
+    pm.read_model.save(out);
+    pm.write_model.save(out);
+  }
+}
+
+void SramPowerModel::load(util::ArchiveReader& in) {
+  component_ =
+      static_cast<arch::ComponentKind>(in.read_int("sram.component"));
+  trained_ = in.read_bool("sram.trained");
+  options_.program_features = in.read_bool("sram.program_features");
+  const auto n = in.read_int("sram.num_positions");
+  AP_REQUIRE(n >= 0 && n < 64, "corrupt SRAM-model archive");
+  positions_.assign(static_cast<std::size_t>(n), PositionModel{});
+  for (auto& pm : positions_) {
+    pm.name = in.read_token("sram.position");
+    pm.pin_constant = in.read_double("sram.pin_constant");
+    pm.hardware.load(in);
+    pm.read_model.load(in);
+    pm.write_model.load(in);
+  }
+}
+
+double SramPowerModel::predict(const EvalContext& ctx) const {
+  AP_REQUIRE(trained_, "SRAM model not trained");
+  if (positions_.empty()) return 0.0;
+
+  const FeatureSpec spec = options_.program_features ? FeatureSpec::hep()
+                                                     : FeatureSpec::he();
+  const auto f =
+      feature_vector(component_, spec, *ctx.cfg, ctx.events, ctx.program);
+  const auto& macros = techlib::SramMacroLibrary::default_40nm();
+  const auto& lib = techlib::TechLibrary::default_40nm();
+
+  double total = 0.0;
+  for (const auto& pm : positions_) {
+    const BlockPrediction block = pm.hardware.predict(*ctx.cfg);
+    const auto mapping =
+        techlib::map_block_to_macros(macros, block.width, block.depth);
+    const double f_read = pm.read_model.predict(f);
+    const double f_write = pm.write_model.predict(f);
+    // Eq. 9 + Eq. 10: one row of macros per access, plus the constant C.
+    const double rw = lib.power_mw(
+        f_read * mapping.per_row * mapping.macro.read_energy +
+        f_write * mapping.per_row * mapping.macro.write_energy);
+    total += block.count * (rw + pm.pin_constant);
+  }
+  return std::max(0.0, total);
+}
+
+BlockPrediction SramPowerModel::predict_block(
+    const arch::HardwareConfig& cfg, std::string_view position) const {
+  AP_REQUIRE(trained_, "SRAM model not trained");
+  for (const auto& pm : positions_) {
+    if (pm.name == position) return pm.hardware.predict(cfg);
+  }
+  throw util::InvalidArgument("unknown SRAM position: " +
+                              std::string(position));
+}
+
+std::vector<std::string> SramPowerModel::position_names() const {
+  std::vector<std::string> out;
+  out.reserve(positions_.size());
+  for (const auto& pm : positions_) out.push_back(pm.name);
+  return out;
+}
+
+}  // namespace autopower::core

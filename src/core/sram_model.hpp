@@ -1,0 +1,86 @@
+// SRAM power model (paper Sec. II-B, Fig. 3).
+//
+// Follows the four-level hierarchy Component -> SRAM Position ->
+// SRAM Block -> SRAM Macro with a top-down approach:
+//
+//   1. feature transfer: an SRAM Position inherits the H and E (and
+//      program-level P) features of its component;
+//   2. hardware model: the scaling-pattern model infers the block
+//      width/depth/count from hardware parameters (core/scaling_model);
+//   3. activity model: GBT regressors on (H, E, P) predict the block-level
+//      read and (mask-weighted) write frequencies;
+//   4. macro-level mapping: the VLSI flow's deterministic rule decomposes
+//      the predicted block into macros; per-macro frequency is the block
+//      frequency over N_col (Eq. 9); power follows Eq. 10 with the
+//      pin-toggle constant C estimated from golden power on the training
+//      configurations.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "arch/component.hpp"
+#include "core/sample.hpp"
+#include "core/scaling_model.hpp"
+#include "ml/gbt.hpp"
+#include "power/golden.hpp"
+
+namespace autopower::core {
+
+/// Hyper-parameters of the SRAM sub-models.
+struct SramModelOptions {
+  ml::GbtOptions gbt{
+      .num_rounds = 120,
+      .learning_rate = 0.15,
+      .tree = {.max_depth = 3, .lambda = 1.0, .gamma = 0.0,
+               .min_child_weight = 1.0},
+      .nonnegative_prediction = true};
+  /// Include program-level features in the activity model (the paper's
+  /// novelty; switchable for the ablation benchmark).
+  bool program_features = true;
+};
+
+/// SRAM power model for a single component (all its SRAM Positions).
+class SramPowerModel {
+ public:
+  SramPowerModel() = default;
+  explicit SramPowerModel(SramModelOptions options) : options_(options) {}
+
+  void train(arch::ComponentKind c, std::span<const EvalContext> samples,
+             const power::GoldenPowerModel& golden);
+
+  /// Predicted SRAM power of the component (mW), Eq. 10 summed over
+  /// positions.
+  [[nodiscard]] double predict(const EvalContext& ctx) const;
+
+  /// Predicted block shape of one position (hardware model output),
+  /// for the Table I example and the ~0-MAPE hardware-model check.
+  [[nodiscard]] BlockPrediction predict_block(
+      const arch::HardwareConfig& cfg, std::string_view position) const;
+
+  /// Names of the positions this component owns.
+  [[nodiscard]] std::vector<std::string> position_names() const;
+
+  [[nodiscard]] bool trained() const noexcept { return trained_; }
+
+  /// Serialization (see util/archive.hpp).
+  void save(util::ArchiveWriter& out) const;
+  void load(util::ArchiveReader& in);
+
+ private:
+  struct PositionModel {
+    std::string name;
+    ScalingPatternModel hardware;
+    ml::GBTRegressor read_model;
+    ml::GBTRegressor write_model;
+    double pin_constant = 0.0;  ///< C of Eq. 10, per block (mW)
+  };
+
+  arch::ComponentKind component_{};
+  SramModelOptions options_;
+  std::vector<PositionModel> positions_;
+  bool trained_ = false;
+};
+
+}  // namespace autopower::core

@@ -1,0 +1,23 @@
+#include "exp/accuracy.hpp"
+
+#include "ml/metrics.hpp"
+#include "util/table.hpp"
+
+namespace autopower::exp {
+
+std::string Accuracy::to_string() const {
+  return "MAPE=" + util::fmt_pct(mape) + " R2=" + util::fmt(r2) +
+         " R=" + util::fmt(pearson) + " (n=" + std::to_string(n) + ")";
+}
+
+Accuracy compute_accuracy(std::span<const double> actual,
+                          std::span<const double> predicted) {
+  Accuracy acc;
+  acc.mape = ml::mape(actual, predicted);
+  acc.r2 = ml::r2_score(actual, predicted);
+  acc.pearson = ml::pearson_r(actual, predicted);
+  acc.n = actual.size();
+  return acc;
+}
+
+}  // namespace autopower::exp

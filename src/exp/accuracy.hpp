@@ -1,0 +1,23 @@
+// Accuracy summaries used throughout the evaluation benches and tests.
+#pragma once
+
+#include <span>
+#include <string>
+
+namespace autopower::exp {
+
+/// The three accuracy numbers the paper reports.
+struct Accuracy {
+  double mape = 0.0;     ///< percent
+  double r2 = 0.0;       ///< coefficient of determination
+  double pearson = 0.0;  ///< correlation coefficient R
+  std::size_t n = 0;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Computes MAPE / R^2 / Pearson over (actual, predicted).
+[[nodiscard]] Accuracy compute_accuracy(std::span<const double> actual,
+                                        std::span<const double> predicted);
+
+}  // namespace autopower::exp

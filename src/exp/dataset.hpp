@@ -1,0 +1,58 @@
+// Experiment dataset — runs the full golden pipeline over the design
+// space x workload grid once, and hands out training/evaluation views.
+//
+// Mirrors the paper's setup: 15 BOOM configurations (Table II) x 8
+// riscv-tests workloads, with k "known" configurations used for training
+// and the remaining configurations held out for evaluation.  Training
+// configurations are spread across the design-space scale (the paper's
+// 2-configuration experiment trains on the smallest and largest corners,
+// cf. Table I using C1 and C15).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/sample.hpp"
+#include "power/golden.hpp"
+#include "power/report.hpp"
+#include "sim/perfsim.hpp"
+
+namespace autopower::exp {
+
+/// One fully-evaluated (configuration, workload) grid point.
+struct LabeledSample {
+  core::EvalContext ctx;
+  power::PowerResult golden;
+};
+
+/// The materialised experiment grid.
+class ExperimentData {
+ public:
+  /// Runs the performance simulator and golden power flow over every
+  /// (configuration, workload) pair.
+  static ExperimentData build(const sim::PerfSimulator& sim,
+                              const power::GoldenPowerModel& golden);
+
+  [[nodiscard]] const std::vector<LabeledSample>& samples() const noexcept {
+    return samples_;
+  }
+
+  /// Training contexts: every workload of the named configurations.
+  [[nodiscard]] std::vector<core::EvalContext> contexts_of(
+      std::span<const std::string> config_names) const;
+
+  /// Evaluation samples: every grid point whose configuration is NOT in
+  /// `config_names`.
+  [[nodiscard]] std::vector<const LabeledSample*> samples_excluding(
+      std::span<const std::string> config_names) const;
+
+  /// Spread-selected k training configurations over the Table II scale
+  /// (k=2 -> {C1, C15}; k=3 -> {C1, C8, C15}; ...).  Requires 2 <= k <= 15.
+  [[nodiscard]] static std::vector<std::string> training_configs(int k);
+
+ private:
+  std::vector<LabeledSample> samples_;
+};
+
+}  // namespace autopower::exp

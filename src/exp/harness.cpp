@@ -1,0 +1,64 @@
+#include "exp/harness.hpp"
+
+#include "baselines/autopower_minus.hpp"
+#include "baselines/mcpat_calib.hpp"
+#include "core/autopower.hpp"
+
+namespace autopower::exp {
+
+MethodResult evaluate_predictor(
+    const ExperimentData& data, std::span<const std::string> train_configs,
+    const std::string& name,
+    const std::function<double(const core::EvalContext&)>& predictor) {
+  MethodResult result;
+  result.method = name;
+  for (const LabeledSample* s : data.samples_excluding(train_configs)) {
+    result.actual.push_back(s->golden.total());
+    result.predicted.push_back(predictor(s->ctx));
+    result.sample_names.push_back(s->ctx.cfg->name() + "/" +
+                                  s->ctx.workload);
+  }
+  result.accuracy = compute_accuracy(result.actual, result.predicted);
+  return result;
+}
+
+std::vector<MethodResult> compare_methods(const ExperimentData& data,
+                                          const power::GoldenPowerModel& golden,
+                                          int k_train,
+                                          const MethodSelection& selection) {
+  const auto train_configs = ExperimentData::training_configs(k_train);
+  const auto train_ctx = data.contexts_of(train_configs);
+
+  std::vector<MethodResult> out;
+  if (selection.autopower) {
+    core::AutoPowerModel model;
+    model.train(train_ctx, golden);
+    out.push_back(evaluate_predictor(
+        data, train_configs, "AutoPower",
+        [&](const core::EvalContext& c) { return model.predict_total(c); }));
+  }
+  if (selection.mcpat_calib) {
+    baselines::McPatCalib model;
+    model.train(train_ctx, golden);
+    out.push_back(evaluate_predictor(
+        data, train_configs, "McPAT-Calib",
+        [&](const core::EvalContext& c) { return model.predict_total(c); }));
+  }
+  if (selection.mcpat_calib_component) {
+    baselines::McPatCalibComponent model;
+    model.train(train_ctx, golden);
+    out.push_back(evaluate_predictor(
+        data, train_configs, "McPAT-Calib+Comp",
+        [&](const core::EvalContext& c) { return model.predict_total(c); }));
+  }
+  if (selection.autopower_minus) {
+    baselines::AutoPowerMinus model;
+    model.train(train_ctx, golden);
+    out.push_back(evaluate_predictor(
+        data, train_configs, "AutoPower-",
+        [&](const core::EvalContext& c) { return model.predict_total(c); }));
+  }
+  return out;
+}
+
+}  // namespace autopower::exp

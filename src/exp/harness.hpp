@@ -1,0 +1,48 @@
+// End-to-end comparison harness shared by the figure/table benchmarks.
+//
+// Encapsulates the protocol of paper Sec. III-B2: pick k spread training
+// configurations, train AutoPower and the baselines on their 8 workloads,
+// predict total power on every held-out (configuration, workload) pair,
+// and summarise MAPE / R^2 / R per method.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "exp/accuracy.hpp"
+#include "exp/dataset.hpp"
+
+namespace autopower::exp {
+
+/// Which methods a comparison run should include.
+struct MethodSelection {
+  bool autopower = true;
+  bool mcpat_calib = true;
+  bool mcpat_calib_component = true;
+  bool autopower_minus = false;
+};
+
+/// One method's end-to-end accuracy plus its per-sample predictions
+/// (actual/predicted aligned with the evaluation sample order).
+struct MethodResult {
+  std::string method;
+  Accuracy accuracy;
+  std::vector<double> actual;
+  std::vector<double> predicted;
+  std::vector<std::string> sample_names;  ///< "C3/dhrystone"
+};
+
+/// Trains the selected methods on `k_train` spread configurations and
+/// evaluates total-power accuracy on the held-out configurations.
+[[nodiscard]] std::vector<MethodResult> compare_methods(
+    const ExperimentData& data, const power::GoldenPowerModel& golden,
+    int k_train, const MethodSelection& selection = {});
+
+/// Evaluates an arbitrary total-power predictor over held-out samples.
+[[nodiscard]] MethodResult evaluate_predictor(
+    const ExperimentData& data, std::span<const std::string> train_configs,
+    const std::string& name,
+    const std::function<double(const core::EvalContext&)>& predictor);
+
+}  // namespace autopower::exp

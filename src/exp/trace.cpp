@@ -1,0 +1,55 @@
+#include "exp/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace autopower::exp {
+
+TraceData build_trace(const sim::PerfSimulator& sim,
+                      const power::GoldenPowerModel& golden,
+                      const arch::HardwareConfig& cfg,
+                      const workload::WorkloadProfile& profile) {
+  TraceData out;
+  out.window_cycles = sim.options().window_cycles;
+  const auto windows = sim.simulate_trace(cfg, profile);
+  const auto program = workload::program_features(profile);
+  out.windows.reserve(windows.size());
+  out.golden_total.reserve(windows.size());
+  for (const auto& ev : windows) {
+    core::EvalContext ctx;
+    ctx.cfg = &cfg;
+    ctx.workload = profile.name;
+    ctx.program = program;
+    ctx.events = ev;
+    out.golden_total.push_back(golden.evaluate(cfg, ev).total());
+    out.total_cycles += ev.cycles();
+    out.windows.push_back(std::move(ctx));
+  }
+  return out;
+}
+
+TraceErrors trace_errors(std::span<const double> golden,
+                         std::span<const double> predicted) {
+  AP_REQUIRE(golden.size() == predicted.size() && !golden.empty(),
+             "trace error inputs must be equal-sized and non-empty");
+  const auto [gmin_it, gmax_it] =
+      std::minmax_element(golden.begin(), golden.end());
+  const auto [pmin_it, pmax_it] =
+      std::minmax_element(predicted.begin(), predicted.end());
+
+  TraceErrors out;
+  out.max_power_error = 100.0 * std::abs(*pmax_it - *gmax_it) /
+                        std::max(*gmax_it, 1e-9);
+  out.min_power_error = 100.0 * std::abs(*pmin_it - *gmin_it) /
+                        std::max(*gmin_it, 1e-9);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < golden.size(); ++i) {
+    acc += std::abs(predicted[i] - golden[i]) / std::max(golden[i], 1e-9);
+  }
+  out.average_error = 100.0 * acc / static_cast<double>(golden.size());
+  return out;
+}
+
+}  // namespace autopower::exp

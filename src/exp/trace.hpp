@@ -1,0 +1,45 @@
+// Time-based power trace experiment support (paper Sec. III-B5, Table IV).
+//
+// Builds per-window evaluation contexts and golden per-window power for a
+// large workload (GEMM/SPMM) on one configuration; summarises a predicted
+// trace against the golden trace with the paper's three error metrics:
+// maximal-power error, minimal-power error, and average per-window error.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/sample.hpp"
+#include "power/golden.hpp"
+#include "sim/perfsim.hpp"
+#include "workload/workload.hpp"
+
+namespace autopower::exp {
+
+/// A golden power trace plus the per-window evaluation contexts.
+struct TraceData {
+  std::vector<core::EvalContext> windows;
+  std::vector<double> golden_total;  ///< mW per window
+  int window_cycles = 0;
+  double total_cycles = 0.0;
+};
+
+/// Simulates the workload in fixed windows and evaluates golden power for
+/// every window.
+[[nodiscard]] TraceData build_trace(const sim::PerfSimulator& sim,
+                                    const power::GoldenPowerModel& golden,
+                                    const arch::HardwareConfig& cfg,
+                                    const workload::WorkloadProfile& profile);
+
+/// Table IV error metrics for one predicted trace.
+struct TraceErrors {
+  double max_power_error = 0.0;  ///< percent, |max_pred - max_gold| / max_gold
+  double min_power_error = 0.0;  ///< percent
+  double average_error = 0.0;    ///< percent, mean per-window APE
+};
+
+[[nodiscard]] TraceErrors trace_errors(std::span<const double> golden,
+                                       std::span<const double> predicted);
+
+}  // namespace autopower::exp

@@ -1,0 +1,42 @@
+#include "ml/dataset.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace autopower::ml {
+
+Dataset::Dataset(std::vector<std::string> feature_names)
+    : feature_names_(std::move(feature_names)) {
+  AP_REQUIRE(!feature_names_.empty(), "dataset needs at least one feature");
+}
+
+void Dataset::add_sample(std::span<const double> features, double target) {
+  AP_REQUIRE(features.size() == feature_names_.size(),
+             "feature vector arity does not match dataset schema");
+  features_.insert(features_.end(), features.begin(), features.end());
+  targets_.push_back(target);
+}
+
+std::span<const double> Dataset::features(std::size_t i) const {
+  AP_REQUIRE(i < size(), "sample index out of range");
+  return {features_.data() + i * num_features(), num_features()};
+}
+
+std::vector<double> Dataset::column(std::size_t j) const {
+  AP_REQUIRE(j < num_features(), "feature index out of range");
+  std::vector<double> out(size());
+  for (std::size_t i = 0; i < size(); ++i) {
+    out[i] = features_[i * num_features() + j];
+  }
+  return out;
+}
+
+std::size_t Dataset::feature_index(const std::string& name) const {
+  const auto it =
+      std::find(feature_names_.begin(), feature_names_.end(), name);
+  AP_REQUIRE(it != feature_names_.end(), "unknown feature: " + name);
+  return static_cast<std::size_t>(it - feature_names_.begin());
+}
+
+}  // namespace autopower::ml

@@ -1,0 +1,56 @@
+// Feature-matrix + target container shared by all regressors.
+//
+// A Dataset carries named feature columns so models can report which
+// features they used and so experiment code can assemble feature vectors by
+// name without positional bugs.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace autopower::ml {
+
+/// A supervised-regression dataset: row-major features plus one target.
+class Dataset {
+ public:
+  Dataset() = default;
+
+  /// Creates an empty dataset with the given feature schema.
+  explicit Dataset(std::vector<std::string> feature_names);
+
+  /// Appends one sample. `features.size()` must match the schema.
+  void add_sample(std::span<const double> features, double target);
+
+  [[nodiscard]] std::size_t size() const noexcept { return targets_.size(); }
+  [[nodiscard]] std::size_t num_features() const noexcept {
+    return feature_names_.size();
+  }
+  [[nodiscard]] bool empty() const noexcept { return targets_.empty(); }
+
+  [[nodiscard]] const std::vector<std::string>& feature_names() const noexcept {
+    return feature_names_;
+  }
+
+  /// Read-only view of sample `i`'s feature vector.
+  [[nodiscard]] std::span<const double> features(std::size_t i) const;
+
+  [[nodiscard]] double target(std::size_t i) const { return targets_.at(i); }
+  [[nodiscard]] const std::vector<double>& targets() const noexcept {
+    return targets_;
+  }
+
+  /// Column `j` gathered across all samples (copy).
+  [[nodiscard]] std::vector<double> column(std::size_t j) const;
+
+  /// Index of a feature by name; throws util::InvalidArgument if unknown.
+  [[nodiscard]] std::size_t feature_index(const std::string& name) const;
+
+ private:
+  std::vector<std::string> feature_names_;
+  std::vector<double> features_;  // row-major, size() * num_features()
+  std::vector<double> targets_;
+};
+
+}  // namespace autopower::ml

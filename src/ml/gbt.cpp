@@ -1,0 +1,94 @@
+#include "ml/gbt.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace autopower::ml {
+
+void GBTRegressor::fit(const Dataset& data) {
+  AP_REQUIRE(!data.empty(), "cannot fit GBT on empty dataset");
+  trees_.clear();
+
+  const std::size_t n = data.size();
+  base_score_ = 0.0;
+  for (std::size_t i = 0; i < n; ++i) base_score_ += data.target(i);
+  base_score_ /= static_cast<double>(n);
+
+  std::vector<double> pred(n, base_score_);
+  std::vector<double> grad(n);
+  const std::vector<double> hess(n, 1.0);  // squared loss: constant hessian
+
+  for (int round = 0; round < options_.num_rounds; ++round) {
+    double sq = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      grad[i] = pred[i] - data.target(i);  // d/dp 0.5(p - y)^2
+      sq += grad[i] * grad[i];
+    }
+    if (sq / static_cast<double>(n) < 1e-16) break;  // already exact
+
+    RegressionTree tree;
+    tree.fit(data, grad, hess, options_.tree);
+    if (tree.node_count() == 1 && std::abs(tree.predict(data.features(0))) <
+                                      1e-15) {
+      break;  // no useful split and zero correction: converged
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      pred[i] += options_.learning_rate * tree.predict(data.features(i));
+    }
+    trees_.push_back(std::move(tree));
+  }
+  fitted_ = true;
+}
+
+void GBTRegressor::save(util::ArchiveWriter& out) const {
+  out.write("gbt.rounds", static_cast<std::int64_t>(options_.num_rounds));
+  out.write("gbt.lr", options_.learning_rate);
+  out.write("gbt.max_depth",
+            static_cast<std::int64_t>(options_.tree.max_depth));
+  out.write("gbt.lambda", options_.tree.lambda);
+  out.write("gbt.gamma", options_.tree.gamma);
+  out.write("gbt.min_child_weight", options_.tree.min_child_weight);
+  out.write("gbt.nonneg", options_.nonnegative_prediction);
+  out.write("gbt.fitted", fitted_);
+  out.write("gbt.base_score", base_score_);
+  out.write("gbt.num_trees", static_cast<std::int64_t>(trees_.size()));
+  for (const auto& tree : trees_) tree.save(out);
+}
+
+void GBTRegressor::load(util::ArchiveReader& in) {
+  options_.num_rounds = static_cast<int>(in.read_int("gbt.rounds"));
+  options_.learning_rate = in.read_double("gbt.lr");
+  options_.tree.max_depth = static_cast<int>(in.read_int("gbt.max_depth"));
+  options_.tree.lambda = in.read_double("gbt.lambda");
+  options_.tree.gamma = in.read_double("gbt.gamma");
+  options_.tree.min_child_weight = in.read_double("gbt.min_child_weight");
+  options_.nonnegative_prediction = in.read_bool("gbt.nonneg");
+  fitted_ = in.read_bool("gbt.fitted");
+  base_score_ = in.read_double("gbt.base_score");
+  const auto n = in.read_int("gbt.num_trees");
+  AP_REQUIRE(n >= 0 && n < (1 << 20), "corrupt GBT archive");
+  trees_.assign(static_cast<std::size_t>(n), RegressionTree{});
+  for (auto& tree : trees_) tree.load(in);
+}
+
+double GBTRegressor::predict(std::span<const double> features) const {
+  if (!fitted_) throw util::NotFitted("GBTRegressor::predict before fit");
+  double acc = base_score_;
+  for (const auto& tree : trees_) {
+    acc += options_.learning_rate * tree.predict(features);
+  }
+  if (options_.nonnegative_prediction) acc = std::max(acc, 0.0);
+  return acc;
+}
+
+std::vector<double> GBTRegressor::predict_all(const Dataset& data) const {
+  std::vector<double> out(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    out[i] = predict(data.features(i));
+  }
+  return out;
+}
+
+}  // namespace autopower::ml

@@ -1,0 +1,60 @@
+// Gradient-boosted regression trees — the "XGBoost" of this repository.
+//
+// The paper uses XGBoost for every activity-style sub-model (effective
+// active rate, SRAM read/write frequency, register activity, combinational
+// variation) and as the regressor inside the McPAT-Calib baselines.  This is
+// a from-scratch implementation of the same algorithm for squared-error
+// loss: second-order boosting with shrinkage, L2 leaf regularisation and
+// gamma split cost.  Deterministic — no row/column subsampling.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "ml/dataset.hpp"
+#include "ml/tree.hpp"
+
+namespace autopower::ml {
+
+/// Hyper-parameters for GBTRegressor.
+struct GbtOptions {
+  int num_rounds = 120;
+  double learning_rate = 0.12;
+  TreeOptions tree;
+  /// If true, predictions are clamped to be non-negative (rates, powers).
+  bool nonnegative_prediction = false;
+};
+
+/// XGBoost-style gradient boosted trees for squared-error regression.
+class GBTRegressor {
+ public:
+  GBTRegressor() = default;
+  explicit GBTRegressor(GbtOptions options) : options_(options) {}
+
+  /// Fits the ensemble; base score is the target mean.
+  void fit(const Dataset& data);
+
+  /// Predicts one sample; throws util::NotFitted before fit().
+  [[nodiscard]] double predict(std::span<const double> features) const;
+
+  /// Predicts every sample in a dataset.
+  [[nodiscard]] std::vector<double> predict_all(const Dataset& data) const;
+
+  [[nodiscard]] bool fitted() const noexcept { return fitted_; }
+  [[nodiscard]] std::size_t num_trees() const noexcept {
+    return trees_.size();
+  }
+  [[nodiscard]] double base_score() const noexcept { return base_score_; }
+
+  /// Serialization (see util/archive.hpp).
+  void save(util::ArchiveWriter& out) const;
+  void load(util::ArchiveReader& in);
+
+ private:
+  GbtOptions options_;
+  std::vector<RegressionTree> trees_;
+  double base_score_ = 0.0;
+  bool fitted_ = false;
+};
+
+}  // namespace autopower::ml

@@ -1,0 +1,61 @@
+// Minimal dense linear algebra for the ML substrate.
+//
+// The models in this repository are small (tens of features, tens-to-
+// thousands of samples), so a straightforward row-major double matrix with
+// a Cholesky solver covers everything ridge regression needs.  No BLAS
+// dependency; determinism and clarity beat raw speed at this scale.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+namespace autopower::ml {
+
+/// Row-major dense matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+
+  [[nodiscard]] double& at(std::size_t r, std::size_t c) noexcept {
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const noexcept {
+    return data_[r * cols_ + c];
+  }
+  double& operator()(std::size_t r, std::size_t c) noexcept { return at(r, c); }
+  double operator()(std::size_t r, std::size_t c) const noexcept {
+    return at(r, c);
+  }
+
+  /// Returns this^T * other. Dimensions must agree (this.rows == other.rows).
+  [[nodiscard]] Matrix transpose_times(const Matrix& other) const;
+
+  /// Returns this * vec. vec.size() must equal cols().
+  [[nodiscard]] std::vector<double> times(const std::vector<double>& vec) const;
+
+  /// Returns this^T * vec. vec.size() must equal rows().
+  [[nodiscard]] std::vector<double> transpose_times(
+      const std::vector<double>& vec) const;
+
+  /// Identity matrix of size n.
+  [[nodiscard]] static Matrix identity(std::size_t n);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Solves the symmetric positive-definite system A x = b in place via
+/// Cholesky decomposition.  Throws util::Error if A is not SPD (within a
+/// small diagonal tolerance).
+[[nodiscard]] std::vector<double> cholesky_solve(Matrix a,
+                                                 std::vector<double> b);
+
+}  // namespace autopower::ml

@@ -1,0 +1,89 @@
+#include "ml/metrics.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace autopower::ml {
+
+namespace {
+void check_sizes(std::span<const double> a, std::span<const double> p) {
+  AP_REQUIRE(a.size() == p.size() && !a.empty(),
+             "metric inputs must be equal-sized and non-empty");
+}
+}  // namespace
+
+double mape(std::span<const double> actual, std::span<const double> predicted,
+            double eps) {
+  check_sizes(actual, predicted);
+  double acc = 0.0;
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    if (std::abs(actual[i]) < eps) continue;
+    acc += std::abs((predicted[i] - actual[i]) / actual[i]);
+    ++count;
+  }
+  AP_REQUIRE(count > 0, "mape: all actual values are ~zero");
+  return 100.0 * acc / static_cast<double>(count);
+}
+
+double r2_score(std::span<const double> actual,
+                std::span<const double> predicted) {
+  check_sizes(actual, predicted);
+  double mean = 0.0;
+  for (double v : actual) mean += v;
+  mean /= static_cast<double>(actual.size());
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    ss_res += (actual[i] - predicted[i]) * (actual[i] - predicted[i]);
+    ss_tot += (actual[i] - mean) * (actual[i] - mean);
+  }
+  if (ss_tot < 1e-24) return ss_res < 1e-24 ? 1.0 : 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+double pearson_r(std::span<const double> actual,
+                 std::span<const double> predicted) {
+  check_sizes(actual, predicted);
+  const auto n = static_cast<double>(actual.size());
+  double ma = 0.0;
+  double mp = 0.0;
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    ma += actual[i];
+    mp += predicted[i];
+  }
+  ma /= n;
+  mp /= n;
+  double cov = 0.0;
+  double va = 0.0;
+  double vp = 0.0;
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    cov += (actual[i] - ma) * (predicted[i] - mp);
+    va += (actual[i] - ma) * (actual[i] - ma);
+    vp += (predicted[i] - mp) * (predicted[i] - mp);
+  }
+  if (va < 1e-24 || vp < 1e-24) return 0.0;
+  return cov / std::sqrt(va * vp);
+}
+
+double rmse(std::span<const double> actual,
+            std::span<const double> predicted) {
+  check_sizes(actual, predicted);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    acc += (actual[i] - predicted[i]) * (actual[i] - predicted[i]);
+  }
+  return std::sqrt(acc / static_cast<double>(actual.size()));
+}
+
+double mae(std::span<const double> actual, std::span<const double> predicted) {
+  check_sizes(actual, predicted);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    acc += std::abs(actual[i] - predicted[i]);
+  }
+  return acc / static_cast<double>(actual.size());
+}
+
+}  // namespace autopower::ml

@@ -1,0 +1,34 @@
+// Regression accuracy metrics used throughout the evaluation.
+//
+// The paper reports MAPE (mean absolute percentage error), the coefficient
+// of determination R², and the Pearson correlation coefficient R.  All
+// metrics take (actual, predicted) in that order.
+#pragma once
+
+#include <span>
+
+namespace autopower::ml {
+
+/// Mean absolute percentage error in percent (e.g. 4.36 for 4.36%).
+/// Samples with |actual| < eps are skipped to avoid division blow-ups.
+[[nodiscard]] double mape(std::span<const double> actual,
+                          std::span<const double> predicted,
+                          double eps = 1e-12);
+
+/// Coefficient of determination R² = 1 - SS_res / SS_tot.
+[[nodiscard]] double r2_score(std::span<const double> actual,
+                              std::span<const double> predicted);
+
+/// Pearson correlation coefficient in [-1, 1].
+[[nodiscard]] double pearson_r(std::span<const double> actual,
+                               std::span<const double> predicted);
+
+/// Root mean squared error.
+[[nodiscard]] double rmse(std::span<const double> actual,
+                          std::span<const double> predicted);
+
+/// Mean absolute error.
+[[nodiscard]] double mae(std::span<const double> actual,
+                         std::span<const double> predicted);
+
+}  // namespace autopower::ml

@@ -1,0 +1,168 @@
+#include "ml/tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace autopower::ml {
+
+namespace {
+
+double leaf_weight(double grad_sum, double hess_sum, double lambda) {
+  return -grad_sum / (hess_sum + lambda);
+}
+
+double score(double grad_sum, double hess_sum, double lambda) {
+  return grad_sum * grad_sum / (hess_sum + lambda);
+}
+
+}  // namespace
+
+void RegressionTree::fit(const Dataset& data, std::span<const double> grad,
+                         std::span<const double> hess,
+                         const TreeOptions& options) {
+  AP_REQUIRE(grad.size() == data.size() && hess.size() == data.size(),
+             "gradient arity does not match dataset");
+  AP_REQUIRE(!data.empty(), "cannot fit tree on empty dataset");
+  nodes_.clear();
+  depth_ = 0;
+  std::vector<std::size_t> samples(data.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) samples[i] = i;
+  build(data, grad, hess, samples, 0, options);
+}
+
+int RegressionTree::build(const Dataset& data, std::span<const double> grad,
+                          std::span<const double> hess,
+                          std::vector<std::size_t>& samples, int depth,
+                          const TreeOptions& options) {
+  depth_ = std::max(depth_, depth);
+  double grad_sum = 0.0;
+  double hess_sum = 0.0;
+  for (std::size_t i : samples) {
+    grad_sum += grad[i];
+    hess_sum += hess[i];
+  }
+
+  const int node_index = static_cast<int>(nodes_.size());
+  nodes_.push_back(Node{});
+  nodes_[node_index].weight = leaf_weight(grad_sum, hess_sum, options.lambda);
+
+  if (depth >= options.max_depth || samples.size() < 2) return node_index;
+
+  // Exact greedy split search.
+  double best_gain = 0.0;
+  int best_feature = -1;
+  double best_threshold = 0.0;
+  const double parent_score = score(grad_sum, hess_sum, options.lambda);
+
+  std::vector<std::size_t> order;
+  for (std::size_t f = 0; f < data.num_features(); ++f) {
+    order = samples;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      const double va = data.features(a)[f];
+      const double vb = data.features(b)[f];
+      return va < vb || (va == vb && a < b);  // stable under ties
+    });
+    double gl = 0.0;
+    double hl = 0.0;
+    for (std::size_t k = 0; k + 1 < order.size(); ++k) {
+      gl += grad[order[k]];
+      hl += hess[order[k]];
+      const double vk = data.features(order[k])[f];
+      const double vn = data.features(order[k + 1])[f];
+      if (vk == vn) continue;  // can only split between distinct values
+      const double gr = grad_sum - gl;
+      const double hr = hess_sum - hl;
+      if (hl < options.min_child_weight || hr < options.min_child_weight) {
+        continue;
+      }
+      const double gain = 0.5 * (score(gl, hl, options.lambda) +
+                                 score(gr, hr, options.lambda) -
+                                 parent_score) -
+                          options.gamma;
+      if (gain > best_gain + 1e-12) {
+        best_gain = gain;
+        best_feature = static_cast<int>(f);
+        best_threshold = 0.5 * (vk + vn);
+      }
+    }
+  }
+
+  if (best_feature < 0) return node_index;
+
+  std::vector<std::size_t> left;
+  std::vector<std::size_t> right;
+  for (std::size_t i : samples) {
+    if (data.features(i)[static_cast<std::size_t>(best_feature)] <
+        best_threshold) {
+      left.push_back(i);
+    } else {
+      right.push_back(i);
+    }
+  }
+  AP_ASSERT(!left.empty() && !right.empty());
+
+  nodes_[node_index].feature = best_feature;
+  nodes_[node_index].threshold = best_threshold;
+  const int l = build(data, grad, hess, left, depth + 1, options);
+  nodes_[node_index].left = l;
+  const int r = build(data, grad, hess, right, depth + 1, options);
+  nodes_[node_index].right = r;
+  return node_index;
+}
+
+void RegressionTree::save(util::ArchiveWriter& out) const {
+  out.write("tree.depth", static_cast<std::int64_t>(depth_));
+  std::vector<std::int64_t> structure;
+  std::vector<double> values;
+  structure.reserve(nodes_.size() * 3);
+  values.reserve(nodes_.size() * 2);
+  for (const Node& n : nodes_) {
+    structure.push_back(n.feature);
+    structure.push_back(n.left);
+    structure.push_back(n.right);
+    values.push_back(n.threshold);
+    values.push_back(n.weight);
+  }
+  out.write("tree.structure", structure);
+  out.write("tree.values", values);
+}
+
+void RegressionTree::load(util::ArchiveReader& in) {
+  depth_ = static_cast<int>(in.read_int("tree.depth"));
+  const auto structure = in.read_ints("tree.structure");
+  const auto values = in.read_doubles("tree.values");
+  AP_REQUIRE(structure.size() % 3 == 0 &&
+                 values.size() == structure.size() / 3 * 2,
+             "corrupt tree archive");
+  const std::size_t n = structure.size() / 3;
+  nodes_.assign(n, Node{});
+  for (std::size_t i = 0; i < n; ++i) {
+    nodes_[i].feature = static_cast<int>(structure[3 * i]);
+    nodes_[i].left = static_cast<int>(structure[3 * i + 1]);
+    nodes_[i].right = static_cast<int>(structure[3 * i + 2]);
+    nodes_[i].threshold = values[2 * i];
+    nodes_[i].weight = values[2 * i + 1];
+    const auto limit = static_cast<int>(n);
+    AP_REQUIRE(nodes_[i].feature >= -1 && nodes_[i].left < limit &&
+                   nodes_[i].right < limit,
+               "corrupt tree archive: bad node indices");
+  }
+  AP_REQUIRE(!nodes_.empty(), "corrupt tree archive: no nodes");
+}
+
+double RegressionTree::predict(std::span<const double> features) const {
+  AP_REQUIRE(!nodes_.empty(), "tree not fitted");
+  int idx = 0;
+  while (nodes_[static_cast<std::size_t>(idx)].feature >= 0) {
+    const Node& n = nodes_[static_cast<std::size_t>(idx)];
+    const auto f = static_cast<std::size_t>(n.feature);
+    AP_REQUIRE(f < features.size(), "feature arity mismatch in tree predict");
+    idx = features[f] < n.threshold ? n.left : n.right;
+  }
+  return nodes_[static_cast<std::size_t>(idx)].weight;
+}
+
+}  // namespace autopower::ml

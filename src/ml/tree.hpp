@@ -1,0 +1,64 @@
+// Regression tree used as the weak learner inside GBTRegressor.
+//
+// Follows the XGBoost formulation: each sample carries a gradient/hessian
+// pair; leaves take weight -G/(H + lambda); splits maximise the second-order
+// gain with gamma as the split cost.  Split finding is exact greedy over
+// sorted feature values — the datasets here are tiny so histogram
+// approximation is unnecessary.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "ml/dataset.hpp"
+#include "util/archive.hpp"
+
+namespace autopower::ml {
+
+/// Hyper-parameters for a single boosted tree.
+struct TreeOptions {
+  int max_depth = 3;
+  double lambda = 1.0;            ///< L2 on leaf weights.
+  double gamma = 0.0;             ///< Minimum gain to split.
+  double min_child_weight = 1.0;  ///< Minimum hessian sum per child.
+};
+
+/// A fitted regression tree (flat node array, index 0 is the root).
+class RegressionTree {
+ public:
+  /// Fits the tree to gradients/hessians over the dataset's features.
+  /// `grad` and `hess` must have `data.size()` entries.
+  void fit(const Dataset& data, std::span<const double> grad,
+           std::span<const double> hess, const TreeOptions& options);
+
+  /// Returns the leaf weight for one feature vector.
+  [[nodiscard]] double predict(std::span<const double> features) const;
+
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return nodes_.size();
+  }
+  [[nodiscard]] int depth() const noexcept { return depth_; }
+
+  /// Serialization (see util/archive.hpp).
+  void save(util::ArchiveWriter& out) const;
+  void load(util::ArchiveReader& in);
+
+ private:
+  struct Node {
+    int feature = -1;        // -1 for leaves
+    double threshold = 0.0;  // go left if x[feature] < threshold
+    int left = -1;
+    int right = -1;
+    double weight = 0.0;  // leaf value
+  };
+
+  int build(const Dataset& data, std::span<const double> grad,
+            std::span<const double> hess, std::vector<std::size_t>& samples,
+            int depth, const TreeOptions& options);
+
+  std::vector<Node> nodes_;
+  int depth_ = 0;
+};
+
+}  // namespace autopower::ml

@@ -1,0 +1,91 @@
+// Parametric synthesis model — the stand-in for Chipyard RTL generation
+// followed by Design Compiler logic synthesis (see DESIGN.md, substitutions).
+//
+// Given a hardware configuration, it produces for each of the 22 components
+// the structural quantities a synthesized netlist would expose:
+//
+//   * register count R and gating rate g (labels for F_reg / F_gate),
+//   * clock-gating-cell ratio r and per-component clock-pin energy spread,
+//   * combinational cell count (drives golden combinational power),
+//   * the SRAM floorplan: every SRAM Position with its SRAM Block
+//     width/depth/count (labels for the scaling-pattern hardware model).
+//
+// Structural quantities are near-affine in the architecture parameters —
+// as they are for a real synthesized BOOM — plus a small deterministic
+// "synthesis noise" keyed on the configuration values, standing in for the
+// jitter real synthesis runs exhibit.  Combinational cell counts contain
+// genuinely non-linear terms (bypass networks, select trees), which is what
+// makes monolithic few-shot ML models struggle.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "arch/component.hpp"
+#include "arch/params.hpp"
+
+namespace autopower::netlist {
+
+/// One SRAM Position of a component, realised as `count` identical
+/// SRAM Blocks of shape width x depth (RTL level, technology independent).
+struct SramPositionInfo {
+  std::string name;  ///< e.g. "meta", "ldq", "int_rf"
+  int block_width = 0;
+  int block_depth = 0;
+  int block_count = 0;
+
+  [[nodiscard]] long long total_bits() const noexcept {
+    return static_cast<long long>(block_width) * block_depth * block_count;
+  }
+};
+
+/// Structural synthesis result for one component.
+struct ComponentNetlist {
+  double register_count = 0.0;   ///< R: total registers
+  double gating_rate = 0.0;      ///< g: fraction of registers gated
+  double gating_cell_ratio = 0.0;  ///< r: gating cells per gated register
+  double comb_cell_count = 0.0;  ///< combinational cells
+  /// Per-component average clock-pin energy (pJ), including the cell-mix
+  /// deviation from the library nominal that the model cannot see.
+  double avg_clock_pin_energy = 0.0;
+  /// Per-component average gating-latch energy (pJ).
+  double avg_gating_latch_energy = 0.0;
+  std::vector<SramPositionInfo> sram_positions;
+};
+
+/// Options controlling the synthetic synthesis run.
+struct SynthesisOptions {
+  /// Relative amplitude of the deterministic synthesis jitter on register
+  /// and combinational cell counts.
+  double structural_noise = 0.02;
+  /// Relative amplitude of the per-component clock-pin energy spread
+  /// (cell-mix deviation from the library nominal).
+  double energy_spread = 0.08;
+};
+
+/// Deterministic synthesis model over the BOOM-style design space.
+class SynthesisModel {
+ public:
+  SynthesisModel() = default;
+  explicit SynthesisModel(SynthesisOptions options) : options_(options) {}
+
+  /// Synthesizes one component of one configuration.
+  [[nodiscard]] ComponentNetlist synthesize(const arch::HardwareConfig& cfg,
+                                            arch::ComponentKind c) const;
+
+  /// Synthesizes every component of a configuration (Table III order).
+  [[nodiscard]] std::vector<ComponentNetlist> synthesize_all(
+      const arch::HardwareConfig& cfg) const;
+
+  /// Total register count across the whole core.
+  [[nodiscard]] double total_registers(const arch::HardwareConfig& cfg) const;
+
+  [[nodiscard]] const SynthesisOptions& options() const noexcept {
+    return options_;
+  }
+
+ private:
+  SynthesisOptions options_;
+};
+
+}  // namespace autopower::netlist

@@ -1,0 +1,388 @@
+#include "power/activity.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace autopower::power {
+
+namespace {
+
+using arch::ComponentKind;
+using arch::EventKind;
+using arch::EventVector;
+using arch::HardwareConfig;
+using arch::HwParam;
+
+double clamp01(double v) { return std::clamp(v, 0.0, 1.0); }
+
+/// Saturation kink seen in real waveforms: banks of registers switch from
+/// mostly-gated to mostly-active once the utilisation crosses the steady
+/// pipelining threshold.  Deliberately non-linear (logistic) — this is the
+/// kind of structure tree models capture and linear models cannot.
+double saturation(double u) { return 1.0 / (1.0 + std::exp(-12.0 * (u - 0.55))); }
+
+/// Waveform-noise key: varies with the component, the tag, and the actual
+/// event values of the window, so labels carry small deterministic jitter
+/// across workloads and across trace windows.
+std::uint64_t wave_key(ComponentKind c, std::string_view tag,
+                       const EventVector& events) {
+  std::uint64_t h = util::hash_str(tag);
+  h = util::hash_combine(h, static_cast<std::uint64_t>(c));
+  h = util::hash_combine(
+      h, std::bit_cast<std::uint64_t>(events[EventKind::kCycles]));
+  h = util::hash_combine(
+      h, std::bit_cast<std::uint64_t>(events[EventKind::kInstructions]));
+  h = util::hash_combine(
+      h, std::bit_cast<std::uint64_t>(events[EventKind::kDcacheAccesses]));
+  h = util::hash_combine(
+      h, std::bit_cast<std::uint64_t>(events[EventKind::kFetchPackets]));
+  return h;
+}
+
+}  // namespace
+
+ComponentActivity GoldenActivityModel::component_activity(
+    const HardwareConfig& cfg, ComponentKind c,
+    const EventVector& ev) const {
+  const double dw = cfg.value_d(HwParam::kDecodeWidth);
+  const double mfw = cfg.value_d(HwParam::kMemFpIssueWidth);
+  const double iw = cfg.value_d(HwParam::kIntIssueWidth);
+  const double lq = cfg.value_d(HwParam::kLdqStqEntry);
+  const double rob = cfg.value_d(HwParam::kRobEntry);
+  const double fbe = cfg.value_d(HwParam::kFetchBufferEntry);
+  const double mshr = cfg.value_d(HwParam::kMshrEntry);
+
+  const double ipc_util = clamp01(ev.rate(EventKind::kInstructions) / dw);
+  const double miss_per_branch =
+      ev[EventKind::kBranches] > 0.0
+          ? ev[EventKind::kBpMispredicts] / ev[EventKind::kBranches]
+          : 0.0;
+
+  double alpha = 0.1;      // gated-register active rate
+  double data_util = 0.3;  // secondary measure driving data toggling
+  switch (c) {
+    case ComponentKind::kBpTage: {
+      const double u = clamp01(ev.rate(EventKind::kBpLookups));
+      alpha = 0.08 + 0.55 * std::pow(u, 0.8) + 0.18 * miss_per_branch;
+      data_util = u;
+      break;
+    }
+    case ComponentKind::kBpBtb: {
+      const double u = clamp01(ev.rate(EventKind::kBpLookups));
+      alpha = 0.07 + 0.50 * std::pow(u, 0.9) + 0.10 * miss_per_branch;
+      data_util = u;
+      break;
+    }
+    case ComponentKind::kBpOthers: {
+      const double u = clamp01(ev.rate(EventKind::kFetchPackets));
+      alpha = 0.10 + 0.45 * u;
+      data_util = u;
+      break;
+    }
+    case ComponentKind::kICacheTagArray:
+    case ComponentKind::kICacheDataArray: {
+      const double u = clamp01(ev.rate(EventKind::kICacheAccesses));
+      alpha = 0.05 + 0.60 * std::pow(u, 0.85);
+      data_util = u;
+      break;
+    }
+    case ComponentKind::kICacheOthers: {
+      const double u = clamp01(ev.rate(EventKind::kICacheAccesses));
+      const double refill = clamp01(ev.rate(EventKind::kICacheMisses) * 8.0);
+      alpha = 0.06 + 0.45 * u + 0.25 * refill;
+      data_util = u;
+      break;
+    }
+    case ComponentKind::kRnu: {
+      const double u = clamp01(ev.rate(EventKind::kRenameUops) / dw);
+      alpha = 0.06 + 0.56 * std::pow(u, 1.1) + 0.14 * saturation(u);
+      data_util = u;
+      break;
+    }
+    case ComponentKind::kRob: {
+      const double u = clamp01(ev.rate(EventKind::kDispatchedUops) / dw);
+      const double occ = clamp01(ev.rate(EventKind::kRobOccupancy) / rob);
+      alpha = 0.05 + 0.38 * u + 0.22 * std::pow(occ, 1.2) +
+              0.12 * saturation(u);
+      data_util = u;
+      break;
+    }
+    case ComponentKind::kRegfile: {
+      const double ports = 2.5 * (iw + 2.0 * mfw);
+      const double u = clamp01((ev.rate(EventKind::kRegfileReads) +
+                                ev.rate(EventKind::kRegfileWrites)) /
+                               ports);
+      alpha = 0.04 + 0.62 * std::pow(u, 0.9) + 0.14 * saturation(u);
+      data_util = u;
+      break;
+    }
+    case ComponentKind::kDCacheTagArray:
+    case ComponentKind::kDCacheDataArray: {
+      const double u =
+          clamp01(ev.rate(EventKind::kDcacheAccesses) / mfw);
+      alpha = 0.05 + 0.65 * std::pow(u, 0.8);
+      data_util = u;
+      break;
+    }
+    case ComponentKind::kDCacheOthers: {
+      const double u =
+          clamp01(ev.rate(EventKind::kDcacheAccesses) / mfw);
+      const double wb = clamp01(ev.rate(EventKind::kDcacheWritebacks) * 10.0);
+      alpha = 0.06 + 0.50 * u + 0.20 * wb;
+      data_util = u;
+      break;
+    }
+    case ComponentKind::kFpIsu: {
+      const double u = clamp01(ev.rate(EventKind::kFpIssued) / mfw);
+      const double occ =
+          clamp01(ev.rate(EventKind::kFpIqOcc) / (8.0 + 4.0 * dw));
+      alpha = 0.06 + 0.40 * std::pow(u, 0.9) + 0.18 * occ +
+              0.12 * saturation(u);
+      data_util = u;
+      break;
+    }
+    case ComponentKind::kIntIsu: {
+      const double u = clamp01(ev.rate(EventKind::kIntIssued) / iw);
+      const double occ =
+          clamp01(ev.rate(EventKind::kIntIqOcc) / (8.0 + 4.0 * dw));
+      alpha = 0.06 + 0.40 * std::pow(u, 0.9) + 0.18 * occ +
+              0.12 * saturation(u);
+      data_util = u;
+      break;
+    }
+    case ComponentKind::kMemIsu: {
+      const double u = clamp01(ev.rate(EventKind::kMemIssued) / mfw);
+      const double occ =
+          clamp01(ev.rate(EventKind::kMemIqOcc) / (8.0 + 4.0 * dw));
+      alpha = 0.06 + 0.40 * std::pow(u, 0.9) + 0.18 * occ +
+              0.12 * saturation(u);
+      data_util = u;
+      break;
+    }
+    case ComponentKind::kITlb: {
+      const double u = clamp01(ev.rate(EventKind::kItlbAccesses));
+      alpha = 0.05 + 0.55 * std::pow(u, 0.85);
+      data_util = u;
+      break;
+    }
+    case ComponentKind::kDTlb: {
+      const double u = clamp01(ev.rate(EventKind::kDtlbAccesses));
+      alpha = 0.05 + 0.55 * std::pow(u, 0.85);
+      data_util = u;
+      break;
+    }
+    case ComponentKind::kFuPool: {
+      const double weighted =
+          ev.rate(EventKind::kAluOps) + 3.0 * ev.rate(EventKind::kMulOps) +
+          10.0 * ev.rate(EventKind::kDivOps) +
+          2.0 * ev.rate(EventKind::kFpuOps);
+      const double u = clamp01(weighted / (iw + 2.0 * mfw));
+      alpha = 0.05 + 0.48 * std::pow(u, 0.9) + 0.14 * saturation(u);
+      data_util = u;
+      break;
+    }
+    case ComponentKind::kOtherLogic: {
+      alpha = 0.08 + 0.50 * std::pow(ipc_util, 0.95);
+      data_util = ipc_util;
+      break;
+    }
+    case ComponentKind::kDCacheMshr: {
+      const double u =
+          clamp01(ev.rate(EventKind::kMshrAllocs) * 38.0 / mshr);
+      alpha = 0.05 + 0.50 * std::pow(u, 0.9);
+      data_util = u;
+      break;
+    }
+    case ComponentKind::kLsu: {
+      const double u = clamp01((ev.rate(EventKind::kLoadsExecuted) +
+                                ev.rate(EventKind::kStoresExecuted)) /
+                               mfw);
+      const double occ = clamp01(
+          (ev.rate(EventKind::kLdqOcc) + ev.rate(EventKind::kStqOcc)) /
+          (2.0 * lq));
+      alpha = 0.05 + 0.36 * std::pow(u, 0.85) + 0.22 * occ +
+              0.12 * saturation(u);
+      data_util = u;
+      break;
+    }
+    case ComponentKind::kIfu: {
+      const double u = clamp01(ev.rate(EventKind::kFetchPackets));
+      const double occ =
+          clamp01(ev.rate(EventKind::kFetchBufferOcc) / fbe);
+      alpha = 0.06 + 0.40 * u + 0.22 * occ + 0.12 * saturation(u);
+      data_util = u;
+      break;
+    }
+  }
+
+  ComponentActivity out;
+  const double n_alpha = util::noise_factor(wave_key(c, "alpha", ev),
+                                            options_.waveform_noise);
+  const double n_tog = util::noise_factor(wave_key(c, "toggle", ev),
+                                          options_.waveform_noise);
+  const double n_comb = util::noise_factor(wave_key(c, "comb", ev),
+                                           options_.waveform_noise);
+  out.gated_active_rate = std::clamp(alpha * n_alpha, 0.02, 0.97);
+  out.register_toggle_rate =
+      std::clamp(out.gated_active_rate * (0.28 + 0.25 * data_util) * n_tog,
+                 0.005, 0.8);
+  out.comb_toggle_rate = std::clamp(
+      (0.06 + 0.50 * std::pow(data_util, 1.15) +
+       0.10 * miss_per_branch) *
+          n_comb,
+      0.01, 0.9);
+  return out;
+}
+
+SramBlockActivity GoldenActivityModel::sram_activity(
+    const HardwareConfig& cfg, ComponentKind c, std::string_view position,
+    const EventVector& ev) const {
+  const double dw = cfg.value_d(HwParam::kDecodeWidth);
+  const double fw = cfg.value_d(HwParam::kFetchWidth);
+  const double mfw = cfg.value_d(HwParam::kMemFpIssueWidth);
+  const double way = cfg.value_d(HwParam::kCacheWay);
+
+  const auto r = [&](EventKind e) { return ev.rate(e); };
+
+  double read = 0.0;
+  double write = 0.0;
+  switch (c) {
+    case ComponentKind::kBpTage:
+      // 4 banks read in parallel per lookup; updates hit one bank, with
+      // extra corrective writes after mispredicts.
+      read = r(EventKind::kBpLookups) * 0.95;
+      write = 0.25 * r(EventKind::kBranches) +
+              0.50 * r(EventKind::kBpMispredicts);
+      break;
+    case ComponentKind::kBpBtb:
+      if (position == "btb_data") {
+        read = 0.5 * r(EventKind::kBpLookups);  // 2 alternating banks
+        write = 0.35 * r(EventKind::kBpMispredicts);
+      } else {  // btb_meta
+        read = r(EventKind::kBpLookups) * 0.9;
+        write = 0.4 * r(EventKind::kBpMispredicts);
+      }
+      break;
+    case ComponentKind::kBpOthers:
+      read = r(EventKind::kFetchPackets) * 0.9;
+      write = 0.8 * r(EventKind::kBranches);
+      break;
+    case ComponentKind::kICacheTagArray:
+      read = r(EventKind::kICacheAccesses);
+      write = r(EventKind::kICacheMisses);
+      break;
+    case ComponentKind::kICacheDataArray:
+      // One block per way; every fetch reads all ways in parallel, refills
+      // write a single way.
+      read = r(EventKind::kICacheAccesses) * 0.98;
+      write = r(EventKind::kICacheMisses) / way;
+      break;
+    case ComponentKind::kRnu:
+      if (position == "maptable") {
+        read = 0.5 * r(EventKind::kRenameUops);
+        write = 0.45 * r(EventKind::kRenameUops);
+      } else {  // freelist
+        read = 0.3 * r(EventKind::kRenameUops);
+        write = 0.3 * r(EventKind::kCommittedUops);
+      }
+      break;
+    case ComponentKind::kRob: {
+      // Row-organised bank: one row of DecodeWidth uops per access; the
+      // write mask covers only the dispatched slots.
+      const double fill =
+          std::clamp(r(EventKind::kDispatchedUops) / dw, 0.15, 1.0);
+      read = r(EventKind::kCommittedUops) / dw;
+      write = (r(EventKind::kDispatchedUops) / dw) * (0.6 + 0.4 * fill);
+      break;
+    }
+    case ComponentKind::kRegfile: {
+      const double total_issued = r(EventKind::kIntIssued) +
+                                  r(EventKind::kMemIssued) +
+                                  r(EventKind::kFpIssued) + 1e-9;
+      const double int_share =
+          (r(EventKind::kIntIssued) + r(EventKind::kMemIssued)) /
+          total_issued;
+      const double share =
+          position == "int_rf" ? int_share : (1.0 - int_share);
+      read = r(EventKind::kRegfileReads) * share / dw;
+      write = r(EventKind::kRegfileWrites) * share / dw;
+      break;
+    }
+    case ComponentKind::kDCacheTagArray:
+      read = r(EventKind::kDcacheAccesses) / mfw;
+      write = r(EventKind::kDcacheMisses) / mfw;
+      break;
+    case ComponentKind::kDCacheDataArray: {
+      // Loads and victim reads; stores write with byte masks (~0.55 of a
+      // full-width write on average), refills write full lines.
+      read = (r(EventKind::kLoadsExecuted) +
+              r(EventKind::kDcacheWritebacks)) /
+             mfw;
+      write = (0.55 * r(EventKind::kStoresExecuted) +
+               r(EventKind::kDcacheMisses)) /
+              mfw;
+      break;
+    }
+    case ComponentKind::kITlb:
+      read = 0.8 * r(EventKind::kItlbAccesses);  // same-page filtering
+      write = r(EventKind::kItlbMisses);
+      break;
+    case ComponentKind::kDTlb:
+      read = 0.85 * r(EventKind::kDtlbAccesses);
+      write = r(EventKind::kDtlbMisses);
+      break;
+    case ComponentKind::kDCacheMshr:
+      read = r(EventKind::kDcacheMisses);
+      write = r(EventKind::kMshrAllocs);
+      break;
+    case ComponentKind::kLsu:
+      if (position == "ldq") {
+        read = 1.1 * r(EventKind::kLoadsExecuted);
+        write = r(EventKind::kLoadsExecuted);
+      } else {  // stq
+        read = r(EventKind::kStoresExecuted) +
+               0.3 * r(EventKind::kLoadsExecuted);
+        write = r(EventKind::kStoresExecuted);
+      }
+      break;
+    case ComponentKind::kIfu:
+      if (position == "fb") {
+        const double fill =
+            std::clamp(r(EventKind::kFetchPackets) * fw / dw, 0.2, 1.0);
+        read = 0.9 * r(EventKind::kDecodedUops) / dw;
+        write = r(EventKind::kFetchPackets) * (0.6 + 0.4 * fill);
+      } else if (position == "meta") {
+        read = 0.9 * r(EventKind::kFetchPackets);
+        write = 0.85 * r(EventKind::kFetchPackets);
+      } else {  // ghist_q
+        read = 0.8 * r(EventKind::kBranches);
+        write = 0.5 * r(EventKind::kFetchPackets);
+      }
+      break;
+    case ComponentKind::kICacheOthers:
+    case ComponentKind::kDCacheOthers:
+    case ComponentKind::kFpIsu:
+    case ComponentKind::kIntIsu:
+    case ComponentKind::kMemIsu:
+    case ComponentKind::kFuPool:
+    case ComponentKind::kOtherLogic:
+      break;  // no SRAM positions
+  }
+
+  SramBlockActivity out;
+  std::uint64_t key = wave_key(c, "sram", ev);
+  key = util::hash_combine(key, util::hash_str(position));
+  out.read_freq = std::max(
+      0.0, read * util::noise_factor(util::hash_combine(key, 1),
+                                     options_.waveform_noise));
+  out.write_freq = std::max(
+      0.0, write * util::noise_factor(util::hash_combine(key, 2),
+                                      options_.waveform_noise));
+  return out;
+}
+
+}  // namespace autopower::power

@@ -1,0 +1,69 @@
+// Golden activity model — the RTL-simulation (VCS) stand-in.
+//
+// Produces the cycle-accurate activity quantities a power-simulation flow
+// extracts from RTL waveforms:
+//
+//   * per-component gated-register active rate (alpha in Eq. 3),
+//   * per-component register data-toggle rate and combinational toggle rate,
+//   * per-SRAM-Block read/write frequencies, with write-mask accounting
+//     ("one write" = all mask sectors valid, paper Sec. II-B).
+//
+// The functions are *richer* than what the performance simulator exposes:
+// saturating non-linearities, cross-event products, and a small
+// deterministic waveform noise keyed on the event values.  This models the
+// gem5-vs-RTL gap the paper identifies; architecture-level models can
+// approximate, but never exactly invert, these labels.
+#pragma once
+
+#include <string_view>
+
+#include "arch/component.hpp"
+#include "arch/events.hpp"
+#include "arch/params.hpp"
+
+namespace autopower::power {
+
+/// Register/combinational activity of one component in one window.
+struct ComponentActivity {
+  /// Average active rate of gated registers (alpha), in [0, 1].
+  double gated_active_rate = 0.0;
+  /// Average data-input toggle rate per register, in [0, 1].
+  double register_toggle_rate = 0.0;
+  /// Average toggle rate per combinational cell, in [0, 1].
+  double comb_toggle_rate = 0.0;
+};
+
+/// Read/write frequency of one SRAM Block (accesses per cycle; writes are
+/// mask-weighted "full writes").
+struct SramBlockActivity {
+  double read_freq = 0.0;
+  double write_freq = 0.0;
+};
+
+/// Options for the golden activity model.
+struct ActivityOptions {
+  /// Relative amplitude of the deterministic waveform noise.
+  double waveform_noise = 0.03;
+};
+
+/// The golden (RTL-level) activity model.
+class GoldenActivityModel {
+ public:
+  GoldenActivityModel() = default;
+  explicit GoldenActivityModel(ActivityOptions options) : options_(options) {}
+
+  /// Register and combinational activity of a component.
+  [[nodiscard]] ComponentActivity component_activity(
+      const arch::HardwareConfig& cfg, arch::ComponentKind c,
+      const arch::EventVector& events) const;
+
+  /// Block-level read/write frequency of one SRAM Position.
+  [[nodiscard]] SramBlockActivity sram_activity(
+      const arch::HardwareConfig& cfg, arch::ComponentKind c,
+      std::string_view position, const arch::EventVector& events) const;
+
+ private:
+  ActivityOptions options_;
+};
+
+}  // namespace autopower::power

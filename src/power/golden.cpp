@@ -1,0 +1,133 @@
+#include "power/golden.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace autopower::power {
+
+namespace {
+
+using arch::ComponentKind;
+using arch::EventVector;
+using arch::HardwareConfig;
+
+std::uint64_t config_key(const HardwareConfig& cfg) {
+  std::uint64_t h = util::hash_str("netlist-memo");
+  for (arch::HwParam p : arch::all_hw_params()) {
+    h = util::hash_combine(h, static_cast<std::uint64_t>(cfg.value(p)));
+  }
+  return h;
+}
+
+/// Per-component cell-mix spread for logic energies (golden-only detail).
+double logic_energy_spread(ComponentKind c, std::string_view tag) {
+  return util::noise_factor(
+      util::hash_combine(util::hash_str(tag), static_cast<std::uint64_t>(c)),
+      0.10);
+}
+
+}  // namespace
+
+GoldenPowerModel::GoldenPowerModel()
+    : GoldenPowerModel(netlist::SynthesisModel{}, GoldenActivityModel{}) {}
+
+GoldenPowerModel::GoldenPowerModel(netlist::SynthesisModel synthesis,
+                                   GoldenActivityModel activity)
+    : synthesis_(synthesis),
+      activity_(activity),
+      lib_(techlib::TechLibrary::default_40nm()),
+      macros_(techlib::SramMacroLibrary::default_40nm()) {}
+
+const std::vector<netlist::ComponentNetlist>& GoldenPowerModel::netlist_of(
+    const HardwareConfig& cfg) const {
+  const std::uint64_t key = config_key(cfg);
+  auto it = netlist_memo_.find(key);
+  if (it == netlist_memo_.end()) {
+    it = netlist_memo_.emplace(key, synthesis_.synthesize_all(cfg)).first;
+  }
+  return it->second;
+}
+
+PowerResult GoldenPowerModel::evaluate(const HardwareConfig& cfg,
+                                       const EventVector& events) const {
+  const auto& netlists = netlist_of(cfg);
+  PowerResult result;
+  result.components.reserve(arch::kNumComponents);
+
+  for (arch::ComponentKind c : arch::all_components()) {
+    const auto& nl = netlists[static_cast<std::size_t>(c)];
+    const ComponentActivity act =
+        activity_.component_activity(cfg, c, events);
+
+    ComponentPower cp;
+    cp.component = c;
+
+    // --- Clock group (Eq. 1-4 structure, with golden pin energies) -------
+    const double r_count = nl.register_count;
+    const double g = nl.gating_rate;
+    const double p_reg = nl.avg_clock_pin_energy;
+    const double p_latch = nl.avg_gating_latch_energy;
+    const double ungated_pin = r_count * (1.0 - g) * p_reg;
+    const double gated_pin = act.gated_active_rate * r_count * g * p_reg;
+    const double gating_cell = nl.gating_cell_ratio * r_count * g * p_latch;
+    cp.groups.clock = lib_.power_mw(ungated_pin + gated_pin + gating_cell);
+
+    // --- SRAM group -------------------------------------------------------
+    double sram_power = 0.0;
+    for (const auto& pos : nl.sram_positions) {
+      sram_power += sram_position_power(cfg, c, pos, events);
+    }
+    cp.groups.sram = sram_power;
+
+    // --- Logic group ------------------------------------------------------
+    const double reg_spread = logic_energy_spread(c, "regmix");
+    const double comb_spread = logic_energy_spread(c, "combmix");
+    cp.groups.logic_register = lib_.power_mw(
+        r_count * (lib_.register_leakage +
+                   act.register_toggle_rate * lib_.register_toggle_energy *
+                       reg_spread));
+    cp.groups.logic_comb = lib_.power_mw(
+        nl.comb_cell_count *
+        (lib_.comb_leakage +
+         act.comb_toggle_rate * lib_.comb_toggle_energy * comb_spread));
+
+    result.components.push_back(cp);
+  }
+  return result;
+}
+
+double GoldenPowerModel::sram_position_power(
+    const HardwareConfig& cfg, arch::ComponentKind c,
+    const netlist::SramPositionInfo& pos,
+    const arch::EventVector& events) const {
+  const SramBlockActivity sa =
+      activity_.sram_activity(cfg, c, pos.name, events);
+  const auto mapping = techlib::map_block_to_macros(macros_, pos.block_width,
+                                                    pos.block_depth);
+  // One access activates one row of macros (Eq. 9: per-macro frequency is
+  // the block frequency divided by N_col).
+  const double reads_per_cycle = sa.read_freq * mapping.per_row;
+  const double writes_per_cycle = sa.write_freq * mapping.per_row;
+  double e = reads_per_cycle * mapping.macro.read_energy +
+             writes_per_cycle * mapping.macro.write_energy;
+  // Address/data pin toggling: small, weakly activity-dependent (the
+  // paper's model treats it as the constant C).
+  e += 0.0006 * pos.block_width *
+       (0.35 + 0.65 * std::min(1.0, sa.read_freq + sa.write_freq));
+  // Macro leakage.
+  e += mapping.total() * mapping.macro.leakage;
+  return lib_.power_mw(e * pos.block_count);
+}
+
+std::vector<PowerResult> GoldenPowerModel::evaluate_trace(
+    const HardwareConfig& cfg,
+    const std::vector<EventVector>& windows) const {
+  std::vector<PowerResult> out;
+  out.reserve(windows.size());
+  for (const auto& w : windows) out.push_back(evaluate(cfg, w));
+  return out;
+}
+
+}  // namespace autopower::power

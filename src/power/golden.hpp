@@ -1,0 +1,89 @@
+// Golden power model — the PrimePower stand-in.
+//
+// Computes per-component, per-group power bottom-up from the synthetic
+// netlist (src/netlist), the technology library (src/techlib) and the
+// golden activity model (power/activity):
+//
+//   clock  = clock-tree pin power with gating (ungated + gated + gating
+//            cells), using the *per-component* pin energies of the netlist,
+//   sram   = per-macro read/write energy x golden frequency, plus address/
+//            data pin toggling and macro leakage,
+//   logic  = register data power + combinational toggle power, with
+//            per-component cell-mix spreads.
+//
+// The same entry point evaluates whole workloads and 50-cycle windows, so
+// golden time-based power traces come from the identical code path as the
+// average-power labels.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "arch/events.hpp"
+#include "arch/params.hpp"
+#include "netlist/synthesis.hpp"
+#include "power/activity.hpp"
+#include "power/report.hpp"
+#include "techlib/sram_macro.hpp"
+#include "techlib/techlib.hpp"
+
+namespace autopower::power {
+
+/// The golden power evaluation flow (synthesis + library + power sim).
+class GoldenPowerModel {
+ public:
+  /// Uses the default 40nm library and default model options.
+  GoldenPowerModel();
+
+  GoldenPowerModel(netlist::SynthesisModel synthesis,
+                   GoldenActivityModel activity);
+
+  /// Golden power of every component for one evaluation window (whole
+  /// workload aggregate or a single trace window).
+  [[nodiscard]] PowerResult evaluate(const arch::HardwareConfig& cfg,
+                                     const arch::EventVector& events) const;
+
+  /// Golden power trace: one PowerResult per window.
+  [[nodiscard]] std::vector<PowerResult> evaluate_trace(
+      const arch::HardwareConfig& cfg,
+      const std::vector<arch::EventVector>& windows) const;
+
+  /// Golden power (mW) of all blocks of one SRAM Position — what a power
+  /// simulation reports per memory instance.  AutoPower uses this on
+  /// *training* configurations to estimate the pin-toggle constant C of
+  /// Eq. 10.
+  [[nodiscard]] double sram_position_power(
+      const arch::HardwareConfig& cfg, arch::ComponentKind c,
+      const netlist::SramPositionInfo& position,
+      const arch::EventVector& events) const;
+
+  /// The synthesized netlist of a configuration (memoised; Table III
+  /// order).  Exposed because label collection reads netlist quantities.
+  [[nodiscard]] const std::vector<netlist::ComponentNetlist>& netlist_of(
+      const arch::HardwareConfig& cfg) const;
+
+  [[nodiscard]] const netlist::SynthesisModel& synthesis() const noexcept {
+    return synthesis_;
+  }
+  [[nodiscard]] const GoldenActivityModel& activity() const noexcept {
+    return activity_;
+  }
+  [[nodiscard]] const techlib::TechLibrary& library() const noexcept {
+    return lib_;
+  }
+  [[nodiscard]] const techlib::SramMacroLibrary& macro_library()
+      const noexcept {
+    return macros_;
+  }
+
+ private:
+  netlist::SynthesisModel synthesis_;
+  GoldenActivityModel activity_;
+  const techlib::TechLibrary& lib_;
+  const techlib::SramMacroLibrary& macros_;
+  mutable std::map<std::uint64_t, std::vector<netlist::ComponentNetlist>>
+      netlist_memo_;
+};
+
+}  // namespace autopower::power

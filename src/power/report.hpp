@@ -1,0 +1,60 @@
+// Power report types shared by the golden flow, AutoPower, and baselines.
+//
+// Power is decomposed exactly along the paper's power groups: clock, SRAM,
+// and logic (with logic further split into register and combinational for
+// Sec. II-C).  All values in milliwatts.
+#pragma once
+
+#include <vector>
+
+#include "arch/component.hpp"
+
+namespace autopower::power {
+
+/// Per-group power of one component (mW).
+struct PowerGroups {
+  double clock = 0.0;
+  double sram = 0.0;
+  double logic_register = 0.0;
+  double logic_comb = 0.0;
+
+  [[nodiscard]] double logic() const noexcept {
+    return logic_register + logic_comb;
+  }
+  [[nodiscard]] double total() const noexcept {
+    return clock + sram + logic_register + logic_comb;
+  }
+
+  PowerGroups& operator+=(const PowerGroups& other) noexcept {
+    clock += other.clock;
+    sram += other.sram;
+    logic_register += other.logic_register;
+    logic_comb += other.logic_comb;
+    return *this;
+  }
+};
+
+/// Power of one component.
+struct ComponentPower {
+  arch::ComponentKind component{};
+  PowerGroups groups;
+};
+
+/// Whole-core power for one (configuration, workload) evaluation.
+struct PowerResult {
+  std::vector<ComponentPower> components;  // Table III order
+
+  [[nodiscard]] PowerGroups totals() const noexcept {
+    PowerGroups acc;
+    for (const auto& c : components) acc += c.groups;
+    return acc;
+  }
+  [[nodiscard]] double total() const noexcept { return totals().total(); }
+
+  /// Power of one component (Table III order lookup).
+  [[nodiscard]] const PowerGroups& of(arch::ComponentKind c) const {
+    return components[static_cast<std::size_t>(c)].groups;
+  }
+};
+
+}  // namespace autopower::power

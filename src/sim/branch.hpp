@@ -1,0 +1,54 @@
+// Branch predictor timing model: a gshare-style predictor simulated over a
+// synthetic branch stream.
+//
+// The table is sized from the configuration's BranchCount parameter (the
+// same parameter the BP components' SRAM scales with in the floorplan), so
+// larger front ends predict measurably better.  The synthetic stream mixes
+// strongly-biased loop branches with data-dependent branches according to
+// the phase's branch entropy.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace autopower::sim {
+
+/// Parameters of a synthetic branch stream.
+struct BranchStreamProfile {
+  double entropy = 0.3;  ///< fraction of data-dependent (hard) branches
+  int static_branches = 64;  ///< distinct branch PCs in the hot code
+  std::uint64_t seed = 1;
+};
+
+/// gshare predictor with 2-bit counters plus a bimodal fallback.
+///
+/// The default history length is short: with long histories, branches whose
+/// outcomes are uncorrelated with the global history dilute their counters
+/// across many contexts and never train — 2 bits captures short local
+/// patterns (loop alternation) without destroying bias capture.
+class BranchPredictorModel {
+ public:
+  /// table_entries must be a power of two.
+  explicit BranchPredictorModel(int table_entries, int history_bits = 2);
+
+  /// Predicts and updates for one (pc, taken) pair; returns true when the
+  /// prediction was correct.
+  bool predict_and_update(std::uint64_t pc, bool taken);
+
+  void reset();
+
+  [[nodiscard]] int table_entries() const noexcept { return entries_; }
+
+ private:
+  int entries_;
+  int history_bits_;
+  std::uint64_t history_ = 0;
+  std::vector<std::uint8_t> counters_;
+};
+
+/// Simulates `branches` synthetic branches and returns the mispredict rate.
+[[nodiscard]] double measure_mispredict_rate(BranchPredictorModel& predictor,
+                                             const BranchStreamProfile& profile,
+                                             int branches);
+
+}  // namespace autopower::sim

@@ -1,0 +1,81 @@
+// Performance simulator (the gem5 stand-in).
+//
+// A window-based out-of-order timing model: per workload phase it measures
+// I/D-cache, TLB and branch-predictor behaviour with genuine structural
+// simulations (sim/cache, sim/branch), then composes an interval IPC model
+// with width, queue and MSHR constraints, and finally emits the full
+// event-parameter vector of arch/events.hpp.
+//
+// Two entry points:
+//   * simulate()        — whole-workload aggregate events (training and
+//                         average-power evaluation),
+//   * simulate_trace()  — consecutive fixed-length windows (default 50
+//                         cycles, paper Sec. III-B5) for time-based power
+//                         trace prediction.
+//
+// The model is deterministic and intentionally *approximate*: the golden
+// activity model (src/power) derives its labels from richer functions of
+// the same underlying behaviour, reproducing the gem5-vs-RTL gap the paper
+// identifies as a root cause of ML power-model error.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "arch/events.hpp"
+#include "arch/params.hpp"
+#include "workload/workload.hpp"
+
+namespace autopower::sim {
+
+/// Tuning knobs of the performance simulator.
+struct SimOptions {
+  int window_cycles = 50;     ///< trace window length (paper: 50 cycles)
+  int sample_accesses = 6000; ///< cache-stream samples per phase
+  int sample_branches = 6000; ///< branch-stream samples per phase
+  /// Number of times a multi-phase workload's phase sequence repeats in
+  /// the trace schedule (outer loop of blocked GEMM/SPMM kernels).
+  int phase_repeats = 24;
+};
+
+/// Per-cycle event rates of one steady-state phase on one configuration.
+struct PhaseRates {
+  double ipc = 0.0;
+  arch::EventVector rates;  ///< per-cycle rates; kCycles == 1
+  double bp_mispredict_rate = 0.0;  ///< per branch
+  double icache_miss_rate = 0.0;    ///< per access
+  double dcache_miss_rate = 0.0;    ///< per access
+};
+
+/// The out-of-order CPU timing model.
+class PerfSimulator {
+ public:
+  PerfSimulator() = default;
+  explicit PerfSimulator(SimOptions options) : options_(options) {}
+
+  /// Aggregate event counters for a whole workload run.
+  [[nodiscard]] arch::EventVector simulate(
+      const arch::HardwareConfig& cfg,
+      const workload::WorkloadProfile& profile) const;
+
+  /// Event counters for consecutive windows of `window_cycles` cycles
+  /// covering the whole run (last window may be shorter).
+  [[nodiscard]] std::vector<arch::EventVector> simulate_trace(
+      const arch::HardwareConfig& cfg,
+      const workload::WorkloadProfile& profile) const;
+
+  /// Steady-state rates for one phase (memoised; exposed for tests).
+  [[nodiscard]] const PhaseRates& phase_rates(
+      const arch::HardwareConfig& cfg,
+      const workload::WorkloadProfile& profile,
+      std::size_t phase_index) const;
+
+  [[nodiscard]] const SimOptions& options() const noexcept { return options_; }
+
+ private:
+  SimOptions options_;
+  mutable std::map<std::uint64_t, PhaseRates> memo_;
+};
+
+}  // namespace autopower::sim

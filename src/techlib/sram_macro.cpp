@@ -1,0 +1,116 @@
+#include "techlib/sram_macro.hpp"
+
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "util/error.hpp"
+
+namespace autopower::techlib {
+
+std::string SramMacroSpec::name() const {
+  return "sram_" + std::to_string(width) + "x" + std::to_string(depth);
+}
+
+namespace {
+
+/// Access energies follow the usual compiler trends: roughly linear in
+/// width (bitline count) and sub-linear in depth (wordline/decode).
+SramMacroSpec make_macro(int width, int depth) {
+  SramMacroSpec spec;
+  spec.width = width;
+  spec.depth = depth;
+  const double w = static_cast<double>(width);
+  const double d = static_cast<double>(depth);
+  spec.read_energy = 0.63 + 0.014 * w + 0.0077 * w * std::sqrt(d) / 8.0 +
+                     0.0028 * std::sqrt(d);
+  spec.write_energy = 1.05 * spec.read_energy + 0.15;
+  spec.leakage = 0.00002 * w * d / 8.0 + 0.002;
+  return spec;
+}
+
+}  // namespace
+
+const SramMacroLibrary& SramMacroLibrary::default_40nm() {
+  static const SramMacroLibrary lib = [] {
+    SramMacroLibrary out;
+    constexpr int kWidths[] = {8, 16, 20, 24, 32, 40, 48, 64};
+    constexpr int kDepths[] = {16, 32, 64, 128, 256, 512, 1024};
+    for (int w : kWidths) {
+      for (int d : kDepths) {
+        out.macros_.push_back(make_macro(w, d));
+      }
+    }
+    return out;
+  }();
+  return lib;
+}
+
+const SramMacroSpec& SramMacroLibrary::find(int width, int depth) const {
+  for (const auto& m : macros_) {
+    if (m.width == width && m.depth == depth) return m;
+  }
+  throw util::InvalidArgument("unsupported SRAM macro shape: " +
+                              std::to_string(width) + "x" +
+                              std::to_string(depth));
+}
+
+MacroMappingResult map_block_to_macros(const SramMacroLibrary& library,
+                                       int block_width, int block_depth) {
+  AP_REQUIRE(block_width > 0 && block_depth > 0,
+             "SRAM block shape must be positive");
+
+  // The mapping is pure in (library, shape) and sits on the per-window hot
+  // path of trace evaluation; memoise per thread.  Keyed on the library
+  // address too, so tests with custom catalogues stay correct.
+  struct Key {
+    const SramMacroLibrary* lib;
+    long long shape;
+    bool operator<(const Key& o) const {
+      return lib != o.lib ? lib < o.lib : shape < o.shape;
+    }
+  };
+  thread_local std::map<Key, MacroMappingResult> memo;
+  const Key key{&library,
+                (static_cast<long long>(block_width) << 32) | block_depth};
+  if (const auto it = memo.find(key); it != memo.end()) return it->second;
+
+  const MacroMappingResult* best = nullptr;
+  MacroMappingResult candidate;
+  MacroMappingResult chosen;
+  std::int64_t best_waste = std::numeric_limits<std::int64_t>::max();
+  int best_total = std::numeric_limits<int>::max();
+  double best_energy = std::numeric_limits<double>::max();
+
+  const std::int64_t block_bits =
+      static_cast<std::int64_t>(block_width) * block_depth;
+
+  for (const auto& macro : library.macros()) {
+    candidate.macro = macro;
+    candidate.per_row = (block_width + macro.width - 1) / macro.width;
+    candidate.per_col = (block_depth + macro.depth - 1) / macro.depth;
+    const std::int64_t used_bits =
+        static_cast<std::int64_t>(candidate.total()) * macro.bits();
+    const std::int64_t waste = used_bits - block_bits;
+    const int total = candidate.total();
+    const double energy = macro.read_energy * candidate.per_row;
+
+    const bool better =
+        waste < best_waste ||
+        (waste == best_waste &&
+         (total < best_total ||
+          (total == best_total && energy < best_energy)));
+    if (better) {
+      chosen = candidate;
+      best = &chosen;
+      best_waste = waste;
+      best_total = total;
+      best_energy = energy;
+    }
+  }
+  AP_ASSERT_MSG(best != nullptr, "macro library is empty");
+  memo.emplace(key, chosen);
+  return chosen;
+}
+
+}  // namespace autopower::techlib

@@ -1,0 +1,71 @@
+// SRAM macro catalogue and macro-level mapping rule (the "memory compiler"
+// plus the VLSI flow's block->macro decomposition script).
+//
+// The memory compiler of a technology node can only generate a discrete set
+// of macro shapes.  An RTL-level SRAM Block with an arbitrary (width, depth)
+// is therefore tiled from supported macros by an automatic script that is
+// part of the VLSI flow.  AutoPower's macro-level mapping reuses exactly
+// this rule (paper Sec. II-B): hardware mapping gives the macro grid, and
+// the activity mapping divides block read/write frequency by N_col — the
+// number of macros stacked along the depth dimension (Eq. 9).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace autopower::techlib {
+
+/// One macro shape supported by the memory compiler.
+struct SramMacroSpec {
+  int width = 0;   ///< bits per word
+  int depth = 0;   ///< words
+  double read_energy = 0.0;   ///< pJ per read access
+  double write_energy = 0.0;  ///< pJ per full-width write access
+  double leakage = 0.0;       ///< pJ per cycle
+
+  [[nodiscard]] std::string name() const;
+  [[nodiscard]] std::int64_t bits() const noexcept {
+    return static_cast<std::int64_t>(width) * depth;
+  }
+};
+
+/// The macro catalogue of the synthetic 40nm node.
+class SramMacroLibrary {
+ public:
+  /// Builds the default catalogue (widths 8..64, depths 32..1024).
+  [[nodiscard]] static const SramMacroLibrary& default_40nm();
+
+  [[nodiscard]] std::span<const SramMacroSpec> macros() const noexcept {
+    return macros_;
+  }
+
+  /// Looks up a macro by exact shape; throws util::InvalidArgument if the
+  /// compiler does not support it.
+  [[nodiscard]] const SramMacroSpec& find(int width, int depth) const;
+
+ private:
+  std::vector<SramMacroSpec> macros_;
+};
+
+/// Result of decomposing one SRAM Block into macros.
+struct MacroMappingResult {
+  SramMacroSpec macro;  ///< the chosen macro shape
+  int per_row = 0;      ///< macros side by side covering the width
+  int per_col = 0;      ///< N_col: macros stacked along the depth
+  [[nodiscard]] int total() const noexcept { return per_row * per_col; }
+};
+
+/// The deterministic block->macro decomposition rule of the VLSI flow.
+///
+/// Chooses the supported macro minimising wasted bits, breaking ties by
+/// fewer macros and then by lower read energy.  The same rule is used when
+/// generating the golden layout and inside AutoPower's macro-level mapping,
+/// mirroring the paper ("the mapping rule is a part of VLSI flow ... it is
+/// available and unchanged for all processors implemented with the same
+/// flow").
+[[nodiscard]] MacroMappingResult map_block_to_macros(
+    const SramMacroLibrary& library, int block_width, int block_depth);
+
+}  // namespace autopower::techlib

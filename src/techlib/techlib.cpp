@@ -1,0 +1,10 @@
+#include "techlib/techlib.hpp"
+
+namespace autopower::techlib {
+
+const TechLibrary& TechLibrary::default_40nm() {
+  static const TechLibrary lib{};
+  return lib;
+}
+
+}  // namespace autopower::techlib

@@ -1,0 +1,53 @@
+// Synthetic 40nm-class technology library (stand-in for the TSMC 40nm
+// standard-cell library used by the paper's VLSI flow).
+//
+// All energies are per-cycle / per-event picojoules.  The core clock runs
+// at 1 GHz, so 1 pJ/cycle == 1 mW: power numbers throughout the repository
+// are in milliwatts.
+//
+// AutoPower the *model* reads only the nominal values (`clock_pin_energy`,
+// `gating_latch_energy`, macro read/write energies) — exactly the lookups
+// the paper performs on the library file.  The *golden* power model also
+// applies per-component deviations (cell mix, drive strengths) that the
+// architecture-level model cannot see; this keeps model error realistic.
+#pragma once
+
+#include <cstdint>
+
+namespace autopower::techlib {
+
+/// Nominal standard-cell energies of the synthetic 40nm node.
+struct TechLibrary {
+  /// Operating frequency in GHz (power[mW] = energy[pJ/cycle] * f_ghz).
+  double frequency_ghz = 1.0;
+
+  /// p_reg: clock-pin internal energy of a register, per active clock
+  /// cycle (pJ).  This is the value Eq. 7 looks up from the library.
+  double clock_pin_energy = 0.0022;
+
+  /// p_latch: clock-pin energy of the latch inside a clock-gating cell,
+  /// per active cycle (pJ).
+  double gating_latch_energy = 0.0036;
+
+  /// Data-path (non-clock) energy of one register per data toggle (pJ).
+  double register_toggle_energy = 0.0011;
+
+  /// Static leakage of one register (pJ/cycle).
+  double register_leakage = 0.00008;
+
+  /// Dynamic energy of one combinational cell per unit toggle rate (pJ).
+  double comb_toggle_energy = 0.00052;
+
+  /// Static leakage of one combinational cell (pJ/cycle).
+  double comb_leakage = 0.00003;
+
+  /// Returns the library used for every experiment in the paper repro.
+  [[nodiscard]] static const TechLibrary& default_40nm();
+
+  /// Converts a per-cycle energy (pJ) into power (mW) at this node.
+  [[nodiscard]] double power_mw(double energy_pj_per_cycle) const noexcept {
+    return energy_pj_per_cycle * frequency_ghz;
+  }
+};
+
+}  // namespace autopower::techlib

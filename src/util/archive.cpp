@@ -1,0 +1,142 @@
+#include "util/archive.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <istream>
+#include <ostream>
+
+#include "util/error.hpp"
+
+namespace autopower::util {
+
+namespace {
+
+std::string hex_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%a", v);
+  return buf;
+}
+
+double parse_double(const std::string& token, std::string_view tag) {
+  char* end = nullptr;
+  const double v = std::strtod(token.c_str(), &end);
+  AP_REQUIRE(end != nullptr && *end == '\0',
+             "archive: bad double for tag " + std::string(tag));
+  return v;
+}
+
+}  // namespace
+
+void ArchiveWriter::begin(std::string_view tag) {
+  AP_REQUIRE(!tag.empty() &&
+                 tag.find_first_of(" \t\n") == std::string_view::npos,
+             "archive tag must be a single token");
+  out_ << tag;
+}
+
+void ArchiveWriter::write(std::string_view tag, double value) {
+  begin(tag);
+  out_ << ' ' << hex_double(value) << '\n';
+}
+
+void ArchiveWriter::write(std::string_view tag, std::int64_t value) {
+  begin(tag);
+  out_ << ' ' << value << '\n';
+}
+
+void ArchiveWriter::write(std::string_view tag, bool value) {
+  begin(tag);
+  out_ << ' ' << (value ? 1 : 0) << '\n';
+}
+
+void ArchiveWriter::write(std::string_view tag, std::string_view token) {
+  AP_REQUIRE(!token.empty() &&
+                 token.find_first_of(" \t\n") == std::string_view::npos,
+             "archive string value must be a single non-empty token");
+  begin(tag);
+  out_ << ' ' << token << '\n';
+}
+
+void ArchiveWriter::write(std::string_view tag,
+                          std::span<const double> values) {
+  begin(tag);
+  out_ << ' ' << values.size();
+  for (double v : values) out_ << ' ' << hex_double(v);
+  out_ << '\n';
+}
+
+void ArchiveWriter::write(std::string_view tag,
+                          std::span<const std::int64_t> values) {
+  begin(tag);
+  out_ << ' ' << values.size();
+  for (std::int64_t v : values) out_ << ' ' << v;
+  out_ << '\n';
+}
+
+void ArchiveReader::expect(std::string_view tag) {
+  std::string seen;
+  AP_REQUIRE(static_cast<bool>(in_ >> seen),
+             "archive: unexpected end of stream, wanted tag " +
+                 std::string(tag));
+  AP_REQUIRE(seen == tag, "archive: expected tag '" + std::string(tag) +
+                              "', found '" + seen + "'");
+}
+
+double ArchiveReader::read_double(std::string_view tag) {
+  expect(tag);
+  std::string token;
+  AP_REQUIRE(static_cast<bool>(in_ >> token), "archive: missing value");
+  return parse_double(token, tag);
+}
+
+std::int64_t ArchiveReader::read_int(std::string_view tag) {
+  expect(tag);
+  std::int64_t v = 0;
+  AP_REQUIRE(static_cast<bool>(in_ >> v),
+             "archive: bad integer for tag " + std::string(tag));
+  return v;
+}
+
+bool ArchiveReader::read_bool(std::string_view tag) {
+  return read_int(tag) != 0;
+}
+
+std::string ArchiveReader::read_token(std::string_view tag) {
+  expect(tag);
+  std::string v;
+  AP_REQUIRE(static_cast<bool>(in_ >> v),
+             "archive: missing token for tag " + std::string(tag));
+  return v;
+}
+
+std::vector<double> ArchiveReader::read_doubles(std::string_view tag) {
+  expect(tag);
+  std::size_t n = 0;
+  AP_REQUIRE(static_cast<bool>(in_ >> n),
+             "archive: missing vector length for tag " + std::string(tag));
+  AP_REQUIRE(n < (1u << 26), "archive: implausible vector length");
+  std::vector<double> out(n);
+  std::string token;
+  for (std::size_t i = 0; i < n; ++i) {
+    AP_REQUIRE(static_cast<bool>(in_ >> token),
+               "archive: truncated vector for tag " + std::string(tag));
+    out[i] = parse_double(token, tag);
+  }
+  return out;
+}
+
+std::vector<std::int64_t> ArchiveReader::read_ints(std::string_view tag) {
+  expect(tag);
+  std::size_t n = 0;
+  AP_REQUIRE(static_cast<bool>(in_ >> n),
+             "archive: missing vector length for tag " + std::string(tag));
+  AP_REQUIRE(n < (1u << 26), "archive: implausible vector length");
+  std::vector<std::int64_t> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    AP_REQUIRE(static_cast<bool>(in_ >> out[i]),
+               "archive: truncated vector for tag " + std::string(tag));
+  }
+  return out;
+}
+
+}  // namespace autopower::util

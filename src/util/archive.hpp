@@ -1,0 +1,55 @@
+// Tagged text archive for model serialization.
+//
+// Trained AutoPower models are cheap to produce here, but in the real flow
+// they embody weeks of VLSI-flow label collection — a released library must
+// be able to persist them.  The format is deliberately simple and
+// diff-friendly: one `tag value...` line per field, vectors length-prefixed,
+// doubles round-tripped exactly via hex-float.  Readers verify every tag,
+// so schema drift fails loudly instead of mis-loading.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace autopower::util {
+
+/// Writes tagged fields to a text stream.
+class ArchiveWriter {
+ public:
+  explicit ArchiveWriter(std::ostream& out) : out_(out) {}
+
+  void write(std::string_view tag, double value);
+  void write(std::string_view tag, std::int64_t value);
+  void write(std::string_view tag, bool value);
+  /// Token must contain no whitespace.
+  void write(std::string_view tag, std::string_view token);
+  void write(std::string_view tag, std::span<const double> values);
+  void write(std::string_view tag, std::span<const std::int64_t> values);
+
+ private:
+  void begin(std::string_view tag);
+  std::ostream& out_;
+};
+
+/// Reads tagged fields back, verifying each tag.
+class ArchiveReader {
+ public:
+  explicit ArchiveReader(std::istream& in) : in_(in) {}
+
+  [[nodiscard]] double read_double(std::string_view tag);
+  [[nodiscard]] std::int64_t read_int(std::string_view tag);
+  [[nodiscard]] bool read_bool(std::string_view tag);
+  [[nodiscard]] std::string read_token(std::string_view tag);
+  [[nodiscard]] std::vector<double> read_doubles(std::string_view tag);
+  [[nodiscard]] std::vector<std::int64_t> read_ints(std::string_view tag);
+
+ private:
+  void expect(std::string_view tag);
+  std::istream& in_;
+};
+
+}  // namespace autopower::util

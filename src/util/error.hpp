@@ -1,0 +1,59 @@
+// Error handling utilities shared across the AutoPower libraries.
+//
+// Construction-time and configuration errors throw `autopower::util::Error`;
+// internal invariant violations use AP_ASSERT which throws in all build
+// types (the library is used from long-running experiment harnesses where
+// aborting loses partial results).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace autopower::util {
+
+/// Base exception for all AutoPower library errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when an API is called with arguments violating its preconditions.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when a model is used before being trained/fitted.
+class NotFitted : public Error {
+ public:
+  explicit NotFitted(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const std::string& msg) {
+  throw Error(std::string("assertion failed: ") + expr + " at " + file + ":" +
+              std::to_string(line) + (msg.empty() ? "" : (": " + msg)));
+}
+}  // namespace detail
+
+}  // namespace autopower::util
+
+#define AP_ASSERT(expr)                                                  \
+  do {                                                                   \
+    if (!(expr))                                                         \
+      ::autopower::util::detail::assert_fail(#expr, __FILE__, __LINE__, \
+                                             "");                       \
+  } while (0)
+
+#define AP_ASSERT_MSG(expr, msg)                                         \
+  do {                                                                   \
+    if (!(expr))                                                         \
+      ::autopower::util::detail::assert_fail(#expr, __FILE__, __LINE__, \
+                                             (msg));                    \
+  } while (0)
+
+#define AP_REQUIRE(expr, msg)                                    \
+  do {                                                           \
+    if (!(expr)) throw ::autopower::util::InvalidArgument(msg); \
+  } while (0)

@@ -1,0 +1,65 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace autopower::util {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  AP_REQUIRE(!header_.empty(), "table header must not be empty");
+}
+
+void TablePrinter::add_row(std::vector<std::string> row) {
+  AP_REQUIRE(row.size() == header_.size(),
+             "table row arity does not match header");
+  rows_.push_back(std::move(row));
+}
+
+std::string TablePrinter::to_string() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    width[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << (c == 0 ? "| " : " | ") << std::setw(static_cast<int>(width[c]))
+          << row[c];
+    }
+    out << " |\n";
+  };
+
+  emit_row(header_);
+  out << '|';
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    out << std::string(width[c] + 2, '-') << '|';
+  }
+  out << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+void TablePrinter::print(std::ostream& os) const { os << to_string(); }
+
+std::string fmt(double value, int precision) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(precision) << value;
+  return out.str();
+}
+
+std::string fmt_pct(double value, int precision) {
+  return fmt(value, precision) + "%";
+}
+
+}  // namespace autopower::util

@@ -1,0 +1,43 @@
+// Plain-text table rendering for experiment harness output.
+//
+// The benchmark binaries print paper-style tables (rows of MAPE / R² per
+// method, per-component summaries, power-trace error tables).  TablePrinter
+// right-aligns numeric columns and pads with spaces so the output is
+// readable both in a terminal and when diffed between runs.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace autopower::util {
+
+/// Column-aligned text table with a header row.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends a data row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Renders with column separators and a header rule.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Convenience: renders to an output stream.
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (default 2 decimal places).
+[[nodiscard]] std::string fmt(double value, int precision = 2);
+
+/// Formats a double as a percentage string, e.g. 4.36 -> "4.36%".
+[[nodiscard]] std::string fmt_pct(double value, int precision = 2);
+
+}  // namespace autopower::util

@@ -1,0 +1,154 @@
+// Tests for the tagged text archive and ML-model serialization.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <sstream>
+
+#include "ml/gbt.hpp"
+#include "ml/linear.hpp"
+#include "util/archive.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace autopower {
+namespace {
+
+TEST(Archive, RoundTripsScalars) {
+  std::stringstream buf;
+  util::ArchiveWriter w(buf);
+  w.write("a", 3.14159);
+  w.write("b", std::int64_t{-42});
+  w.write("c", true);
+  w.write("d", std::string_view("token-value"));
+
+  util::ArchiveReader r(buf);
+  EXPECT_DOUBLE_EQ(r.read_double("a"), 3.14159);
+  EXPECT_EQ(r.read_int("b"), -42);
+  EXPECT_TRUE(r.read_bool("c"));
+  EXPECT_EQ(r.read_token("d"), "token-value");
+}
+
+TEST(Archive, RoundTripsDoublesExactly) {
+  // Hex-float round-trip must be bit exact, including awkward values.
+  const std::array values{0.1, 1.0 / 3.0, 1e-300, 1e300, -0.0,
+                          6.02214076e23, 0x1.fffffffffffffp+1};
+  std::stringstream buf;
+  util::ArchiveWriter w(buf);
+  w.write("v", std::span<const double>(values));
+  util::ArchiveReader r(buf);
+  const auto loaded = r.read_doubles("v");
+  ASSERT_EQ(loaded.size(), values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(loaded[i]),
+              std::bit_cast<std::uint64_t>(values[i]))
+        << "index " << i;
+  }
+}
+
+TEST(Archive, RoundTripsIntVectors) {
+  const std::array<std::int64_t, 4> values{-1, 0, 1, 1'000'000'000'000LL};
+  std::stringstream buf;
+  util::ArchiveWriter w(buf);
+  w.write("ints", std::span<const std::int64_t>(values));
+  util::ArchiveReader r(buf);
+  const auto loaded = r.read_ints("ints");
+  EXPECT_EQ(std::vector<std::int64_t>(values.begin(), values.end()), loaded);
+}
+
+TEST(Archive, TagMismatchThrows) {
+  std::stringstream buf;
+  util::ArchiveWriter w(buf);
+  w.write("expected", 1.0);
+  util::ArchiveReader r(buf);
+  EXPECT_THROW((void)r.read_double("different"), util::InvalidArgument);
+}
+
+TEST(Archive, TruncationThrows) {
+  std::stringstream buf;
+  buf << "vec 5 0x1p+0 0x1p+1";  // claims 5, provides 2
+  util::ArchiveReader r(buf);
+  EXPECT_THROW((void)r.read_doubles("vec"), util::InvalidArgument);
+}
+
+TEST(Archive, RejectsBadTagsAndTokens) {
+  std::stringstream buf;
+  util::ArchiveWriter w(buf);
+  EXPECT_THROW(w.write("has space", 1.0), util::InvalidArgument);
+  EXPECT_THROW(w.write("tag", std::string_view("two words")),
+               util::InvalidArgument);
+  EXPECT_THROW(w.write("tag", std::string_view("")),
+               util::InvalidArgument);
+}
+
+TEST(Archive, EndOfStreamThrows) {
+  std::stringstream buf;
+  util::ArchiveReader r(buf);
+  EXPECT_THROW((void)r.read_double("missing"), util::InvalidArgument);
+}
+
+ml::Dataset make_dataset(std::size_t n) {
+  ml::Dataset data({"a", "b", "c"});
+  util::Rng rng(5);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::array f{rng.next_range(0.0, 4.0), rng.next_range(0.0, 2.0),
+                       rng.next_range(-1.0, 1.0)};
+    data.add_sample(f, 2.0 * f[0] - f[1] + (f[2] > 0.0 ? 3.0 : 0.0));
+  }
+  return data;
+}
+
+TEST(Serialization, RidgeRoundTrip) {
+  const auto data = make_dataset(40);
+  ml::RidgeRegression original(
+      ml::RidgeOptions{.lambda = 1e-5, .nonnegative_prediction = true});
+  original.fit(data);
+
+  std::stringstream buf;
+  util::ArchiveWriter w(buf);
+  original.save(w);
+  ml::RidgeRegression restored;
+  util::ArchiveReader r(buf);
+  restored.load(r);
+
+  EXPECT_TRUE(restored.fitted());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_DOUBLE_EQ(original.predict(data.features(i)),
+                     restored.predict(data.features(i)));
+  }
+}
+
+TEST(Serialization, GbtRoundTripIsBitExact) {
+  const auto data = make_dataset(120);
+  ml::GBTRegressor original;
+  original.fit(data);
+  ASSERT_GT(original.num_trees(), 0u);
+
+  std::stringstream buf;
+  util::ArchiveWriter w(buf);
+  original.save(w);
+  ml::GBTRegressor restored;
+  util::ArchiveReader r(buf);
+  restored.load(r);
+
+  EXPECT_EQ(restored.num_trees(), original.num_trees());
+  EXPECT_DOUBLE_EQ(restored.base_score(), original.base_score());
+  util::Rng rng(9);
+  for (int i = 0; i < 50; ++i) {
+    const std::array f{rng.next_range(-1.0, 5.0), rng.next_range(-1.0, 3.0),
+                       rng.next_range(-2.0, 2.0)};
+    EXPECT_DOUBLE_EQ(original.predict(f), restored.predict(f));
+  }
+}
+
+TEST(Serialization, GbtRejectsCorruptArchive) {
+  std::stringstream buf;
+  buf << "gbt.rounds 120\n";  // then garbage
+  ml::GBTRegressor model;
+  util::ArchiveReader r(buf);
+  EXPECT_THROW(model.load(r), util::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace autopower

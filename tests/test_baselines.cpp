@@ -1,0 +1,167 @@
+// Tests for the baseline power models: McPAT analytical stand-in,
+// McPAT-Calib (+Component), and AutoPower-.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "baselines/autopower_minus.hpp"
+#include "baselines/mcpat_calib.hpp"
+#include "exp/dataset.hpp"
+#include "ml/metrics.hpp"
+#include "util/error.hpp"
+
+namespace autopower::baselines {
+namespace {
+
+class BaselineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    sim_ = new sim::PerfSimulator();
+    golden_ = new power::GoldenPowerModel();
+    data_ = new exp::ExperimentData(
+        exp::ExperimentData::build(*sim_, *golden_));
+    train_configs_ = new std::vector<std::string>(
+        exp::ExperimentData::training_configs(2));
+    train_ctx_ = new std::vector<core::EvalContext>(
+        data_->contexts_of(*train_configs_));
+  }
+  static void TearDownTestSuite() {
+    delete train_ctx_;
+    delete train_configs_;
+    delete data_;
+    delete golden_;
+    delete sim_;
+  }
+
+  static sim::PerfSimulator* sim_;
+  static power::GoldenPowerModel* golden_;
+  static exp::ExperimentData* data_;
+  static std::vector<std::string>* train_configs_;
+  static std::vector<core::EvalContext>* train_ctx_;
+};
+
+sim::PerfSimulator* BaselineTest::sim_ = nullptr;
+power::GoldenPowerModel* BaselineTest::golden_ = nullptr;
+exp::ExperimentData* BaselineTest::data_ = nullptr;
+std::vector<std::string>* BaselineTest::train_configs_ = nullptr;
+std::vector<core::EvalContext>* BaselineTest::train_ctx_ = nullptr;
+
+TEST_F(BaselineTest, McPatAnalyticalIsPositiveAndMonotone) {
+  const McPatAnalytical mcpat;
+  const auto& small = data_->samples().front();   // C1 workloads first
+  const auto& large = data_->samples().back();    // C15 workloads last
+  const double p_small =
+      mcpat.total_power(*small.ctx.cfg, small.ctx.events);
+  const double p_large =
+      mcpat.total_power(*large.ctx.cfg, large.ctx.events);
+  EXPECT_GT(p_small, 0.0);
+  EXPECT_GT(p_large, p_small);  // bigger cores estimated bigger
+}
+
+TEST_F(BaselineTest, McPatAnalyticalIsBiased) {
+  // Untrained analytical model: correlated with golden but with large
+  // absolute error (the motivation for calibration; paper Sec. I).
+  const McPatAnalytical mcpat;
+  std::vector<double> actual;
+  std::vector<double> estimate;
+  for (const auto& s : data_->samples()) {
+    actual.push_back(s.golden.total());
+    estimate.push_back(mcpat.total_power(*s.ctx.cfg, s.ctx.events));
+  }
+  EXPECT_GT(ml::pearson_r(actual, estimate), 0.5);  // carries signal
+  EXPECT_GT(ml::mape(actual, estimate), 15.0);      // but badly biased
+}
+
+TEST_F(BaselineTest, McPatCalibLearnsTrainingSet) {
+  McPatCalib model;
+  model.train(*train_ctx_, *golden_);
+  EXPECT_TRUE(model.trained());
+  std::vector<double> actual;
+  std::vector<double> pred;
+  for (const auto& ctx : *train_ctx_) {
+    actual.push_back(golden_->evaluate(*ctx.cfg, ctx.events).total());
+    pred.push_back(model.predict_total(ctx));
+  }
+  EXPECT_LT(ml::mape(actual, pred), 3.0);
+}
+
+TEST_F(BaselineTest, McPatCalibGeneralisesWorseThanTraining) {
+  McPatCalib model;
+  model.train(*train_ctx_, *golden_);
+  std::vector<double> actual;
+  std::vector<double> pred;
+  for (const auto* s : data_->samples_excluding(*train_configs_)) {
+    actual.push_back(s->golden.total());
+    pred.push_back(model.predict_total(s->ctx));
+  }
+  const double test_mape = ml::mape(actual, pred);
+  EXPECT_GT(test_mape, 3.0);   // few-shot generalisation gap exists
+  EXPECT_LT(test_mape, 30.0);  // but the model is not useless
+  EXPECT_GT(ml::pearson_r(actual, pred), 0.7);
+}
+
+TEST_F(BaselineTest, McPatCalibComponentSumsComponents) {
+  McPatCalibComponent model;
+  model.train(*train_ctx_, *golden_);
+  EXPECT_TRUE(model.trained());
+  const auto& ctx = data_->samples_excluding(*train_configs_)[0]->ctx;
+  double sum = 0.0;
+  for (arch::ComponentKind c : arch::all_components()) {
+    const double p = model.predict_component(c, ctx);
+    EXPECT_GE(p, 0.0);
+    sum += p;
+  }
+  EXPECT_NEAR(sum, model.predict_total(ctx), 1e-9);
+}
+
+TEST_F(BaselineTest, AutoPowerMinusPredictsGroups) {
+  AutoPowerMinus model;
+  model.train(*train_ctx_, *golden_);
+  EXPECT_TRUE(model.trained());
+  const auto& ctx = data_->samples_excluding(*train_configs_)[0]->ctx;
+  const auto result = model.predict(ctx);
+  ASSERT_EQ(result.components.size(), arch::kNumComponents);
+  EXPECT_NEAR(result.total(), model.predict_total(ctx), 1e-9);
+  for (arch::ComponentKind c : arch::all_components()) {
+    EXPECT_GE(model.predict_group(c, PowerGroup::kClock, ctx), 0.0);
+    EXPECT_GE(model.predict_group(c, PowerGroup::kSram, ctx), 0.0);
+    EXPECT_GE(model.predict_group(c, PowerGroup::kLogic, ctx), 0.0);
+  }
+}
+
+TEST_F(BaselineTest, AutoPowerMinusReasonableEndToEnd) {
+  AutoPowerMinus model;
+  model.train(*train_ctx_, *golden_);
+  std::vector<double> actual;
+  std::vector<double> pred;
+  for (const auto* s : data_->samples_excluding(*train_configs_)) {
+    actual.push_back(s->golden.total());
+    pred.push_back(model.predict_total(s->ctx));
+  }
+  EXPECT_LT(ml::mape(actual, pred), 15.0);
+  EXPECT_GT(ml::pearson_r(actual, pred), 0.9);
+}
+
+TEST_F(BaselineTest, BaselinesRejectEmptyTraining) {
+  std::vector<core::EvalContext> empty;
+  McPatCalib a;
+  EXPECT_THROW(a.train(empty, *golden_), util::InvalidArgument);
+  McPatCalibComponent b;
+  EXPECT_THROW(b.train(empty, *golden_), util::InvalidArgument);
+  AutoPowerMinus c;
+  EXPECT_THROW(c.train(empty, *golden_), util::InvalidArgument);
+}
+
+TEST_F(BaselineTest, UntrainedModelsThrow) {
+  const auto& ctx = data_->samples().front().ctx;
+  McPatCalib a;
+  EXPECT_THROW((void)a.predict_total(ctx), util::NotFitted);
+  McPatCalibComponent b;
+  EXPECT_THROW((void)b.predict_total(ctx), util::InvalidArgument);
+  AutoPowerMinus c;
+  EXPECT_THROW((void)c.predict_total(ctx), util::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace autopower::baselines

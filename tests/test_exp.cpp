@@ -1,0 +1,158 @@
+// Tests for the experiment harness: dataset building, training-set
+// selection, accuracy summaries, trace metrics, and the end-to-end
+// method comparison (the paper's headline claim as an integration test).
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "exp/accuracy.hpp"
+#include "exp/harness.hpp"
+#include "exp/trace.hpp"
+#include "util/error.hpp"
+
+namespace autopower::exp {
+namespace {
+
+class ExpTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    sim_ = new sim::PerfSimulator();
+    golden_ = new power::GoldenPowerModel();
+    data_ = new ExperimentData(ExperimentData::build(*sim_, *golden_));
+  }
+  static void TearDownTestSuite() {
+    delete data_;
+    delete golden_;
+    delete sim_;
+  }
+
+  static sim::PerfSimulator* sim_;
+  static power::GoldenPowerModel* golden_;
+  static ExperimentData* data_;
+};
+
+sim::PerfSimulator* ExpTest::sim_ = nullptr;
+power::GoldenPowerModel* ExpTest::golden_ = nullptr;
+ExperimentData* ExpTest::data_ = nullptr;
+
+TEST_F(ExpTest, GridIsComplete) {
+  // 15 configurations x 8 workloads.
+  EXPECT_EQ(data_->samples().size(), 120u);
+  std::set<std::pair<std::string, std::string>> seen;
+  for (const auto& s : data_->samples()) {
+    EXPECT_GT(s.golden.total(), 0.0);
+    EXPECT_GT(s.ctx.events.cycles(), 0.0);
+    seen.insert({s.ctx.cfg->name(), s.ctx.workload});
+  }
+  EXPECT_EQ(seen.size(), 120u);
+}
+
+TEST_F(ExpTest, TrainingConfigSelection) {
+  EXPECT_EQ(ExperimentData::training_configs(2),
+            (std::vector<std::string>{"C1", "C15"}));
+  EXPECT_EQ(ExperimentData::training_configs(3),
+            (std::vector<std::string>{"C1", "C8", "C15"}));
+  const auto k5 = ExperimentData::training_configs(5);
+  EXPECT_EQ(k5.size(), 5u);
+  EXPECT_EQ(k5.front(), "C1");
+  EXPECT_EQ(k5.back(), "C15");
+  // All distinct.
+  EXPECT_EQ(std::set<std::string>(k5.begin(), k5.end()).size(), 5u);
+  EXPECT_EQ(ExperimentData::training_configs(15).size(), 15u);
+  EXPECT_THROW((void)ExperimentData::training_configs(1),
+               util::InvalidArgument);
+  EXPECT_THROW((void)ExperimentData::training_configs(16),
+               util::InvalidArgument);
+}
+
+TEST_F(ExpTest, ContextAndExclusionViews) {
+  const auto train = ExperimentData::training_configs(2);
+  const auto ctx = data_->contexts_of(train);
+  EXPECT_EQ(ctx.size(), 16u);  // 2 configs x 8 workloads
+  const auto rest = data_->samples_excluding(train);
+  EXPECT_EQ(rest.size(), 104u);
+  for (const auto* s : rest) {
+    EXPECT_NE(s->ctx.cfg->name(), "C1");
+    EXPECT_NE(s->ctx.cfg->name(), "C15");
+  }
+  const std::vector<std::string> unknown{"C99"};
+  EXPECT_THROW((void)data_->contexts_of(unknown), util::InvalidArgument);
+}
+
+TEST_F(ExpTest, AccuracySummary) {
+  const std::vector<double> actual{100.0, 200.0, 300.0};
+  const std::vector<double> pred{110.0, 190.0, 310.0};
+  const auto acc = compute_accuracy(actual, pred);
+  EXPECT_NEAR(acc.mape, (10.0 + 5.0 + 10.0 / 3.0) / 3.0, 1e-9);
+  EXPECT_GT(acc.r2, 0.95);
+  EXPECT_GT(acc.pearson, 0.99);
+  EXPECT_EQ(acc.n, 3u);
+  EXPECT_FALSE(acc.to_string().empty());
+}
+
+TEST_F(ExpTest, TraceErrorsMetrics) {
+  const std::vector<double> golden{10.0, 20.0, 30.0};
+  const std::vector<double> pred{11.0, 18.0, 33.0};
+  const auto err = trace_errors(golden, pred);
+  EXPECT_NEAR(err.max_power_error, 10.0, 1e-9);   // 33 vs 30
+  EXPECT_NEAR(err.min_power_error, 10.0, 1e-9);   // 11 vs 10
+  EXPECT_NEAR(err.average_error, (10.0 + 10.0 + 10.0) / 3.0, 1e-9);
+  EXPECT_THROW((void)trace_errors(golden, {}), util::InvalidArgument);
+}
+
+TEST_F(ExpTest, BuildTraceProducesAlignedWindows) {
+  const auto& cfg = arch::boom_config("C2");
+  const auto trace = build_trace(*sim_, *golden_, cfg,
+                                 workload::workload_by_name("towers"));
+  ASSERT_FALSE(trace.windows.empty());
+  EXPECT_EQ(trace.windows.size(), trace.golden_total.size());
+  EXPECT_EQ(trace.window_cycles, 50);
+  EXPECT_GT(trace.total_cycles, 0.0);
+  for (const auto& w : trace.windows) {
+    EXPECT_EQ(w.cfg, &cfg);
+    EXPECT_EQ(w.workload, "towers");
+  }
+}
+
+TEST_F(ExpTest, HeadlineComparisonShape) {
+  // The paper's central claim as an integration test: at k=2, AutoPower
+  // beats McPAT-Calib on MAPE and R^2, and beats the +Component ablation.
+  MethodSelection sel;
+  sel.autopower_minus = true;
+  const auto results = compare_methods(*data_, *golden_, 2, sel);
+  ASSERT_EQ(results.size(), 4u);
+  const auto& autopower = results[0];
+  const auto& mcpat = results[1];
+  const auto& mcpat_comp = results[2];
+  const auto& minus = results[3];
+
+  EXPECT_EQ(autopower.method, "AutoPower");
+  EXPECT_LT(autopower.accuracy.mape, mcpat.accuracy.mape);
+  EXPECT_LT(autopower.accuracy.mape, mcpat_comp.accuracy.mape);
+  EXPECT_LT(autopower.accuracy.mape, minus.accuracy.mape);
+  EXPECT_GT(autopower.accuracy.r2, mcpat.accuracy.r2);
+  // Absolute bands (generous envelopes around the paper's numbers).
+  EXPECT_LT(autopower.accuracy.mape, 7.0);
+  EXPECT_GT(autopower.accuracy.r2, 0.9);
+  EXPECT_GT(mcpat.accuracy.mape, 6.0);
+}
+
+TEST_F(ExpTest, EvaluatePredictorAlignsSamples) {
+  const auto train = ExperimentData::training_configs(2);
+  const auto result = evaluate_predictor(
+      *data_, train, "golden-oracle",
+      [&](const core::EvalContext& ctx) {
+        return golden_->evaluate(*ctx.cfg, ctx.events).total();
+      });
+  EXPECT_EQ(result.method, "golden-oracle");
+  EXPECT_EQ(result.actual.size(), 104u);
+  EXPECT_NEAR(result.accuracy.mape, 0.0, 1e-9);
+  EXPECT_NEAR(result.accuracy.r2, 1.0, 1e-12);
+  EXPECT_EQ(result.sample_names.size(), 104u);
+  EXPECT_EQ(result.sample_names[0].substr(0, 3), "C2/");
+}
+
+}  // namespace
+}  // namespace autopower::exp

@@ -1,0 +1,155 @@
+// Cross-module property sweeps: invariants of the full golden pipeline and
+// the trained AutoPower model over the entire design space.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "core/autopower.hpp"
+#include "exp/dataset.hpp"
+#include "ml/metrics.hpp"
+
+namespace autopower {
+namespace {
+
+/// Shared heavyweight fixture.
+struct Pipeline {
+  sim::PerfSimulator sim;
+  power::GoldenPowerModel golden;
+  exp::ExperimentData data;
+  core::AutoPowerModel model;
+
+  Pipeline() : data(exp::ExperimentData::build(sim, golden)) {
+    model.train(
+        data.contexts_of(exp::ExperimentData::training_configs(2)),
+        golden);
+  }
+};
+
+Pipeline& pipeline() {
+  static Pipeline p;
+  return p;
+}
+
+// Property: golden power is strictly positive and finitely bounded for
+// every (configuration, workload) grid point, and groups always sum.
+class GoldenGridProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(GoldenGridProperty, GoldenInvariantsHoldPerConfig) {
+  auto& p = pipeline();
+  const auto& cfg =
+      arch::boom_design_space()[static_cast<std::size_t>(GetParam())];
+  for (const auto& s : p.data.samples()) {
+    if (s.ctx.cfg != &cfg) continue;
+    const auto t = s.golden.totals();
+    EXPECT_GT(t.clock, 0.0);
+    EXPECT_GT(t.sram, 0.0);
+    EXPECT_GT(t.logic(), 0.0);
+    EXPECT_LT(t.total(), 500.0);
+    EXPECT_NEAR(t.total(), t.clock + t.sram + t.logic(), 1e-9);
+    // Clock + SRAM dominance (Observation 1) holds pointwise, loosely.
+    EXPECT_GT((t.clock + t.sram) / t.total(), 0.5)
+        << cfg.name() << "/" << s.ctx.workload;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllConfigs, GoldenGridProperty,
+                         ::testing::Range(0, 15));
+
+// Property: the trained model's per-config MAPE is bounded on every
+// held-out configuration (no catastrophic configuration).
+class ModelPerConfigProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ModelPerConfigProperty, HeldOutConfigErrorBounded) {
+  auto& p = pipeline();
+  const auto& cfg =
+      arch::boom_design_space()[static_cast<std::size_t>(GetParam())];
+  if (cfg.name() == "C1" || cfg.name() == "C15") {
+    GTEST_SKIP() << "training configuration";
+  }
+  std::vector<double> actual;
+  std::vector<double> pred;
+  for (const auto& s : p.data.samples()) {
+    if (s.ctx.cfg != &cfg) continue;
+    actual.push_back(s.golden.total());
+    pred.push_back(p.model.predict_total(s.ctx));
+  }
+  ASSERT_EQ(actual.size(), 8u);
+  EXPECT_LT(ml::mape(actual, pred), 18.0) << cfg.name();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllConfigs, ModelPerConfigProperty,
+                         ::testing::Range(0, 15));
+
+// Property: per-workload accuracy is bounded too (no pathological
+// workload).
+class ModelPerWorkloadProperty
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ModelPerWorkloadProperty, HeldOutWorkloadErrorBounded) {
+  auto& p = pipeline();
+  const std::string workload = GetParam();
+  std::vector<double> actual;
+  std::vector<double> pred;
+  for (const auto& s : p.data.samples()) {
+    if (s.ctx.workload != workload) continue;
+    if (s.ctx.cfg->name() == "C1" || s.ctx.cfg->name() == "C15") continue;
+    actual.push_back(s.golden.total());
+    pred.push_back(p.model.predict_total(s.ctx));
+  }
+  ASSERT_EQ(actual.size(), 13u);
+  EXPECT_LT(ml::mape(actual, pred), 15.0) << workload;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, ModelPerWorkloadProperty,
+                         ::testing::Values("dhrystone", "median", "multiply",
+                                           "qsort", "rsort", "towers",
+                                           "spmv", "vvadd"));
+
+// Property: the event vector of every grid point satisfies the pipeline's
+// conservation laws (committed <= decoded, misses <= accesses, occupancy
+// within capacity) — the whole grid, not just spot checks.
+TEST(GridConsistency, EventInvariantsAcrossGrid) {
+  auto& p = pipeline();
+  using E = arch::EventKind;
+  for (const auto& s : p.data.samples()) {
+    const auto& ev = s.ctx.events;
+    EXPECT_LE(ev[E::kCommittedUops], ev[E::kDecodedUops] * 1.001);
+    EXPECT_LE(ev[E::kICacheMisses], ev[E::kICacheAccesses] + 1e-9);
+    EXPECT_LE(ev[E::kDcacheMisses], ev[E::kDcacheAccesses] + 1e-9);
+    EXPECT_LE(ev[E::kBpMispredicts], ev[E::kBranches] + 1e-9);
+    EXPECT_LE(ev.rate(E::kRobOccupancy),
+              s.ctx.cfg->value_d(arch::HwParam::kRobEntry));
+  }
+}
+
+// Property: scaling the evaluation window does not change predicted power
+// (rates are window-invariant): duplicate the events and compare.
+TEST(GridConsistency, PredictionIsWindowScaleInvariant) {
+  auto& p = pipeline();
+  const auto& s = p.data.samples().front();
+  core::EvalContext doubled = s.ctx;
+  arch::EventVector twice = s.ctx.events;
+  twice += s.ctx.events;
+  doubled.events = twice;
+  EXPECT_NEAR(p.model.predict_total(s.ctx),
+              p.model.predict_total(doubled),
+              1e-9 * p.model.predict_total(s.ctx));
+}
+
+// Property: the golden flow is scale-consistent as well (power depends on
+// rates, not on window length).
+TEST(GridConsistency, GoldenIsWindowScaleInvariant) {
+  auto& p = pipeline();
+  const auto& s = p.data.samples().back();
+  arch::EventVector twice = s.ctx.events;
+  twice += s.ctx.events;
+  // Same rates but different jitter key: allow the waveform-noise band.
+  const double a = p.golden.evaluate(*s.ctx.cfg, s.ctx.events).total();
+  const double b = p.golden.evaluate(*s.ctx.cfg, twice).total();
+  EXPECT_NEAR(a, b, 0.05 * a);
+}
+
+}  // namespace
+}  // namespace autopower

@@ -1,0 +1,167 @@
+// Unit and property tests for ridge regression.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "ml/linear.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace autopower::ml {
+namespace {
+
+Dataset linear_dataset(std::size_t n, double slope, double intercept,
+                       double noise_amp = 0.0, std::uint64_t seed = 1) {
+  Dataset data({"x"});
+  util::Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = static_cast<double>(i);
+    const double y =
+        slope * x + intercept + noise_amp * rng.next_range(-1.0, 1.0);
+    data.add_sample(std::array{x}, y);
+  }
+  return data;
+}
+
+TEST(Ridge, RecoversExactLine) {
+  RidgeRegression model(RidgeOptions{.lambda = 1e-8});
+  model.fit(linear_dataset(10, 3.0, -2.0));
+  EXPECT_NEAR(model.coefficients()[0], 3.0, 1e-5);
+  EXPECT_NEAR(model.intercept(), -2.0, 1e-4);
+  EXPECT_NEAR(model.predict(std::array{100.0}), 298.0, 1e-2);
+}
+
+TEST(Ridge, TwoPointFitIsExact) {
+  // The paper's few-shot regime: two configurations, one feature.
+  Dataset data({"DecodeWidth"});
+  data.add_sample(std::array{1.0}, 1100.0);
+  data.add_sample(std::array{5.0}, 3900.0);
+  RidgeRegression model(RidgeOptions{.lambda = 1e-8});
+  model.fit(data);
+  EXPECT_NEAR(model.predict(std::array{3.0}), 2500.0, 1.0);
+}
+
+TEST(Ridge, MultiFeatureRecovery) {
+  Dataset data({"a", "b", "c"});
+  util::Rng rng(9);
+  for (int i = 0; i < 60; ++i) {
+    const double a = rng.next_range(0.0, 8.0);
+    const double b = rng.next_range(0.0, 4.0);
+    const double c = rng.next_range(0.0, 2.0);
+    data.add_sample(std::array{a, b, c}, 2.0 * a - 1.0 * b + 5.0 * c + 7.0);
+  }
+  RidgeRegression model(RidgeOptions{.lambda = 1e-8});
+  model.fit(data);
+  EXPECT_NEAR(model.coefficients()[0], 2.0, 1e-6);
+  EXPECT_NEAR(model.coefficients()[1], -1.0, 1e-6);
+  EXPECT_NEAR(model.coefficients()[2], 5.0, 1e-6);
+  EXPECT_NEAR(model.intercept(), 7.0, 1e-6);
+}
+
+TEST(Ridge, UnderdeterminedStillPredicts) {
+  // 2 samples, 3 features: the L2 penalty makes the problem well-posed.
+  Dataset data({"a", "b", "c"});
+  data.add_sample(std::array{1.0, 2.0, 3.0}, 10.0);
+  data.add_sample(std::array{2.0, 4.0, 5.0}, 18.0);
+  RidgeRegression model;
+  model.fit(data);
+  // Must interpolate the training points reasonably well.
+  EXPECT_NEAR(model.predict(std::array{1.0, 2.0, 3.0}), 10.0, 0.5);
+  EXPECT_NEAR(model.predict(std::array{2.0, 4.0, 5.0}), 18.0, 0.5);
+}
+
+TEST(Ridge, ConstantTargetGivesConstantModel) {
+  Dataset data({"x"});
+  for (int i = 0; i < 5; ++i) {
+    data.add_sample(std::array{static_cast<double>(i)}, 42.0);
+  }
+  RidgeRegression model;
+  model.fit(data);
+  EXPECT_NEAR(model.predict(std::array{-100.0}), 42.0, 1e-6);
+  EXPECT_NEAR(model.predict(std::array{100.0}), 42.0, 1e-6);
+}
+
+TEST(Ridge, ConstantFeatureIsIgnoredGracefully) {
+  Dataset data({"x", "const"});
+  for (int i = 0; i < 8; ++i) {
+    data.add_sample(std::array{static_cast<double>(i), 3.0},
+                    2.0 * i + 1.0);
+  }
+  RidgeRegression model(RidgeOptions{.lambda = 1e-8});
+  model.fit(data);
+  EXPECT_NEAR(model.predict(std::array{10.0, 3.0}), 21.0, 1e-4);
+}
+
+TEST(Ridge, LargerLambdaShrinksCoefficients) {
+  const auto data = linear_dataset(20, 4.0, 0.0, 0.5, 3);
+  RidgeRegression weak(RidgeOptions{.lambda = 1e-6});
+  RidgeRegression strong(RidgeOptions{.lambda = 1e4});
+  weak.fit(data);
+  strong.fit(data);
+  EXPECT_LT(std::abs(strong.coefficients()[0]),
+            std::abs(weak.coefficients()[0]));
+}
+
+TEST(Ridge, NonnegativeClampApplies) {
+  Dataset data({"x"});
+  data.add_sample(std::array{0.0}, 1.0);
+  data.add_sample(std::array{1.0}, 0.2);
+  RidgeRegression model(
+      RidgeOptions{.lambda = 1e-8, .nonnegative_prediction = true});
+  model.fit(data);
+  EXPECT_GE(model.predict(std::array{100.0}), 0.0);
+}
+
+TEST(Ridge, SingleSampleFit) {
+  Dataset data({"x"});
+  data.add_sample(std::array{2.0}, 5.0);
+  RidgeRegression model;
+  model.fit(data);
+  EXPECT_NEAR(model.predict(std::array{2.0}), 5.0, 1e-9);
+}
+
+TEST(Ridge, ErrorsOnMisuse) {
+  RidgeRegression model;
+  EXPECT_FALSE(model.fitted());
+  EXPECT_THROW((void)model.predict(std::array{1.0}), util::NotFitted);
+  Dataset empty({"x"});
+  EXPECT_THROW(model.fit(empty), util::InvalidArgument);
+
+  model.fit(linear_dataset(4, 1.0, 0.0));
+  EXPECT_TRUE(model.fitted());
+  EXPECT_THROW((void)model.predict(std::array{1.0, 2.0}), util::InvalidArgument);
+}
+
+TEST(Ridge, PredictAllMatchesPredict) {
+  const auto data = linear_dataset(12, 2.0, 1.0, 0.1, 5);
+  RidgeRegression model;
+  model.fit(data);
+  const auto all = model.predict_all(data);
+  ASSERT_EQ(all.size(), data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_DOUBLE_EQ(all[i], model.predict(data.features(i)));
+  }
+}
+
+// Property sweep: exact recovery holds for a grid of slopes/intercepts.
+class RidgeRecovery
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(RidgeRecovery, RecoversParams) {
+  const auto [slope, intercept] = GetParam();
+  RidgeRegression model(RidgeOptions{.lambda = 1e-9});
+  model.fit(linear_dataset(16, slope, intercept));
+  EXPECT_NEAR(model.coefficients()[0], slope, 1e-4 + 1e-6 * std::abs(slope));
+  EXPECT_NEAR(model.intercept(), intercept,
+              1e-3 + 1e-6 * std::abs(intercept));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SlopesAndIntercepts, RidgeRecovery,
+    ::testing::Combine(::testing::Values(-100.0, -1.0, 0.0, 0.5, 42.0),
+                       ::testing::Values(-7.0, 0.0, 1234.5)));
+
+}  // namespace
+}  // namespace autopower::ml

@@ -1,0 +1,118 @@
+// Unit tests for the dense matrix and the Cholesky solver.
+
+#include <gtest/gtest.h>
+
+#include "ml/matrix.hpp"
+#include "util/error.hpp"
+
+namespace autopower::ml {
+namespace {
+
+TEST(Matrix, ConstructionAndAccess) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 1) = -4.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), -4.0);
+}
+
+TEST(Matrix, InitializerList) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}};
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(2, 1), 6.0);
+}
+
+TEST(Matrix, RaggedInitializerThrows) {
+  EXPECT_THROW((Matrix{{1.0, 2.0}, {3.0}}), util::InvalidArgument);
+}
+
+TEST(Matrix, TransposeTimesMatrix) {
+  // A = [[1,2],[3,4]]; A^T A = [[10,14],[14,20]].
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const Matrix g = a.transpose_times(a);
+  EXPECT_DOUBLE_EQ(g(0, 0), 10.0);
+  EXPECT_DOUBLE_EQ(g(0, 1), 14.0);
+  EXPECT_DOUBLE_EQ(g(1, 0), 14.0);
+  EXPECT_DOUBLE_EQ(g(1, 1), 20.0);
+}
+
+TEST(Matrix, TimesVector) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const auto y = a.times({1.0, -1.0});
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_DOUBLE_EQ(y[0], -1.0);
+  EXPECT_DOUBLE_EQ(y[1], -1.0);
+}
+
+TEST(Matrix, TransposeTimesVector) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const auto y = a.transpose_times(std::vector<double>{1.0, 1.0});
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_DOUBLE_EQ(y[0], 4.0);
+  EXPECT_DOUBLE_EQ(y[1], 6.0);
+}
+
+TEST(Matrix, DimensionMismatchThrows) {
+  Matrix a(2, 3);
+  Matrix b(3, 2);
+  EXPECT_THROW(a.transpose_times(b), util::InvalidArgument);
+  EXPECT_THROW(a.times({1.0}), util::InvalidArgument);
+}
+
+TEST(Matrix, Identity) {
+  const Matrix i = Matrix::identity(3);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(i(r, c), r == c ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(CholeskySolve, SolvesSpdSystem) {
+  // A = [[4,2],[2,3]], b = [6,5] -> x = [1,1].
+  Matrix a{{4.0, 2.0}, {2.0, 3.0}};
+  const auto x = cholesky_solve(a, {6.0, 5.0});
+  ASSERT_EQ(x.size(), 2u);
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 1.0, 1e-12);
+}
+
+TEST(CholeskySolve, SolvesLargerSystem) {
+  // Build A = B^T B + I (SPD) and verify A x = b round-trips.
+  const std::size_t n = 6;
+  Matrix b(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      b(r, c) = static_cast<double>((r * 7 + c * 3) % 5) - 2.0;
+    }
+  }
+  Matrix a = b.transpose_times(b);
+  for (std::size_t i = 0; i < n; ++i) a(i, i) += 1.0;
+
+  std::vector<double> x_true(n);
+  for (std::size_t i = 0; i < n; ++i) x_true[i] = static_cast<double>(i) - 2.5;
+  const auto rhs = a.times(x_true);
+  const auto x = cholesky_solve(a, rhs);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(x[i], x_true[i], 1e-9) << "index " << i;
+  }
+}
+
+TEST(CholeskySolve, RejectsNonSpd) {
+  Matrix a{{0.0, 0.0}, {0.0, 0.0}};
+  EXPECT_THROW(cholesky_solve(a, {1.0, 1.0}), util::Error);
+  Matrix indefinite{{1.0, 2.0}, {2.0, 1.0}};  // eigenvalues 3, -1
+  EXPECT_THROW(cholesky_solve(indefinite, {1.0, 1.0}), util::Error);
+}
+
+TEST(CholeskySolve, RejectsBadShapes) {
+  Matrix a(2, 3);
+  EXPECT_THROW(cholesky_solve(a, {1.0, 1.0}), util::InvalidArgument);
+  Matrix b(2, 2, 1.0);
+  EXPECT_THROW(cholesky_solve(b, {1.0}), util::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace autopower::ml

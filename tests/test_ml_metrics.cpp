@@ -1,0 +1,148 @@
+// Unit tests for the regression metrics and the Dataset container.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include "ml/dataset.hpp"
+#include "ml/metrics.hpp"
+#include "util/error.hpp"
+
+namespace autopower::ml {
+namespace {
+
+TEST(Mape, PerfectPredictionIsZero) {
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(mape(a, a), 0.0);
+}
+
+TEST(Mape, KnownValue) {
+  const std::vector<double> actual{100.0, 200.0};
+  const std::vector<double> pred{110.0, 180.0};
+  // (10% + 10%) / 2 = 10%.
+  EXPECT_NEAR(mape(actual, pred), 10.0, 1e-12);
+}
+
+TEST(Mape, SkipsNearZeroActuals) {
+  const std::vector<double> actual{0.0, 100.0};
+  const std::vector<double> pred{50.0, 110.0};
+  EXPECT_NEAR(mape(actual, pred), 10.0, 1e-12);
+}
+
+TEST(Mape, AllZeroActualsThrow) {
+  const std::vector<double> actual{0.0, 0.0};
+  const std::vector<double> pred{1.0, 2.0};
+  EXPECT_THROW((void)mape(actual, pred), util::InvalidArgument);
+}
+
+TEST(R2, PerfectIsOne) {
+  const std::vector<double> a{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(r2_score(a, a), 1.0);
+}
+
+TEST(R2, MeanPredictorIsZero) {
+  const std::vector<double> actual{1.0, 2.0, 3.0};
+  const std::vector<double> pred{2.0, 2.0, 2.0};
+  EXPECT_NEAR(r2_score(actual, pred), 0.0, 1e-12);
+}
+
+TEST(R2, WorseThanMeanIsNegative) {
+  const std::vector<double> actual{1.0, 2.0, 3.0};
+  const std::vector<double> pred{3.0, 2.0, 1.0};
+  EXPECT_LT(r2_score(actual, pred), 0.0);
+}
+
+TEST(R2, ConstantActuals) {
+  const std::vector<double> actual{2.0, 2.0};
+  EXPECT_DOUBLE_EQ(r2_score(actual, actual), 1.0);
+  const std::vector<double> off{2.5, 1.5};
+  EXPECT_DOUBLE_EQ(r2_score(actual, off), 0.0);
+}
+
+TEST(Pearson, PerfectCorrelation) {
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  const std::vector<double> b{10.0, 20.0, 30.0};
+  EXPECT_NEAR(pearson_r(a, b), 1.0, 1e-12);
+}
+
+TEST(Pearson, PerfectAntiCorrelation) {
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  const std::vector<double> b{3.0, 2.0, 1.0};
+  EXPECT_NEAR(pearson_r(a, b), -1.0, 1e-12);
+}
+
+TEST(Pearson, ScaleAndShiftInvariant) {
+  const std::vector<double> a{1.0, 5.0, 2.0, 8.0};
+  std::vector<double> b;
+  for (double v : a) b.push_back(3.0 * v - 7.0);
+  EXPECT_NEAR(pearson_r(a, b), 1.0, 1e-12);
+}
+
+TEST(Pearson, ZeroVarianceGivesZero) {
+  const std::vector<double> a{2.0, 2.0, 2.0};
+  const std::vector<double> b{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(pearson_r(a, b), 0.0);
+}
+
+TEST(Rmse, KnownValue) {
+  const std::vector<double> a{0.0, 0.0};
+  const std::vector<double> p{3.0, 4.0};
+  EXPECT_NEAR(rmse(a, p), std::sqrt(12.5), 1e-12);
+}
+
+TEST(Mae, KnownValue) {
+  const std::vector<double> a{0.0, 0.0};
+  const std::vector<double> p{3.0, -4.0};
+  EXPECT_DOUBLE_EQ(mae(a, p), 3.5);
+}
+
+TEST(Metrics, RejectMismatchedSizes) {
+  const std::vector<double> a{1.0, 2.0};
+  const std::vector<double> b{1.0};
+  EXPECT_THROW((void)mape(a, b), util::InvalidArgument);
+  EXPECT_THROW((void)r2_score(a, b), util::InvalidArgument);
+  EXPECT_THROW((void)pearson_r(a, b), util::InvalidArgument);
+  EXPECT_THROW((void)rmse(a, b), util::InvalidArgument);
+  EXPECT_THROW((void)mae(a, b), util::InvalidArgument);
+}
+
+TEST(Dataset, SchemaAndSamples) {
+  Dataset data({"a", "b"});
+  EXPECT_TRUE(data.empty());
+  data.add_sample(std::array{1.0, 2.0}, 3.0);
+  data.add_sample(std::array{4.0, 5.0}, 6.0);
+  EXPECT_EQ(data.size(), 2u);
+  EXPECT_EQ(data.num_features(), 2u);
+  EXPECT_DOUBLE_EQ(data.target(1), 6.0);
+  EXPECT_DOUBLE_EQ(data.features(0)[1], 2.0);
+}
+
+TEST(Dataset, ColumnGather) {
+  Dataset data({"a", "b"});
+  data.add_sample(std::array{1.0, 2.0}, 0.0);
+  data.add_sample(std::array{3.0, 4.0}, 0.0);
+  const auto col = data.column(1);
+  ASSERT_EQ(col.size(), 2u);
+  EXPECT_DOUBLE_EQ(col[0], 2.0);
+  EXPECT_DOUBLE_EQ(col[1], 4.0);
+}
+
+TEST(Dataset, FeatureIndexLookup) {
+  Dataset data({"alpha", "beta"});
+  EXPECT_EQ(data.feature_index("beta"), 1u);
+  EXPECT_THROW((void)data.feature_index("gamma"), util::InvalidArgument);
+}
+
+TEST(Dataset, RejectsBadInputs) {
+  EXPECT_THROW(Dataset(std::vector<std::string>{}), util::InvalidArgument);
+  Dataset data({"a"});
+  EXPECT_THROW(data.add_sample(std::array{1.0, 2.0}, 0.0),
+               util::InvalidArgument);
+  EXPECT_THROW((void)data.features(0), util::InvalidArgument);
+  EXPECT_THROW((void)data.column(5), util::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace autopower::ml

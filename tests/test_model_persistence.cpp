@@ -1,0 +1,161 @@
+// Integration tests: persistence of the fully-trained AutoPower model and
+// the extension baselines/workloads.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+#include "baselines/panda.hpp"
+#include "core/autopower.hpp"
+#include "exp/dataset.hpp"
+#include "ml/metrics.hpp"
+#include "util/error.hpp"
+
+namespace autopower {
+namespace {
+
+class PersistenceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    sim_ = new sim::PerfSimulator();
+    golden_ = new power::GoldenPowerModel();
+    data_ = new exp::ExperimentData(
+        exp::ExperimentData::build(*sim_, *golden_));
+    train_configs_ = new std::vector<std::string>(
+        exp::ExperimentData::training_configs(2));
+    model_ = new core::AutoPowerModel();
+    model_->train(data_->contexts_of(*train_configs_), *golden_);
+  }
+  static void TearDownTestSuite() {
+    delete model_;
+    delete train_configs_;
+    delete data_;
+    delete golden_;
+    delete sim_;
+  }
+
+  static sim::PerfSimulator* sim_;
+  static power::GoldenPowerModel* golden_;
+  static exp::ExperimentData* data_;
+  static std::vector<std::string>* train_configs_;
+  static core::AutoPowerModel* model_;
+};
+
+sim::PerfSimulator* PersistenceTest::sim_ = nullptr;
+power::GoldenPowerModel* PersistenceTest::golden_ = nullptr;
+exp::ExperimentData* PersistenceTest::data_ = nullptr;
+std::vector<std::string>* PersistenceTest::train_configs_ = nullptr;
+core::AutoPowerModel* PersistenceTest::model_ = nullptr;
+
+TEST_F(PersistenceTest, FullModelRoundTripIsBitExact) {
+  std::stringstream buf;
+  model_->save(buf);
+
+  core::AutoPowerModel restored;
+  restored.load(buf);
+  EXPECT_TRUE(restored.trained());
+
+  for (const auto* s : data_->samples_excluding(*train_configs_)) {
+    const auto a = model_->predict(s->ctx);
+    const auto b = restored.predict(s->ctx);
+    ASSERT_EQ(a.components.size(), b.components.size());
+    for (std::size_t i = 0; i < a.components.size(); ++i) {
+      EXPECT_DOUBLE_EQ(a.components[i].groups.clock,
+                       b.components[i].groups.clock);
+      EXPECT_DOUBLE_EQ(a.components[i].groups.sram,
+                       b.components[i].groups.sram);
+      EXPECT_DOUBLE_EQ(a.components[i].groups.logic_register,
+                       b.components[i].groups.logic_register);
+      EXPECT_DOUBLE_EQ(a.components[i].groups.logic_comb,
+                       b.components[i].groups.logic_comb);
+    }
+  }
+}
+
+TEST_F(PersistenceTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "autopower_model.ap";
+  model_->save_to_file(path);
+  core::AutoPowerModel restored;
+  restored.load_from_file(path);
+  const auto& ctx = data_->samples().back().ctx;
+  EXPECT_DOUBLE_EQ(model_->predict_total(ctx),
+                   restored.predict_total(ctx));
+  std::remove(path.c_str());
+}
+
+TEST_F(PersistenceTest, SaveUntrainedThrows) {
+  core::AutoPowerModel fresh;
+  std::stringstream buf;
+  EXPECT_THROW(fresh.save(buf), util::InvalidArgument);
+}
+
+TEST_F(PersistenceTest, LoadGarbageThrows) {
+  std::stringstream buf("not an autopower archive at all");
+  core::AutoPowerModel model;
+  EXPECT_THROW(model.load(buf), util::InvalidArgument);
+  EXPECT_FALSE(model.trained());
+}
+
+TEST_F(PersistenceTest, LoadMissingFileThrows) {
+  core::AutoPowerModel model;
+  EXPECT_THROW(model.load_from_file("/nonexistent/path/model.ap"),
+               util::InvalidArgument);
+}
+
+TEST_F(PersistenceTest, PandaTrainsAndIsReasonable) {
+  baselines::PandaBaseline panda;
+  panda.train(data_->contexts_of(*train_configs_), *golden_);
+  EXPECT_TRUE(panda.trained());
+
+  std::vector<double> actual;
+  std::vector<double> pred;
+  for (const auto* s : data_->samples_excluding(*train_configs_)) {
+    actual.push_back(s->golden.total());
+    pred.push_back(panda.predict_total(s->ctx));
+  }
+  EXPECT_LT(ml::mape(actual, pred), 25.0);
+  EXPECT_GT(ml::pearson_r(actual, pred), 0.7);
+}
+
+TEST_F(PersistenceTest, PandaResourceFunctionsGrowWithSize) {
+  for (arch::ComponentKind c : arch::all_components()) {
+    const double small = baselines::PandaBaseline::resource_function(
+        c, arch::boom_config("C1"));
+    const double large = baselines::PandaBaseline::resource_function(
+        c, arch::boom_config("C15"));
+    EXPECT_GT(small, 0.0) << arch::component_name(c);
+    EXPECT_GT(large, small) << arch::component_name(c);
+  }
+}
+
+TEST_F(PersistenceTest, ExtensionWorkloadsAvailable) {
+  const auto& ws = workload::extension_workloads();
+  ASSERT_EQ(ws.size(), 2u);
+  EXPECT_EQ(ws[0].name, "fft");
+  EXPECT_EQ(ws[1].name, "coremark");
+  EXPECT_EQ(workload::workload_by_name("fft").name, "fft");
+  // fft is fp-heavy; coremark is integer-only.
+  EXPECT_GT(workload::program_features(ws[0]).fp_frac, 0.2);
+  EXPECT_DOUBLE_EQ(workload::program_features(ws[1]).fp_frac, 0.0);
+}
+
+TEST_F(PersistenceTest, ModelGeneralisesToUnseenWorkload) {
+  const auto& fft = workload::workload_by_name("fft");
+  std::vector<double> actual;
+  std::vector<double> pred;
+  for (const auto& cfg : arch::boom_design_space()) {
+    core::EvalContext ctx;
+    ctx.cfg = &cfg;
+    ctx.workload = fft.name;
+    ctx.program = workload::program_features(fft);
+    ctx.events = sim_->simulate(cfg, fft);
+    actual.push_back(golden_->evaluate(cfg, ctx.events).total());
+    pred.push_back(model_->predict_total(ctx));
+  }
+  EXPECT_LT(ml::mape(actual, pred), 12.0);
+}
+
+}  // namespace
+}  // namespace autopower

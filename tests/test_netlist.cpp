@@ -1,0 +1,187 @@
+// Tests for the synthesis model: determinism, structural plausibility,
+// scaling behaviour, and the SRAM floorplan (incl. the paper's Table I
+// IFU-meta example).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "netlist/synthesis.hpp"
+#include "util/error.hpp"
+
+namespace autopower::netlist {
+namespace {
+
+using arch::ComponentKind;
+using arch::HwParam;
+
+TEST(Synthesis, Deterministic) {
+  const SynthesisModel model;
+  const auto& cfg = arch::boom_config("C7");
+  const auto a = model.synthesize(cfg, ComponentKind::kRob);
+  const auto b = model.synthesize(cfg, ComponentKind::kRob);
+  EXPECT_DOUBLE_EQ(a.register_count, b.register_count);
+  EXPECT_DOUBLE_EQ(a.gating_rate, b.gating_rate);
+  EXPECT_DOUBLE_EQ(a.comb_cell_count, b.comb_cell_count);
+}
+
+TEST(Synthesis, AllComponentsProduced) {
+  const SynthesisModel model;
+  const auto all = model.synthesize_all(arch::boom_config("C3"));
+  EXPECT_EQ(all.size(), arch::kNumComponents);
+}
+
+TEST(Synthesis, StructuralQuantitiesInRange) {
+  const SynthesisModel model;
+  for (const auto& cfg : arch::boom_design_space()) {
+    for (ComponentKind c : arch::all_components()) {
+      const auto nl = model.synthesize(cfg, c);
+      EXPECT_GT(nl.register_count, 0.0) << cfg.name();
+      EXPECT_GT(nl.comb_cell_count, 0.0) << cfg.name();
+      EXPECT_GE(nl.gating_rate, 0.5) << cfg.name();
+      EXPECT_LE(nl.gating_rate, 0.99) << cfg.name();
+      EXPECT_GT(nl.gating_cell_ratio, 0.0);
+      EXPECT_LT(nl.gating_cell_ratio, 0.3);
+      EXPECT_GT(nl.avg_clock_pin_energy, 0.0);
+      EXPECT_GT(nl.avg_gating_latch_energy, nl.avg_clock_pin_energy);
+    }
+  }
+}
+
+TEST(Synthesis, TotalRegistersPlausibleAndMonotone) {
+  const SynthesisModel model;
+  const double small = model.total_registers(arch::boom_config("C1"));
+  const double mid = model.total_registers(arch::boom_config("C8"));
+  const double large = model.total_registers(arch::boom_config("C15"));
+  EXPECT_GT(small, 5'000.0);
+  EXPECT_LT(large, 200'000.0);
+  EXPECT_LT(small, mid);
+  EXPECT_LT(mid, large);
+}
+
+TEST(Synthesis, RegisterCountGrowsWithComponentParams) {
+  // ROB registers grow with RobEntry (C2: 32 entries, C12: 136).
+  const SynthesisModel model;
+  const auto rob_small =
+      model.synthesize(arch::boom_config("C2"), ComponentKind::kRob);
+  const auto rob_large =
+      model.synthesize(arch::boom_config("C12"), ComponentKind::kRob);
+  EXPECT_GT(rob_large.register_count, 2.0 * rob_small.register_count);
+}
+
+TEST(Synthesis, NoiseIsSmall) {
+  // The synthesis jitter must stay within its configured envelope:
+  // compare two options levels.
+  const SynthesisModel noisy(SynthesisOptions{.structural_noise = 0.02});
+  const SynthesisModel clean(SynthesisOptions{.structural_noise = 0.0});
+  for (ComponentKind c : arch::all_components()) {
+    const auto a = noisy.synthesize(arch::boom_config("C5"), c);
+    const auto b = clean.synthesize(arch::boom_config("C5"), c);
+    EXPECT_NEAR(a.register_count / b.register_count, 1.0, 0.021);
+    EXPECT_NEAR(a.comb_cell_count / b.comb_cell_count, 1.0, 0.031);
+  }
+}
+
+TEST(Floorplan, TableIMetaExample) {
+  // Paper Table I: IFU meta is width 30*FetchWidth, depth 8*DecodeWidth,
+  // count 1 -> C1: 120x8x1, C15: 240x40x1.
+  const SynthesisModel model;
+  const auto find_meta = [&](const char* name) {
+    const auto nl =
+        model.synthesize(arch::boom_config(name), ComponentKind::kIfu);
+    for (const auto& p : nl.sram_positions) {
+      if (p.name == "meta") return p;
+    }
+    throw util::Error("meta not found");
+  };
+  const auto c1 = find_meta("C1");
+  EXPECT_EQ(c1.block_width, 120);
+  EXPECT_EQ(c1.block_depth, 8);
+  EXPECT_EQ(c1.block_count, 1);
+  const auto c15 = find_meta("C15");
+  EXPECT_EQ(c15.block_width, 240);
+  EXPECT_EQ(c15.block_depth, 40);
+  EXPECT_EQ(c15.block_count, 1);
+}
+
+TEST(Floorplan, PositionsStableAcrossConfigs) {
+  // Same positions, same order, for every configuration (the SRAM model
+  // relies on this to align observations).
+  const SynthesisModel model;
+  for (ComponentKind c : arch::all_components()) {
+    const auto ref = model.synthesize(arch::boom_config("C1"), c);
+    for (const auto& cfg : arch::boom_design_space()) {
+      const auto nl = model.synthesize(cfg, c);
+      ASSERT_EQ(nl.sram_positions.size(), ref.sram_positions.size())
+          << arch::component_name(c) << " " << cfg.name();
+      for (std::size_t i = 0; i < nl.sram_positions.size(); ++i) {
+        EXPECT_EQ(nl.sram_positions[i].name, ref.sram_positions[i].name);
+      }
+    }
+  }
+}
+
+TEST(Floorplan, BlockShapesArePositive) {
+  const SynthesisModel model;
+  for (const auto& cfg : arch::boom_design_space()) {
+    for (ComponentKind c : arch::all_components()) {
+      for (const auto& p : model.synthesize(cfg, c).sram_positions) {
+        EXPECT_GT(p.block_width, 0) << p.name;
+        EXPECT_GT(p.block_depth, 0) << p.name;
+        EXPECT_GT(p.block_count, 0) << p.name;
+        EXPECT_GT(p.total_bits(), 0);
+      }
+    }
+  }
+}
+
+TEST(Floorplan, SramComponentsMatchExpectation) {
+  // Flop-based components have no SRAM; array components do.
+  const SynthesisModel model;
+  const auto& cfg = arch::boom_config("C8");
+  EXPECT_TRUE(
+      model.synthesize(cfg, ComponentKind::kFuPool).sram_positions.empty());
+  EXPECT_TRUE(model.synthesize(cfg, ComponentKind::kIntIsu)
+                  .sram_positions.empty());
+  EXPECT_FALSE(model.synthesize(cfg, ComponentKind::kICacheDataArray)
+                   .sram_positions.empty());
+  EXPECT_EQ(
+      model.synthesize(cfg, ComponentKind::kLsu).sram_positions.size(), 2u);
+  EXPECT_EQ(
+      model.synthesize(cfg, ComponentKind::kIfu).sram_positions.size(), 3u);
+}
+
+TEST(Floorplan, CapacityScalesWithParameters) {
+  // ICache data capacity grows with ways; D-TLB with TlbEntry.
+  const SynthesisModel model;
+  const auto ic_small = model.synthesize(arch::boom_config("C1"),
+                                         ComponentKind::kICacheDataArray);
+  const auto ic_large = model.synthesize(arch::boom_config("C15"),
+                                         ComponentKind::kICacheDataArray);
+  EXPECT_GT(ic_large.sram_positions[0].total_bits(),
+            ic_small.sram_positions[0].total_bits());
+}
+
+// Property sweep: every (config, component) synthesizes identically when
+// called through synthesize_all and synthesize.
+class SynthesisConsistency : public ::testing::TestWithParam<int> {};
+
+TEST_P(SynthesisConsistency, AllMatchesSingle) {
+  const SynthesisModel model;
+  const auto& cfg = arch::boom_design_space()[static_cast<std::size_t>(
+      GetParam())];
+  const auto all = model.synthesize_all(cfg);
+  for (ComponentKind c : arch::all_components()) {
+    const auto one = model.synthesize(cfg, c);
+    EXPECT_DOUBLE_EQ(all[static_cast<std::size_t>(c)].register_count,
+                     one.register_count);
+    EXPECT_DOUBLE_EQ(all[static_cast<std::size_t>(c)].gating_rate,
+                     one.gating_rate);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, SynthesisConsistency,
+                         ::testing::Range(0, 15));
+
+}  // namespace
+}  // namespace autopower::netlist

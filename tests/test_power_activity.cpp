@@ -1,0 +1,174 @@
+// Tests for the golden activity model (RTL-simulation stand-in).
+
+#include <gtest/gtest.h>
+
+#include "netlist/synthesis.hpp"
+#include "power/activity.hpp"
+#include "sim/perfsim.hpp"
+
+namespace autopower::power {
+namespace {
+
+using arch::ComponentKind;
+using arch::EventKind;
+
+arch::EventVector busy_events() {
+  arch::EventVector ev;
+  ev[EventKind::kCycles] = 1000.0;
+  ev[EventKind::kInstructions] = 1800.0;
+  ev[EventKind::kBranches] = 300.0;
+  ev[EventKind::kBpLookups] = 700.0;
+  ev[EventKind::kBpMispredicts] = 20.0;
+  ev[EventKind::kFetchPackets] = 700.0;
+  ev[EventKind::kDecodedUops] = 1900.0;
+  ev[EventKind::kRenameUops] = 1900.0;
+  ev[EventKind::kDispatchedUops] = 1900.0;
+  ev[EventKind::kCommittedUops] = 1800.0;
+  ev[EventKind::kRobOccupancy] = 40000.0;
+  ev[EventKind::kICacheAccesses] = 700.0;
+  ev[EventKind::kICacheMisses] = 15.0;
+  ev[EventKind::kRegfileReads] = 4000.0;
+  ev[EventKind::kRegfileWrites] = 1800.0;
+  ev[EventKind::kIntIssued] = 1200.0;
+  ev[EventKind::kMemIssued] = 600.0;
+  ev[EventKind::kFpIssued] = 200.0;
+  ev[EventKind::kLoadsExecuted] = 450.0;
+  ev[EventKind::kStoresExecuted] = 200.0;
+  ev[EventKind::kDcacheAccesses] = 650.0;
+  ev[EventKind::kDcacheMisses] = 40.0;
+  ev[EventKind::kDcacheWritebacks] = 12.0;
+  ev[EventKind::kMshrAllocs] = 40.0;
+  ev[EventKind::kAluOps] = 1400.0;
+  ev[EventKind::kFpuOps] = 200.0;
+  ev[EventKind::kLdqOcc] = 8000.0;
+  ev[EventKind::kStqOcc] = 5000.0;
+  ev[EventKind::kItlbAccesses] = 700.0;
+  ev[EventKind::kDtlbAccesses] = 650.0;
+  ev[EventKind::kDtlbMisses] = 4.0;
+  return ev;
+}
+
+arch::EventVector idle_events() {
+  arch::EventVector ev;
+  ev[EventKind::kCycles] = 1000.0;
+  ev[EventKind::kInstructions] = 50.0;
+  ev[EventKind::kCommittedUops] = 50.0;
+  ev[EventKind::kDispatchedUops] = 55.0;
+  ev[EventKind::kBranches] = 5.0;
+  return ev;
+}
+
+TEST(Activity, RatesWithinBounds) {
+  const GoldenActivityModel model;
+  const auto& cfg = arch::boom_config("C8");
+  for (ComponentKind c : arch::all_components()) {
+    for (const auto& ev : {busy_events(), idle_events()}) {
+      const auto act = model.component_activity(cfg, c, ev);
+      EXPECT_GE(act.gated_active_rate, 0.0);
+      EXPECT_LE(act.gated_active_rate, 1.0);
+      EXPECT_GE(act.register_toggle_rate, 0.0);
+      EXPECT_LE(act.register_toggle_rate, 1.0);
+      EXPECT_GE(act.comb_toggle_rate, 0.0);
+      EXPECT_LE(act.comb_toggle_rate, 1.0);
+    }
+  }
+}
+
+TEST(Activity, BusyBeatsIdle) {
+  const GoldenActivityModel model;
+  const auto& cfg = arch::boom_config("C8");
+  const auto busy = busy_events();
+  const auto idle = idle_events();
+  for (ComponentKind c : arch::all_components()) {
+    const auto a_busy = model.component_activity(cfg, c, busy);
+    const auto a_idle = model.component_activity(cfg, c, idle);
+    EXPECT_GT(a_busy.gated_active_rate, a_idle.gated_active_rate)
+        << arch::component_name(c);
+  }
+}
+
+TEST(Activity, Deterministic) {
+  const GoldenActivityModel model;
+  const auto& cfg = arch::boom_config("C3");
+  const auto ev = busy_events();
+  const auto a = model.component_activity(cfg, ComponentKind::kRob, ev);
+  const auto b = model.component_activity(cfg, ComponentKind::kRob, ev);
+  EXPECT_DOUBLE_EQ(a.gated_active_rate, b.gated_active_rate);
+  EXPECT_DOUBLE_EQ(a.register_toggle_rate, b.register_toggle_rate);
+  EXPECT_DOUBLE_EQ(a.comb_toggle_rate, b.comb_toggle_rate);
+}
+
+TEST(Activity, WaveformNoiseVariesAcrossWindows) {
+  // Two windows with slightly different counters must see different
+  // jitter (labels are not a deterministic function of the rate alone).
+  const GoldenActivityModel model;
+  const auto& cfg = arch::boom_config("C3");
+  auto ev1 = busy_events();
+  auto ev2 = busy_events();
+  ev2[EventKind::kFetchPackets] += 1.0;
+  const auto a1 = model.component_activity(cfg, ComponentKind::kIfu, ev1);
+  const auto a2 = model.component_activity(cfg, ComponentKind::kIfu, ev2);
+  EXPECT_NE(a1.gated_active_rate, a2.gated_active_rate);
+}
+
+TEST(SramActivity, NonNegativeAndDeterministic) {
+  const GoldenActivityModel model;
+  const auto& cfg = arch::boom_config("C8");
+  const auto ev = busy_events();
+  for (ComponentKind c : arch::all_components()) {
+    // Use position names from the floorplan.
+    const netlist::SynthesisModel synth;
+    for (const auto& pos : synth.synthesize(cfg, c).sram_positions) {
+      const auto a = model.sram_activity(cfg, c, pos.name, ev);
+      const auto b = model.sram_activity(cfg, c, pos.name, ev);
+      EXPECT_GE(a.read_freq, 0.0) << pos.name;
+      EXPECT_GE(a.write_freq, 0.0) << pos.name;
+      EXPECT_DOUBLE_EQ(a.read_freq, b.read_freq);
+      EXPECT_DOUBLE_EQ(a.write_freq, b.write_freq);
+    }
+  }
+}
+
+TEST(SramActivity, CacheArraysTrackAccessRates) {
+  const GoldenActivityModel model;
+  const auto& cfg = arch::boom_config("C8");
+  const auto busy = busy_events();
+  const auto idle = idle_events();
+  const auto busy_act = model.sram_activity(
+      cfg, ComponentKind::kICacheDataArray, "data", busy);
+  const auto idle_act = model.sram_activity(
+      cfg, ComponentKind::kICacheDataArray, "data", idle);
+  EXPECT_GT(busy_act.read_freq, idle_act.read_freq);
+  // Refills write: busy stream misses, idle stream doesn't.
+  EXPECT_GT(busy_act.write_freq, idle_act.write_freq);
+}
+
+TEST(SramActivity, LdqAndStqDiffer) {
+  const GoldenActivityModel model;
+  const auto& cfg = arch::boom_config("C8");
+  const auto ev = busy_events();
+  const auto ldq =
+      model.sram_activity(cfg, ComponentKind::kLsu, "ldq", ev);
+  const auto stq =
+      model.sram_activity(cfg, ComponentKind::kLsu, "stq", ev);
+  EXPECT_NE(ldq.read_freq, stq.read_freq);
+  // Loads outnumber stores in the busy stream.
+  EXPECT_GT(ldq.write_freq, stq.write_freq);
+}
+
+TEST(Activity, EndToEndWithSimulatorEvents) {
+  // The activity model composes with real simulator output.
+  const GoldenActivityModel model;
+  sim::PerfSimulator sim;
+  const auto& cfg = arch::boom_config("C10");
+  const auto ev =
+      sim.simulate(cfg, workload::workload_by_name("dhrystone"));
+  for (ComponentKind c : arch::all_components()) {
+    const auto act = model.component_activity(cfg, c, ev);
+    EXPECT_GT(act.gated_active_rate, 0.0) << arch::component_name(c);
+    EXPECT_LT(act.gated_active_rate, 1.0) << arch::component_name(c);
+  }
+}
+
+}  // namespace
+}  // namespace autopower::power

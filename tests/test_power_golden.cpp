@@ -1,0 +1,174 @@
+// Tests for the golden power model (PrimePower stand-in).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "power/golden.hpp"
+#include "sim/perfsim.hpp"
+
+namespace autopower::power {
+namespace {
+
+using arch::ComponentKind;
+using arch::EventKind;
+
+class GoldenPowerTest : public ::testing::Test {
+ protected:
+  sim::PerfSimulator sim_;
+  GoldenPowerModel golden_;
+
+  arch::EventVector events(const char* cfg, const char* wl) {
+    return sim_.simulate(arch::boom_config(cfg),
+                         workload::workload_by_name(wl));
+  }
+};
+
+TEST_F(GoldenPowerTest, AllPowersPositive) {
+  for (const char* cname : {"C1", "C8", "C15"}) {
+    const auto& cfg = arch::boom_config(cname);
+    const auto result = golden_.evaluate(cfg, events(cname, "dhrystone"));
+    ASSERT_EQ(result.components.size(), arch::kNumComponents);
+    for (const auto& cp : result.components) {
+      EXPECT_GT(cp.groups.clock, 0.0)
+          << arch::component_name(cp.component);
+      EXPECT_GE(cp.groups.sram, 0.0);
+      EXPECT_GT(cp.groups.logic_register, 0.0);
+      EXPECT_GT(cp.groups.logic_comb, 0.0);
+    }
+    EXPECT_GT(result.total(), 10.0);
+    EXPECT_LT(result.total(), 1000.0);  // a 40nm core, not a server chip
+  }
+}
+
+TEST_F(GoldenPowerTest, GroupsSumToTotal) {
+  const auto& cfg = arch::boom_config("C5");
+  const auto result = golden_.evaluate(cfg, events("C5", "median"));
+  const auto t = result.totals();
+  EXPECT_NEAR(t.total(),
+              t.clock + t.sram + t.logic_register + t.logic_comb, 1e-9);
+  double sum = 0.0;
+  for (const auto& cp : result.components) sum += cp.groups.total();
+  EXPECT_NEAR(sum, result.total(), 1e-9);
+}
+
+TEST_F(GoldenPowerTest, ObservationOneHolds) {
+  // Paper Fig. 1: clock + SRAM dominate.
+  double clock_sram = 0.0;
+  double total = 0.0;
+  for (const char* cname : {"C1", "C4", "C8", "C11", "C15"}) {
+    const auto& cfg = arch::boom_config(cname);
+    for (const auto& w : workload::riscv_tests_workloads()) {
+      const auto t =
+          golden_.evaluate(cfg, sim_.simulate(cfg, w)).totals();
+      clock_sram += t.clock + t.sram;
+      total += t.total();
+    }
+  }
+  EXPECT_GT(clock_sram / total, 0.60);
+}
+
+TEST_F(GoldenPowerTest, ClockPowerFollowsEqSevenStructure) {
+  // Reconstruct clock power from the netlist + activity and compare.
+  const auto& cfg = arch::boom_config("C7");
+  const auto ev = events("C7", "rsort");
+  const auto result = golden_.evaluate(cfg, ev);
+  const auto& netlists = golden_.netlist_of(cfg);
+  for (ComponentKind c : arch::all_components()) {
+    const auto& nl = netlists[static_cast<std::size_t>(c)];
+    const auto act = golden_.activity().component_activity(cfg, c, ev);
+    const double expected =
+        nl.register_count * (1.0 - nl.gating_rate) *
+            nl.avg_clock_pin_energy +
+        act.gated_active_rate * nl.register_count * nl.gating_rate *
+            nl.avg_clock_pin_energy +
+        nl.gating_cell_ratio * nl.register_count * nl.gating_rate *
+            nl.avg_gating_latch_energy;
+    EXPECT_NEAR(result.of(c).clock, expected, 1e-9)
+        << arch::component_name(c);
+  }
+}
+
+TEST_F(GoldenPowerTest, SramPositionPowersSumToComponent) {
+  const auto& cfg = arch::boom_config("C9");
+  const auto ev = events("C9", "spmv");
+  const auto result = golden_.evaluate(cfg, ev);
+  const auto& netlists = golden_.netlist_of(cfg);
+  for (ComponentKind c : arch::all_components()) {
+    const auto& nl = netlists[static_cast<std::size_t>(c)];
+    double sum = 0.0;
+    for (const auto& pos : nl.sram_positions) {
+      sum += golden_.sram_position_power(cfg, c, pos, ev);
+    }
+    EXPECT_NEAR(result.of(c).sram, sum, 1e-9)
+        << arch::component_name(c);
+  }
+}
+
+TEST_F(GoldenPowerTest, FlopOnlyComponentsHaveZeroSramPower) {
+  const auto& cfg = arch::boom_config("C2");
+  const auto result = golden_.evaluate(cfg, events("C2", "towers"));
+  EXPECT_DOUBLE_EQ(result.of(ComponentKind::kFuPool).sram, 0.0);
+  EXPECT_DOUBLE_EQ(result.of(ComponentKind::kIntIsu).sram, 0.0);
+  EXPECT_DOUBLE_EQ(result.of(ComponentKind::kOtherLogic).sram, 0.0);
+  EXPECT_GT(result.of(ComponentKind::kICacheDataArray).sram, 0.0);
+}
+
+TEST_F(GoldenPowerTest, BiggerCoreBurnsMore) {
+  const auto p1 =
+      golden_.evaluate(arch::boom_config("C1"), events("C1", "dhrystone"))
+          .total();
+  const auto p15 =
+      golden_.evaluate(arch::boom_config("C15"), events("C15", "dhrystone"))
+          .total();
+  EXPECT_GT(p15, 1.5 * p1);
+}
+
+TEST_F(GoldenPowerTest, WorkloadMatters) {
+  // Different workloads on the same configuration differ in power.
+  const auto& cfg = arch::boom_config("C8");
+  const double busy =
+      golden_.evaluate(cfg, events("C8", "dhrystone")).total();
+  const double memory_bound =
+      golden_.evaluate(cfg, events("C8", "spmv")).total();
+  EXPECT_GT(std::abs(busy - memory_bound), 0.05 * busy);
+}
+
+TEST_F(GoldenPowerTest, NetlistMemoised) {
+  const auto& cfg = arch::boom_config("C6");
+  const auto& a = golden_.netlist_of(cfg);
+  const auto& b = golden_.netlist_of(cfg);
+  EXPECT_EQ(&a, &b);
+}
+
+TEST_F(GoldenPowerTest, TraceEvaluationMatchesPerWindow) {
+  const auto& cfg = arch::boom_config("C4");
+  const auto windows =
+      sim_.simulate_trace(cfg, workload::workload_by_name("median"));
+  const auto trace = golden_.evaluate_trace(cfg, windows);
+  ASSERT_EQ(trace.size(), windows.size());
+  for (std::size_t i = 0; i < 5 && i < windows.size(); ++i) {
+    EXPECT_NEAR(trace[i].total(),
+                golden_.evaluate(cfg, windows[i]).total(), 1e-9);
+  }
+}
+
+TEST_F(GoldenPowerTest, TraceHasDynamicRange) {
+  // Golden power traces must show max/min structure for Table IV to be
+  // meaningful.
+  const auto& cfg = arch::boom_config("C3");
+  const auto windows =
+      sim_.simulate_trace(cfg, workload::workload_by_name("gemm"));
+  double lo = 1e18;
+  double hi = -1e18;
+  for (const auto& w : windows) {
+    const double p = golden_.evaluate(cfg, w).total();
+    lo = std::min(lo, p);
+    hi = std::max(hi, p);
+  }
+  EXPECT_GT(hi, 1.1 * lo);
+}
+
+}  // namespace
+}  // namespace autopower::power

@@ -1,0 +1,153 @@
+// Robustness and failure-injection tests: corrupt archives, hostile
+// stream content, and degenerate model inputs must throw typed errors —
+// never crash, hang, or silently mis-load.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <sstream>
+#include <string>
+
+#include "core/autopower.hpp"
+#include "core/scaling_model.hpp"
+#include "ml/gbt.hpp"
+#include "ml/linear.hpp"
+#include "ml/tree.hpp"
+#include "util/archive.hpp"
+#include "util/error.hpp"
+
+namespace autopower {
+namespace {
+
+TEST(Robustness, ArchiveRejectsGarbageInputs) {
+  const std::array<const char*, 7> payloads = {
+      "",
+      "wrong-tag 1.0",
+      "ridge.lambda not-a-number",
+      "ridge.lambda",                       // missing value
+      "ridge.coef 3 0x1p+0",                // truncated vector
+      "ridge.coef 99999999 0x1p+0",         // implausible length
+      "ridge.lambda 0x1p+0 trailing-junk",  // reader stops; next tag fails
+  };
+  for (const char* payload : payloads) {
+    std::stringstream buf(payload);
+    ml::RidgeRegression model;
+    util::ArchiveReader r(buf);
+    EXPECT_THROW(model.load(r), util::Error) << "payload: " << payload;
+  }
+}
+
+TEST(Robustness, TreeArchiveWithBadIndicesRejected) {
+  // A tree whose child indices point outside the node array must be
+  // rejected at load time (otherwise predict would read out of bounds).
+  std::stringstream buf;
+  buf << "tree.depth 1\n"
+      << "tree.structure 3 0 5 7\n"   // left=5, right=7 but only 1 node
+      << "tree.values 2 0x1p+0 0x1p+0\n";
+  ml::RegressionTree tree;
+  util::ArchiveReader r(buf);
+  EXPECT_THROW(tree.load(r), util::InvalidArgument);
+}
+
+TEST(Robustness, TreeArchiveWithMismatchedArraysRejected) {
+  std::stringstream buf;
+  buf << "tree.depth 0\n"
+      << "tree.structure 3 -1 -1 -1\n"
+      << "tree.values 4 0x0p+0 0x0p+0 0x0p+0 0x0p+0\n";  // 4 != 2
+  ml::RegressionTree tree;
+  util::ArchiveReader r(buf);
+  EXPECT_THROW(tree.load(r), util::InvalidArgument);
+}
+
+TEST(Robustness, GbtArchiveWithNegativeTreeCountRejected) {
+  std::stringstream buf;
+  buf << "gbt.rounds 10\ngbt.lr 0x1p-3\ngbt.max_depth 3\n"
+      << "gbt.lambda 0x1p+0\ngbt.gamma 0x0p+0\ngbt.min_child_weight 0x1p+0\n"
+      << "gbt.nonneg 0\ngbt.fitted 1\ngbt.base_score 0x0p+0\n"
+      << "gbt.num_trees -5\n";
+  ml::GBTRegressor model;
+  util::ArchiveReader r(buf);
+  EXPECT_THROW(model.load(r), util::InvalidArgument);
+}
+
+TEST(Robustness, AutoPowerArchiveFormatVersionChecked) {
+  std::stringstream buf;
+  buf << "autopower.format 99\n";
+  core::AutoPowerModel model;
+  EXPECT_THROW(model.load(buf), util::InvalidArgument);
+}
+
+TEST(Robustness, AutoPowerArchiveComponentCountChecked) {
+  std::stringstream buf;
+  buf << "autopower.format 1\nautopower.components 7\n";
+  core::AutoPowerModel model;
+  EXPECT_THROW(model.load(buf), util::InvalidArgument);
+}
+
+TEST(Robustness, ScalingLawArchiveWithBadParamIdRejected) {
+  std::stringstream buf;
+  buf << "scaling.fitted 1\n"
+      << "law.k 0x1p+0\nlaw.err 0x0p+0\nlaw.params 1 99\n";  // id 99 > 13
+  core::ScalingPatternModel model;
+  util::ArchiveReader r(buf);
+  EXPECT_THROW(model.load(r), util::InvalidArgument);
+}
+
+TEST(Robustness, RidgeHandlesExtremeFeatureScales) {
+  // Features spanning 12 orders of magnitude: standardisation must keep
+  // the normal equations solvable.
+  ml::Dataset data({"tiny", "huge"});
+  for (int i = 0; i < 10; ++i) {
+    const double t = 1e-9 * i;
+    const double h = 1e6 * i;
+    data.add_sample(std::array{t, h}, 2e9 * t + 3e-6 * h + 1.0);
+  }
+  ml::RidgeRegression model(ml::RidgeOptions{.lambda = 1e-8});
+  model.fit(data);
+  EXPECT_NEAR(model.predict(std::array{5e-9, 5e6}), 26.0, 0.5);
+}
+
+TEST(Robustness, GbtHandlesDuplicateFeatureRows) {
+  // Identical feature vectors with different targets: no split possible;
+  // the model must settle on the mean without infinite-looping.
+  ml::Dataset data({"x"});
+  for (int i = 0; i < 8; ++i) {
+    data.add_sample(std::array{1.0}, i % 2 == 0 ? 0.0 : 10.0);
+  }
+  ml::GBTRegressor model;
+  model.fit(data);
+  EXPECT_NEAR(model.predict(std::array{1.0}), 5.0, 1e-9);
+}
+
+TEST(Robustness, GbtHandlesSingleSample) {
+  ml::Dataset data({"x"});
+  data.add_sample(std::array{1.0}, 7.5);
+  ml::GBTRegressor model;
+  model.fit(data);
+  EXPECT_DOUBLE_EQ(model.predict(std::array{123.0}), 7.5);
+}
+
+TEST(Robustness, TreeRejectsMismatchedGradients) {
+  ml::Dataset data({"x"});
+  data.add_sample(std::array{1.0}, 1.0);
+  data.add_sample(std::array{2.0}, 2.0);
+  std::array<double, 1> short_grad{0.0};
+  std::array<double, 2> hess{1.0, 1.0};
+  ml::RegressionTree tree;
+  EXPECT_THROW(tree.fit(data, short_grad, hess, ml::TreeOptions{}),
+               util::InvalidArgument);
+}
+
+TEST(Robustness, PredictAfterFailedLoadStillThrowsNotFitted) {
+  // A failed load must not leave the model half-initialised and usable.
+  core::AutoPowerModel model;
+  std::stringstream buf("autopower.format 1\nautopower.components 7\n");
+  EXPECT_THROW(model.load(buf), util::InvalidArgument);
+  EXPECT_FALSE(model.trained());
+  core::EvalContext ctx;
+  ctx.cfg = &arch::boom_config("C1");
+  EXPECT_THROW((void)model.predict_total(ctx), util::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace autopower

@@ -1,0 +1,129 @@
+// Tests for the technology library: cell energies, the SRAM macro
+// catalogue, and the block->macro mapping rule (including Eq. 9's N_col).
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "techlib/sram_macro.hpp"
+#include "techlib/techlib.hpp"
+#include "util/error.hpp"
+
+namespace autopower::techlib {
+namespace {
+
+TEST(TechLibrary, PlausibleEnergies) {
+  const auto& lib = TechLibrary::default_40nm();
+  EXPECT_GT(lib.clock_pin_energy, 0.0);
+  EXPECT_GT(lib.gating_latch_energy, lib.clock_pin_energy);
+  EXPECT_GT(lib.register_toggle_energy, 0.0);
+  EXPECT_LT(lib.register_leakage, lib.register_toggle_energy);
+  EXPECT_LT(lib.comb_leakage, lib.comb_toggle_energy);
+}
+
+TEST(TechLibrary, PowerConversionAtOneGhz) {
+  const auto& lib = TechLibrary::default_40nm();
+  EXPECT_DOUBLE_EQ(lib.frequency_ghz, 1.0);
+  EXPECT_DOUBLE_EQ(lib.power_mw(2.5), 2.5);  // pJ/cycle == mW at 1 GHz
+}
+
+TEST(MacroLibrary, CatalogueIsComplete) {
+  const auto& lib = SramMacroLibrary::default_40nm();
+  EXPECT_EQ(lib.macros().size(), 8u * 7u);
+  for (const auto& m : lib.macros()) {
+    EXPECT_GT(m.width, 0);
+    EXPECT_GT(m.depth, 0);
+    EXPECT_GT(m.read_energy, 0.0);
+    EXPECT_GT(m.write_energy, m.read_energy);  // writes cost more
+    EXPECT_GT(m.leakage, 0.0);
+  }
+}
+
+TEST(MacroLibrary, EnergiesGrowWithShape) {
+  const auto& lib = SramMacroLibrary::default_40nm();
+  EXPECT_LT(lib.find(8, 64).read_energy, lib.find(64, 64).read_energy);
+  EXPECT_LT(lib.find(32, 64).read_energy, lib.find(32, 1024).read_energy);
+}
+
+TEST(MacroLibrary, FindRejectsUnsupportedShape) {
+  const auto& lib = SramMacroLibrary::default_40nm();
+  EXPECT_THROW((void)lib.find(7, 64), util::InvalidArgument);
+  EXPECT_THROW((void)lib.find(8, 100), util::InvalidArgument);
+}
+
+TEST(MacroSpec, NameFormat) {
+  const auto& lib = SramMacroLibrary::default_40nm();
+  EXPECT_EQ(lib.find(32, 128).name(), "sram_32x128");
+  EXPECT_EQ(lib.find(32, 128).bits(), 4096);
+}
+
+TEST(MacroMapping, ExactShapeUsesOneMacro) {
+  const auto& lib = SramMacroLibrary::default_40nm();
+  const auto m = map_block_to_macros(lib, 64, 256);
+  EXPECT_EQ(m.per_row, 1);
+  EXPECT_EQ(m.per_col, 1);
+  EXPECT_EQ(m.macro.width, 64);
+  EXPECT_EQ(m.macro.depth, 256);
+}
+
+TEST(MacroMapping, DeepBlockStacksColumns) {
+  const auto& lib = SramMacroLibrary::default_40nm();
+  const auto m = map_block_to_macros(lib, 64, 2048);
+  EXPECT_EQ(m.per_row, 1);
+  EXPECT_EQ(m.per_col, 2);  // 2 x 64x1024: N_col = 2 for Eq. 9
+  EXPECT_EQ(m.macro.depth, 1024);
+}
+
+TEST(MacroMapping, WideBlockTilesRows) {
+  const auto& lib = SramMacroLibrary::default_40nm();
+  const auto m = map_block_to_macros(lib, 128, 64);
+  EXPECT_GE(m.per_row, 2);
+  EXPECT_EQ(m.per_row * m.macro.width >= 128, true);
+}
+
+TEST(MacroMapping, RejectsBadShapes) {
+  const auto& lib = SramMacroLibrary::default_40nm();
+  EXPECT_THROW((void)map_block_to_macros(lib, 0, 64),
+               util::InvalidArgument);
+  EXPECT_THROW((void)map_block_to_macros(lib, 64, -1),
+               util::InvalidArgument);
+}
+
+TEST(MacroMapping, Deterministic) {
+  const auto& lib = SramMacroLibrary::default_40nm();
+  const auto a = map_block_to_macros(lib, 120, 40);
+  const auto b = map_block_to_macros(lib, 120, 40);
+  EXPECT_EQ(a.macro.width, b.macro.width);
+  EXPECT_EQ(a.macro.depth, b.macro.depth);
+  EXPECT_EQ(a.per_row, b.per_row);
+  EXPECT_EQ(a.per_col, b.per_col);
+}
+
+// Property sweep: for any block shape, the macro grid covers the block and
+// never wastes more than one macro row/column of bits in each dimension.
+class MappingCoverage
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(MappingCoverage, GridCoversBlockTightly) {
+  const auto [width, depth] = GetParam();
+  const auto& lib = SramMacroLibrary::default_40nm();
+  const auto m = map_block_to_macros(lib, width, depth);
+
+  // Coverage.
+  EXPECT_GE(m.per_row * m.macro.width, width);
+  EXPECT_GE(m.per_col * m.macro.depth, depth);
+  // Tightness: removing a row or column of macros must not still cover.
+  EXPECT_LT((m.per_row - 1) * m.macro.width, width);
+  EXPECT_LT((m.per_col - 1) * m.macro.depth, depth);
+  // N_col consistency with total.
+  EXPECT_EQ(m.total(), m.per_row * m.per_col);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BlockShapes, MappingCoverage,
+    ::testing::Combine(
+        ::testing::Values(1, 8, 21, 35, 64, 88, 120, 240, 350),
+        ::testing::Values(1, 8, 16, 40, 64, 140, 256, 2048)));
+
+}  // namespace
+}  // namespace autopower::techlib

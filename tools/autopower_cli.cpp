@@ -1,0 +1,232 @@
+// autopower — command-line interface to the AutoPower library.
+//
+// Subcommands:
+//   list                                  show configurations and workloads
+//   train    --known C1,C15 --out m.ap    train and persist a model
+//   predict  --model m.ap --config C8 --workload dhrystone [--per-component]
+//   evaluate --model m.ap --known C1,C15  accuracy on the held-out grid
+//   trace    --model m.ap --config C3 --workload gemm [--csv out.csv]
+//
+// The CLI drives exactly the same public API the examples use; a model
+// trained here can be reloaded by any program linking the library.
+
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/autopower.hpp"
+#include "exp/harness.hpp"
+#include "exp/trace.hpp"
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+using namespace autopower;
+
+namespace {
+
+using ArgMap = std::map<std::string, std::string>;
+
+ArgMap parse_flags(int argc, char** argv, int first) {
+  ArgMap flags;
+  for (int i = first; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) {
+      throw util::InvalidArgument("expected a --flag, got: " + key);
+    }
+    key = key.substr(2);
+    // Boolean flags take no value; valued flags consume the next token.
+    if (key == "per-component") {
+      flags[key] = "1";
+    } else {
+      AP_REQUIRE(i + 1 < argc, "flag --" + key + " needs a value");
+      flags[key] = argv[++i];
+    }
+  }
+  return flags;
+}
+
+std::string require_flag(const ArgMap& flags, const std::string& key) {
+  const auto it = flags.find(key);
+  AP_REQUIRE(it != flags.end(), "missing required flag --" + key);
+  return it->second;
+}
+
+std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::istringstream in(csv);
+  std::string token;
+  while (std::getline(in, token, ',')) {
+    if (!token.empty()) out.push_back(token);
+  }
+  AP_REQUIRE(!out.empty(), "empty list");
+  return out;
+}
+
+core::EvalContext make_context(const sim::PerfSimulator& simulator,
+                               const std::string& config,
+                               const std::string& wl) {
+  core::EvalContext ctx;
+  ctx.cfg = &arch::boom_config(config);
+  ctx.workload = wl;
+  const auto& profile = workload::workload_by_name(wl);
+  ctx.program = workload::program_features(profile);
+  ctx.events = simulator.simulate(*ctx.cfg, profile);
+  return ctx;
+}
+
+int cmd_list() {
+  std::cout << "Configurations (paper Table II):\n";
+  util::TablePrinter table({"Config", "FetchWidth", "DecodeWidth",
+                            "RobEntry", "IntIssueWidth", "CacheWay"});
+  for (const auto& cfg : arch::boom_design_space()) {
+    table.add_row({cfg.name(),
+                   std::to_string(cfg.value(arch::HwParam::kFetchWidth)),
+                   std::to_string(cfg.value(arch::HwParam::kDecodeWidth)),
+                   std::to_string(cfg.value(arch::HwParam::kRobEntry)),
+                   std::to_string(cfg.value(arch::HwParam::kIntIssueWidth)),
+                   std::to_string(cfg.value(arch::HwParam::kCacheWay))});
+  }
+  table.print(std::cout);
+  std::cout << "\nWorkloads: ";
+  for (const auto& w : workload::riscv_tests_workloads()) {
+    std::cout << w.name << ' ';
+  }
+  std::cout << "(evaluation), ";
+  for (const auto& w : workload::trace_workloads()) {
+    std::cout << w.name << ' ';
+  }
+  std::cout << "(power traces)\n";
+  return 0;
+}
+
+int cmd_train(const ArgMap& flags) {
+  const auto known = split_csv(require_flag(flags, "known"));
+  const auto out_path = require_flag(flags, "out");
+
+  sim::PerfSimulator simulator;
+  power::GoldenPowerModel golden;
+  const auto data = exp::ExperimentData::build(simulator, golden);
+
+  core::AutoPowerModel model;
+  model.train(data.contexts_of(known), golden);
+  model.save_to_file(out_path);
+  std::cout << "Trained on " << known.size()
+            << " configurations; model written to " << out_path << "\n";
+  return 0;
+}
+
+int cmd_predict(const ArgMap& flags) {
+  core::AutoPowerModel model;
+  model.load_from_file(require_flag(flags, "model"));
+  const auto config = require_flag(flags, "config");
+  const auto wl = require_flag(flags, "workload");
+
+  sim::PerfSimulator simulator;
+  const auto ctx = make_context(simulator, config, wl);
+  const auto result = model.predict(ctx);
+
+  if (flags.count("per-component") > 0) {
+    util::TablePrinter table(
+        {"Component", "Clock (mW)", "SRAM (mW)", "Logic (mW)", "Total"});
+    for (const auto& cp : result.components) {
+      table.add_row({std::string(arch::component_name(cp.component)),
+                     util::fmt(cp.groups.clock), util::fmt(cp.groups.sram),
+                     util::fmt(cp.groups.logic()),
+                     util::fmt(cp.groups.total())});
+    }
+    table.print(std::cout);
+  }
+  const auto totals = result.totals();
+  std::cout << config << "/" << wl << ": total " << util::fmt(totals.total())
+            << " mW (clock " << util::fmt(totals.clock) << ", sram "
+            << util::fmt(totals.sram) << ", logic "
+            << util::fmt(totals.logic()) << ")\n";
+  return 0;
+}
+
+int cmd_evaluate(const ArgMap& flags) {
+  core::AutoPowerModel model;
+  model.load_from_file(require_flag(flags, "model"));
+  const auto known = split_csv(require_flag(flags, "known"));
+
+  sim::PerfSimulator simulator;
+  power::GoldenPowerModel golden;
+  const auto data = exp::ExperimentData::build(simulator, golden);
+  const auto result = exp::evaluate_predictor(
+      data, known, "AutoPower",
+      [&](const core::EvalContext& ctx) { return model.predict_total(ctx); });
+  std::cout << "Held-out accuracy (excluding ";
+  for (const auto& k : known) std::cout << k << ' ';
+  std::cout << "): " << result.accuracy.to_string() << "\n";
+  return 0;
+}
+
+int cmd_trace(const ArgMap& flags) {
+  core::AutoPowerModel model;
+  model.load_from_file(require_flag(flags, "model"));
+  const auto config = require_flag(flags, "config");
+  const auto wl = require_flag(flags, "workload");
+
+  sim::PerfSimulator simulator;
+  power::GoldenPowerModel golden;
+  const auto trace = exp::build_trace(simulator, golden,
+                                      arch::boom_config(config),
+                                      workload::workload_by_name(wl));
+  const auto predicted = model.predict_trace(trace.windows);
+  const auto err = exp::trace_errors(trace.golden_total, predicted);
+
+  std::cout << trace.windows.size() << " windows of " << trace.window_cycles
+            << " cycles; max err " << util::fmt_pct(err.max_power_error, 1)
+            << ", min err " << util::fmt_pct(err.min_power_error, 1)
+            << ", avg err " << util::fmt_pct(err.average_error, 1) << "\n";
+
+  if (const auto it = flags.find("csv"); it != flags.end()) {
+    std::ofstream csv(it->second);
+    AP_REQUIRE(csv.good(), "cannot open csv output: " + it->second);
+    csv << "window,cycle,golden_mw,predicted_mw\n";
+    double cycle = 0.0;
+    for (std::size_t i = 0; i < predicted.size(); ++i) {
+      csv << i << ',' << cycle << ',' << trace.golden_total[i] << ','
+          << predicted[i] << '\n';
+      cycle += trace.windows[i].events.cycles();
+    }
+    std::cout << "trace written to " << it->second << "\n";
+  }
+  return 0;
+}
+
+int usage() {
+  std::cerr <<
+      "usage: autopower <command> [flags]\n"
+      "  list\n"
+      "  train    --known C1,C15 --out model.ap\n"
+      "  predict  --model model.ap --config C8 --workload dhrystone"
+      " [--per-component]\n"
+      "  evaluate --model model.ap --known C1,C15\n"
+      "  trace    --model model.ap --config C3 --workload gemm"
+      " [--csv out.csv]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  try {
+    const ArgMap flags = parse_flags(argc, argv, 2);
+    if (command == "list") return cmd_list();
+    if (command == "train") return cmd_train(flags);
+    if (command == "predict") return cmd_predict(flags);
+    if (command == "evaluate") return cmd_evaluate(flags);
+    if (command == "trace") return cmd_trace(flags);
+    std::cerr << "unknown command: " << command << "\n";
+    return usage();
+  } catch (const util::Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
