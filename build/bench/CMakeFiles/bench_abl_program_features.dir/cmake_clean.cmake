@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_program_features.dir/bench_abl_program_features.cpp.o"
+  "CMakeFiles/bench_abl_program_features.dir/bench_abl_program_features.cpp.o.d"
+  "bench_abl_program_features"
+  "bench_abl_program_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_program_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

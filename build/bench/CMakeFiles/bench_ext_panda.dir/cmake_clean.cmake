@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_panda.dir/bench_ext_panda.cpp.o"
+  "CMakeFiles/bench_ext_panda.dir/bench_ext_panda.cpp.o.d"
+  "bench_ext_panda"
+  "bench_ext_panda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_panda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_trainset_selection.dir/bench_ext_trainset_selection.cpp.o"
+  "CMakeFiles/bench_ext_trainset_selection.dir/bench_ext_trainset_selection.cpp.o.d"
+  "bench_ext_trainset_selection"
+  "bench_ext_trainset_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_trainset_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

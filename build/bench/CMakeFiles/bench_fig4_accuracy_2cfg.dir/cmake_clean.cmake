@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_accuracy_2cfg.dir/bench_fig4_accuracy_2cfg.cpp.o"
+  "CMakeFiles/bench_fig4_accuracy_2cfg.dir/bench_fig4_accuracy_2cfg.cpp.o.d"
+  "bench_fig4_accuracy_2cfg"
+  "bench_fig4_accuracy_2cfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_accuracy_2cfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

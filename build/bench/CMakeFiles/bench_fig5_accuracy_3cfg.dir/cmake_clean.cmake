@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_accuracy_3cfg.dir/bench_fig5_accuracy_3cfg.cpp.o"
+  "CMakeFiles/bench_fig5_accuracy_3cfg.dir/bench_fig5_accuracy_3cfg.cpp.o.d"
+  "bench_fig5_accuracy_3cfg"
+  "bench_fig5_accuracy_3cfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_accuracy_3cfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

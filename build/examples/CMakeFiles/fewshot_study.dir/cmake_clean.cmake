@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fewshot_study.dir/fewshot_study.cpp.o"
+  "CMakeFiles/fewshot_study.dir/fewshot_study.cpp.o.d"
+  "fewshot_study"
+  "fewshot_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fewshot_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

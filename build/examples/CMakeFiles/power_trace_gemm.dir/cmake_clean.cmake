@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_trace_gemm.dir/power_trace_gemm.cpp.o"
+  "CMakeFiles/power_trace_gemm.dir/power_trace_gemm.cpp.o.d"
+  "power_trace_gemm"
+  "power_trace_gemm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_trace_gemm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autopower_arch.dir/component.cpp.o"
+  "CMakeFiles/autopower_arch.dir/component.cpp.o.d"
+  "CMakeFiles/autopower_arch.dir/events.cpp.o"
+  "CMakeFiles/autopower_arch.dir/events.cpp.o.d"
+  "CMakeFiles/autopower_arch.dir/params.cpp.o"
+  "CMakeFiles/autopower_arch.dir/params.cpp.o.d"
+  "libautopower_arch.a"
+  "libautopower_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autopower_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libautopower_arch.a"
+)

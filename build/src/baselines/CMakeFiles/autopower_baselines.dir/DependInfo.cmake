@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/autopower_minus.cpp" "src/baselines/CMakeFiles/autopower_baselines.dir/autopower_minus.cpp.o" "gcc" "src/baselines/CMakeFiles/autopower_baselines.dir/autopower_minus.cpp.o.d"
+  "/root/repo/src/baselines/mcpat.cpp" "src/baselines/CMakeFiles/autopower_baselines.dir/mcpat.cpp.o" "gcc" "src/baselines/CMakeFiles/autopower_baselines.dir/mcpat.cpp.o.d"
+  "/root/repo/src/baselines/mcpat_calib.cpp" "src/baselines/CMakeFiles/autopower_baselines.dir/mcpat_calib.cpp.o" "gcc" "src/baselines/CMakeFiles/autopower_baselines.dir/mcpat_calib.cpp.o.d"
+  "/root/repo/src/baselines/panda.cpp" "src/baselines/CMakeFiles/autopower_baselines.dir/panda.cpp.o" "gcc" "src/baselines/CMakeFiles/autopower_baselines.dir/panda.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/autopower_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/autopower_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/autopower_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/autopower_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/autopower_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/autopower_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/autopower_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/techlib/CMakeFiles/autopower_techlib.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

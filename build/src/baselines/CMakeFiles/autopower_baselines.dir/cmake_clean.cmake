@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autopower_baselines.dir/autopower_minus.cpp.o"
+  "CMakeFiles/autopower_baselines.dir/autopower_minus.cpp.o.d"
+  "CMakeFiles/autopower_baselines.dir/mcpat.cpp.o"
+  "CMakeFiles/autopower_baselines.dir/mcpat.cpp.o.d"
+  "CMakeFiles/autopower_baselines.dir/mcpat_calib.cpp.o"
+  "CMakeFiles/autopower_baselines.dir/mcpat_calib.cpp.o.d"
+  "CMakeFiles/autopower_baselines.dir/panda.cpp.o"
+  "CMakeFiles/autopower_baselines.dir/panda.cpp.o.d"
+  "libautopower_baselines.a"
+  "libautopower_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autopower_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

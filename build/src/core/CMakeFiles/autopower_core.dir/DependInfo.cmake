@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/autopower.cpp" "src/core/CMakeFiles/autopower_core.dir/autopower.cpp.o" "gcc" "src/core/CMakeFiles/autopower_core.dir/autopower.cpp.o.d"
+  "/root/repo/src/core/clock_model.cpp" "src/core/CMakeFiles/autopower_core.dir/clock_model.cpp.o" "gcc" "src/core/CMakeFiles/autopower_core.dir/clock_model.cpp.o.d"
+  "/root/repo/src/core/features.cpp" "src/core/CMakeFiles/autopower_core.dir/features.cpp.o" "gcc" "src/core/CMakeFiles/autopower_core.dir/features.cpp.o.d"
+  "/root/repo/src/core/logic_model.cpp" "src/core/CMakeFiles/autopower_core.dir/logic_model.cpp.o" "gcc" "src/core/CMakeFiles/autopower_core.dir/logic_model.cpp.o.d"
+  "/root/repo/src/core/scaling_model.cpp" "src/core/CMakeFiles/autopower_core.dir/scaling_model.cpp.o" "gcc" "src/core/CMakeFiles/autopower_core.dir/scaling_model.cpp.o.d"
+  "/root/repo/src/core/sram_model.cpp" "src/core/CMakeFiles/autopower_core.dir/sram_model.cpp.o" "gcc" "src/core/CMakeFiles/autopower_core.dir/sram_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arch/CMakeFiles/autopower_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/autopower_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/autopower_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/autopower_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/techlib/CMakeFiles/autopower_techlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/autopower_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/autopower_netlist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

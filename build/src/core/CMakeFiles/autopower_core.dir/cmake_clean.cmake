@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autopower_core.dir/autopower.cpp.o"
+  "CMakeFiles/autopower_core.dir/autopower.cpp.o.d"
+  "CMakeFiles/autopower_core.dir/clock_model.cpp.o"
+  "CMakeFiles/autopower_core.dir/clock_model.cpp.o.d"
+  "CMakeFiles/autopower_core.dir/features.cpp.o"
+  "CMakeFiles/autopower_core.dir/features.cpp.o.d"
+  "CMakeFiles/autopower_core.dir/logic_model.cpp.o"
+  "CMakeFiles/autopower_core.dir/logic_model.cpp.o.d"
+  "CMakeFiles/autopower_core.dir/scaling_model.cpp.o"
+  "CMakeFiles/autopower_core.dir/scaling_model.cpp.o.d"
+  "CMakeFiles/autopower_core.dir/sram_model.cpp.o"
+  "CMakeFiles/autopower_core.dir/sram_model.cpp.o.d"
+  "libautopower_core.a"
+  "libautopower_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autopower_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exp/accuracy.cpp" "src/exp/CMakeFiles/autopower_exp.dir/accuracy.cpp.o" "gcc" "src/exp/CMakeFiles/autopower_exp.dir/accuracy.cpp.o.d"
+  "/root/repo/src/exp/dataset.cpp" "src/exp/CMakeFiles/autopower_exp.dir/dataset.cpp.o" "gcc" "src/exp/CMakeFiles/autopower_exp.dir/dataset.cpp.o.d"
+  "/root/repo/src/exp/harness.cpp" "src/exp/CMakeFiles/autopower_exp.dir/harness.cpp.o" "gcc" "src/exp/CMakeFiles/autopower_exp.dir/harness.cpp.o.d"
+  "/root/repo/src/exp/trace.cpp" "src/exp/CMakeFiles/autopower_exp.dir/trace.cpp.o" "gcc" "src/exp/CMakeFiles/autopower_exp.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/autopower_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/autopower_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/autopower_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/autopower_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/autopower_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/autopower_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/autopower_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/autopower_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/autopower_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/techlib/CMakeFiles/autopower_techlib.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autopower_exp.dir/accuracy.cpp.o"
+  "CMakeFiles/autopower_exp.dir/accuracy.cpp.o.d"
+  "CMakeFiles/autopower_exp.dir/dataset.cpp.o"
+  "CMakeFiles/autopower_exp.dir/dataset.cpp.o.d"
+  "CMakeFiles/autopower_exp.dir/harness.cpp.o"
+  "CMakeFiles/autopower_exp.dir/harness.cpp.o.d"
+  "CMakeFiles/autopower_exp.dir/trace.cpp.o"
+  "CMakeFiles/autopower_exp.dir/trace.cpp.o.d"
+  "libautopower_exp.a"
+  "libautopower_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autopower_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autopower_ml.dir/dataset.cpp.o"
+  "CMakeFiles/autopower_ml.dir/dataset.cpp.o.d"
+  "CMakeFiles/autopower_ml.dir/gbt.cpp.o"
+  "CMakeFiles/autopower_ml.dir/gbt.cpp.o.d"
+  "CMakeFiles/autopower_ml.dir/linear.cpp.o"
+  "CMakeFiles/autopower_ml.dir/linear.cpp.o.d"
+  "CMakeFiles/autopower_ml.dir/matrix.cpp.o"
+  "CMakeFiles/autopower_ml.dir/matrix.cpp.o.d"
+  "CMakeFiles/autopower_ml.dir/metrics.cpp.o"
+  "CMakeFiles/autopower_ml.dir/metrics.cpp.o.d"
+  "CMakeFiles/autopower_ml.dir/tree.cpp.o"
+  "CMakeFiles/autopower_ml.dir/tree.cpp.o.d"
+  "libautopower_ml.a"
+  "libautopower_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autopower_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

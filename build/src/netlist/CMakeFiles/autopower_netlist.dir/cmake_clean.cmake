@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autopower_netlist.dir/synthesis.cpp.o"
+  "CMakeFiles/autopower_netlist.dir/synthesis.cpp.o.d"
+  "libautopower_netlist.a"
+  "libautopower_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autopower_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

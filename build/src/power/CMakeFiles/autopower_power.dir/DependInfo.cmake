@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/activity.cpp" "src/power/CMakeFiles/autopower_power.dir/activity.cpp.o" "gcc" "src/power/CMakeFiles/autopower_power.dir/activity.cpp.o.d"
+  "/root/repo/src/power/golden.cpp" "src/power/CMakeFiles/autopower_power.dir/golden.cpp.o" "gcc" "src/power/CMakeFiles/autopower_power.dir/golden.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arch/CMakeFiles/autopower_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/autopower_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/techlib/CMakeFiles/autopower_techlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/autopower_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

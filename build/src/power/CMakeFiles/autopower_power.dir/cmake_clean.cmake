@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autopower_power.dir/activity.cpp.o"
+  "CMakeFiles/autopower_power.dir/activity.cpp.o.d"
+  "CMakeFiles/autopower_power.dir/golden.cpp.o"
+  "CMakeFiles/autopower_power.dir/golden.cpp.o.d"
+  "libautopower_power.a"
+  "libautopower_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autopower_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

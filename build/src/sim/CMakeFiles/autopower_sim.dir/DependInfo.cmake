@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/branch.cpp" "src/sim/CMakeFiles/autopower_sim.dir/branch.cpp.o" "gcc" "src/sim/CMakeFiles/autopower_sim.dir/branch.cpp.o.d"
+  "/root/repo/src/sim/cache.cpp" "src/sim/CMakeFiles/autopower_sim.dir/cache.cpp.o" "gcc" "src/sim/CMakeFiles/autopower_sim.dir/cache.cpp.o.d"
+  "/root/repo/src/sim/perfsim.cpp" "src/sim/CMakeFiles/autopower_sim.dir/perfsim.cpp.o" "gcc" "src/sim/CMakeFiles/autopower_sim.dir/perfsim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arch/CMakeFiles/autopower_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/autopower_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/autopower_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autopower_sim.dir/branch.cpp.o"
+  "CMakeFiles/autopower_sim.dir/branch.cpp.o.d"
+  "CMakeFiles/autopower_sim.dir/cache.cpp.o"
+  "CMakeFiles/autopower_sim.dir/cache.cpp.o.d"
+  "CMakeFiles/autopower_sim.dir/perfsim.cpp.o"
+  "CMakeFiles/autopower_sim.dir/perfsim.cpp.o.d"
+  "libautopower_sim.a"
+  "libautopower_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autopower_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

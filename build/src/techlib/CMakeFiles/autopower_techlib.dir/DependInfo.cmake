@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/techlib/sram_macro.cpp" "src/techlib/CMakeFiles/autopower_techlib.dir/sram_macro.cpp.o" "gcc" "src/techlib/CMakeFiles/autopower_techlib.dir/sram_macro.cpp.o.d"
+  "/root/repo/src/techlib/techlib.cpp" "src/techlib/CMakeFiles/autopower_techlib.dir/techlib.cpp.o" "gcc" "src/techlib/CMakeFiles/autopower_techlib.dir/techlib.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/autopower_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autopower_techlib.dir/sram_macro.cpp.o"
+  "CMakeFiles/autopower_techlib.dir/sram_macro.cpp.o.d"
+  "CMakeFiles/autopower_techlib.dir/techlib.cpp.o"
+  "CMakeFiles/autopower_techlib.dir/techlib.cpp.o.d"
+  "libautopower_techlib.a"
+  "libautopower_techlib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autopower_techlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autopower_util.dir/archive.cpp.o"
+  "CMakeFiles/autopower_util.dir/archive.cpp.o.d"
+  "CMakeFiles/autopower_util.dir/rng.cpp.o"
+  "CMakeFiles/autopower_util.dir/rng.cpp.o.d"
+  "CMakeFiles/autopower_util.dir/table.cpp.o"
+  "CMakeFiles/autopower_util.dir/table.cpp.o.d"
+  "libautopower_util.a"
+  "libautopower_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autopower_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autopower_workload.dir/workload.cpp.o"
+  "CMakeFiles/autopower_workload.dir/workload.cpp.o.d"
+  "libautopower_workload.a"
+  "libautopower_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autopower_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

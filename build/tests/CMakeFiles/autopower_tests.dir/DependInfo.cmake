@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_arch.cpp" "tests/CMakeFiles/autopower_tests.dir/test_arch.cpp.o" "gcc" "tests/CMakeFiles/autopower_tests.dir/test_arch.cpp.o.d"
+  "/root/repo/tests/test_archive.cpp" "tests/CMakeFiles/autopower_tests.dir/test_archive.cpp.o" "gcc" "tests/CMakeFiles/autopower_tests.dir/test_archive.cpp.o.d"
+  "/root/repo/tests/test_baselines.cpp" "tests/CMakeFiles/autopower_tests.dir/test_baselines.cpp.o" "gcc" "tests/CMakeFiles/autopower_tests.dir/test_baselines.cpp.o.d"
+  "/root/repo/tests/test_core_autopower.cpp" "tests/CMakeFiles/autopower_tests.dir/test_core_autopower.cpp.o" "gcc" "tests/CMakeFiles/autopower_tests.dir/test_core_autopower.cpp.o.d"
+  "/root/repo/tests/test_core_models.cpp" "tests/CMakeFiles/autopower_tests.dir/test_core_models.cpp.o" "gcc" "tests/CMakeFiles/autopower_tests.dir/test_core_models.cpp.o.d"
+  "/root/repo/tests/test_core_scaling.cpp" "tests/CMakeFiles/autopower_tests.dir/test_core_scaling.cpp.o" "gcc" "tests/CMakeFiles/autopower_tests.dir/test_core_scaling.cpp.o.d"
+  "/root/repo/tests/test_edge_cases.cpp" "tests/CMakeFiles/autopower_tests.dir/test_edge_cases.cpp.o" "gcc" "tests/CMakeFiles/autopower_tests.dir/test_edge_cases.cpp.o.d"
+  "/root/repo/tests/test_exp.cpp" "tests/CMakeFiles/autopower_tests.dir/test_exp.cpp.o" "gcc" "tests/CMakeFiles/autopower_tests.dir/test_exp.cpp.o.d"
+  "/root/repo/tests/test_integration_properties.cpp" "tests/CMakeFiles/autopower_tests.dir/test_integration_properties.cpp.o" "gcc" "tests/CMakeFiles/autopower_tests.dir/test_integration_properties.cpp.o.d"
+  "/root/repo/tests/test_ml_gbt.cpp" "tests/CMakeFiles/autopower_tests.dir/test_ml_gbt.cpp.o" "gcc" "tests/CMakeFiles/autopower_tests.dir/test_ml_gbt.cpp.o.d"
+  "/root/repo/tests/test_ml_linear.cpp" "tests/CMakeFiles/autopower_tests.dir/test_ml_linear.cpp.o" "gcc" "tests/CMakeFiles/autopower_tests.dir/test_ml_linear.cpp.o.d"
+  "/root/repo/tests/test_ml_matrix.cpp" "tests/CMakeFiles/autopower_tests.dir/test_ml_matrix.cpp.o" "gcc" "tests/CMakeFiles/autopower_tests.dir/test_ml_matrix.cpp.o.d"
+  "/root/repo/tests/test_ml_metrics.cpp" "tests/CMakeFiles/autopower_tests.dir/test_ml_metrics.cpp.o" "gcc" "tests/CMakeFiles/autopower_tests.dir/test_ml_metrics.cpp.o.d"
+  "/root/repo/tests/test_model_persistence.cpp" "tests/CMakeFiles/autopower_tests.dir/test_model_persistence.cpp.o" "gcc" "tests/CMakeFiles/autopower_tests.dir/test_model_persistence.cpp.o.d"
+  "/root/repo/tests/test_netlist.cpp" "tests/CMakeFiles/autopower_tests.dir/test_netlist.cpp.o" "gcc" "tests/CMakeFiles/autopower_tests.dir/test_netlist.cpp.o.d"
+  "/root/repo/tests/test_power_activity.cpp" "tests/CMakeFiles/autopower_tests.dir/test_power_activity.cpp.o" "gcc" "tests/CMakeFiles/autopower_tests.dir/test_power_activity.cpp.o.d"
+  "/root/repo/tests/test_power_golden.cpp" "tests/CMakeFiles/autopower_tests.dir/test_power_golden.cpp.o" "gcc" "tests/CMakeFiles/autopower_tests.dir/test_power_golden.cpp.o.d"
+  "/root/repo/tests/test_robustness.cpp" "tests/CMakeFiles/autopower_tests.dir/test_robustness.cpp.o" "gcc" "tests/CMakeFiles/autopower_tests.dir/test_robustness.cpp.o.d"
+  "/root/repo/tests/test_sim_branch.cpp" "tests/CMakeFiles/autopower_tests.dir/test_sim_branch.cpp.o" "gcc" "tests/CMakeFiles/autopower_tests.dir/test_sim_branch.cpp.o.d"
+  "/root/repo/tests/test_sim_cache.cpp" "tests/CMakeFiles/autopower_tests.dir/test_sim_cache.cpp.o" "gcc" "tests/CMakeFiles/autopower_tests.dir/test_sim_cache.cpp.o.d"
+  "/root/repo/tests/test_sim_perfsim.cpp" "tests/CMakeFiles/autopower_tests.dir/test_sim_perfsim.cpp.o" "gcc" "tests/CMakeFiles/autopower_tests.dir/test_sim_perfsim.cpp.o.d"
+  "/root/repo/tests/test_techlib.cpp" "tests/CMakeFiles/autopower_tests.dir/test_techlib.cpp.o" "gcc" "tests/CMakeFiles/autopower_tests.dir/test_techlib.cpp.o.d"
+  "/root/repo/tests/test_util.cpp" "tests/CMakeFiles/autopower_tests.dir/test_util.cpp.o" "gcc" "tests/CMakeFiles/autopower_tests.dir/test_util.cpp.o.d"
+  "/root/repo/tests/test_workload.cpp" "tests/CMakeFiles/autopower_tests.dir/test_workload.cpp.o" "gcc" "tests/CMakeFiles/autopower_tests.dir/test_workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/autopower_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/autopower_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/autopower_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/autopower_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/autopower_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/autopower_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/autopower_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/techlib/CMakeFiles/autopower_techlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/autopower_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/autopower_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/autopower_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

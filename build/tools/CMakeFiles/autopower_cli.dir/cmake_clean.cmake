@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autopower_cli.dir/autopower_cli.cpp.o"
+  "CMakeFiles/autopower_cli.dir/autopower_cli.cpp.o.d"
+  "autopower"
+  "autopower.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autopower_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
