@@ -1,0 +1,137 @@
+// Batch serving throughput: requests/sec of the serve::BatchEngine at 1,
+// 4, and hardware_concurrency threads on a 200-request design-space-
+// exploration sweep, against the serial predict path it replaces.
+//
+// The serial baseline is the status-quo per-query path (what `autopower
+// predict` does for every invocation): build the evaluation context from
+// scratch — including a cold PerfSimulator::simulate — then predict.  The
+// engine attacks that cost on three axes: the response memo answers exact
+// repeat queries outright, the sharded eval cache deduplicates the
+// deterministic (config, workload) simulations, and the thread pool runs
+// the residual work concurrently.  On a single-core host the speedup is
+// the caches'; on a multi-core host the thread counts separate further.
+//
+// The bench FAILS (exit 1) if any parallel run is not bit-identical to
+// the serial baseline, or if the 4-thread engine is below the 2.5x
+// speedup bar over the serial baseline.
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/autopower.hpp"
+#include "exp/dataset.hpp"
+#include "power/golden.hpp"
+#include "serve/engine.hpp"
+#include "sim/perfsim.hpp"
+#include "workload/workload.hpp"
+
+using namespace autopower;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+core::EvalContext make_context(const sim::PerfSimulator& sim,
+                               const std::string& config,
+                               const std::string& workload) {
+  core::EvalContext ctx;
+  ctx.cfg = &arch::boom_config(config);
+  ctx.workload = workload;
+  const auto& profile = workload::workload_by_name(workload);
+  ctx.program = workload::program_features(profile);
+  ctx.events = sim.simulate(*ctx.cfg, profile);
+  return ctx;
+}
+
+}  // namespace
+
+int main() {
+  // Train the model exactly like the paper's 2-configuration experiment.
+  sim::PerfSimulator sim;
+  power::GoldenPowerModel golden;
+  const auto data = exp::ExperimentData::build(sim, golden);
+  const auto known = exp::ExperimentData::training_configs(2);
+  auto model = std::make_shared<core::AutoPowerModel>();
+  model->train(data.contexts_of(known), golden);
+
+  // A 200-request DSE sweep: an optimiser revisiting a 10-config x
+  // 4-workload neighbourhood, so (config, workload) pairs repeat — the
+  // realistic shape batch serving exists for.
+  const std::vector<std::string> configs = {"C2", "C3", "C4",  "C6",  "C7",
+                                            "C9", "C11", "C12", "C13", "C14"};
+  const std::vector<std::string> workloads = {"dhrystone", "qsort", "towers",
+                                              "spmv"};
+  constexpr std::size_t kRequests = 200;
+  std::vector<serve::BatchRequest> requests;
+  requests.reserve(kRequests);
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    requests.push_back({configs[i % configs.size()],
+                        workloads[(i / configs.size()) % workloads.size()],
+                        serve::PredictMode::kTotal});
+  }
+
+  // Serial baseline: fresh context (cold simulate) per request, exactly
+  // the per-query cost of the pre-batching predict path.
+  std::vector<double> serial(kRequests);
+  const auto serial_start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    sim::PerfSimulator per_query_sim;
+    serial[i] = model->predict_total(
+        make_context(per_query_sim, requests[i].config,
+                     requests[i].workload));
+  }
+  const double serial_s = seconds_since(serial_start);
+  std::printf("serial predict loop      : %7.1f req/s  (%.3f s)\n",
+              kRequests / serial_s, serial_s);
+
+  const std::size_t hw = std::max(1u, std::thread::hardware_concurrency());
+  std::vector<std::size_t> thread_counts = {1, 4};
+  if (hw != 1 && hw != 4) thread_counts.push_back(hw);
+  bool identical = true;
+  double speedup_at_4 = 0.0;
+  for (const std::size_t threads : thread_counts) {
+    // Fresh engine per run: every timing starts from a cold cache.
+    serve::BatchEngine engine(model, {.threads = threads});
+    const auto start = std::chrono::steady_clock::now();
+    const auto responses = engine.run(requests);
+    const double elapsed = seconds_since(start);
+    const double speedup = serial_s / elapsed;
+    if (threads == 4) speedup_at_4 = speedup;
+
+    for (std::size_t i = 0; i < kRequests; ++i) {
+      if (!responses[i].ok || responses[i].total_mw != serial[i]) {
+        identical = false;
+      }
+    }
+    const auto sim_stats = engine.cache().stats();
+    const auto resp_stats = engine.response_stats();
+    std::printf(
+        "engine @ %2zu thread%s      : %7.1f req/s  (%.3f s, %.2fx vs "
+        "serial; memo %llu/%llu, sim cache %llu/%llu hit/miss)\n",
+        threads, threads == 1 ? " " : "s", kRequests / elapsed, elapsed,
+        speedup, static_cast<unsigned long long>(resp_stats.hits),
+        static_cast<unsigned long long>(resp_stats.misses),
+        static_cast<unsigned long long>(sim_stats.hits),
+        static_cast<unsigned long long>(sim_stats.misses));
+  }
+
+  std::printf("bit-identical to serial  : %s\n", identical ? "yes" : "NO");
+  std::printf("speedup @ 4 threads      : %.2fx (bar: 2.50x)\n", speedup_at_4);
+  if (!identical) {
+    std::printf("FAIL: parallel results diverged from the serial baseline\n");
+    return 1;
+  }
+  if (speedup_at_4 < 2.5) {
+    std::printf("FAIL: below the 2.5x speedup bar\n");
+    return 1;
+  }
+  std::printf("PASS\n");
+  return 0;
+}

@@ -39,6 +39,15 @@ struct AutoPowerOptions {
 };
 
 /// The end-to-end AutoPower model: 22 components x 3 power groups.
+///
+/// Thread safety: train(), load() and the file wrappers mutate the model
+/// and must not run concurrently with anything else.  Once training or
+/// loading has completed, every const method — predict(), predict_total(),
+/// predict_trace(), the per-component model accessors — only reads
+/// immutable state and is safe to call concurrently from any number of
+/// threads on one shared instance (the serving layer in src/serve/ relies
+/// on this: a model is published as shared_ptr<const AutoPowerModel> and
+/// queried by a whole thread pool).
 class AutoPowerModel {
  public:
   AutoPowerModel() = default;

@@ -1,0 +1,190 @@
+#include "serve/engine.hpp"
+
+#include <atomic>
+#include <exception>
+#include <functional>
+#include <latch>
+#include <utility>
+
+#include "arch/component.hpp"
+#include "serve/thread_pool.hpp"
+#include "util/error.hpp"
+#include "workload/workload.hpp"
+
+namespace autopower::serve {
+
+std::string_view to_string(PredictMode mode) noexcept {
+  switch (mode) {
+    case PredictMode::kTotal: return "total";
+    case PredictMode::kPerComponent: return "per_component";
+    case PredictMode::kTrace: return "trace";
+  }
+  return "total";
+}
+
+PredictMode mode_from_string(std::string_view text) {
+  if (text == "total") return PredictMode::kTotal;
+  if (text == "per_component") return PredictMode::kPerComponent;
+  if (text == "trace") return PredictMode::kTrace;
+  throw util::InvalidArgument(
+      "unknown mode: " + std::string(text) +
+      " (expected total | per_component | trace)");
+}
+
+namespace {
+
+// '\x1f' cannot appear in config/workload names; the mode tag makes the
+// key unique per response shape.
+std::string response_key(const BatchRequest& request) {
+  std::string key = request.config;
+  key += '\x1f';
+  key += request.workload;
+  key += '\x1f';
+  key += to_string(request.mode);
+  return key;
+}
+
+}  // namespace
+
+BatchEngine::BatchEngine(std::shared_ptr<const core::AutoPowerModel> model,
+                         EngineOptions options)
+    : model_(std::move(model)),
+      options_(options),
+      cache_(options.cache_shards),
+      response_shards_(options.cache_shards == 0 ? 1 : options.cache_shards) {
+  AP_REQUIRE(model_ != nullptr, "BatchEngine: null model");
+  if (options_.threads == 0) options_.threads = 1;
+}
+
+EvalCache::Stats BatchEngine::response_stats() const noexcept {
+  return {response_hits_.load(std::memory_order_relaxed),
+          response_misses_.load(std::memory_order_relaxed)};
+}
+
+BatchResponse BatchEngine::handle(const BatchRequest& request,
+                                  std::size_t index,
+                                  const sim::PerfSimulator& sim) {
+  if (!options_.memoize_responses || request.mode == PredictMode::kTrace) {
+    BatchResponse resp = compute(request, sim);
+    resp.index = index;
+    return resp;
+  }
+
+  const std::string key = response_key(request);
+  ResponseShard& shard =
+      response_shards_[std::hash<std::string>{}(key) %
+                       response_shards_.size()];
+  {
+    std::lock_guard lock(shard.mu);
+    if (const auto it = shard.map.find(key); it != shard.map.end()) {
+      response_hits_.fetch_add(1, std::memory_order_relaxed);
+      BatchResponse resp = *it->second;  // memoised with index == 0
+      resp.index = index;
+      return resp;
+    }
+  }
+  response_misses_.fetch_add(1, std::memory_order_relaxed);
+
+  // Compute outside the lock; on a racing miss the first insert wins and
+  // both copies are bit-identical anyway (everything is deterministic).
+  auto computed = std::make_shared<const BatchResponse>(compute(request, sim));
+  BatchResponse resp;
+  {
+    std::lock_guard lock(shard.mu);
+    const auto [it, inserted] = shard.map.emplace(key, std::move(computed));
+    (void)inserted;
+    resp = *it->second;
+  }
+  resp.index = index;
+  return resp;
+}
+
+BatchResponse BatchEngine::compute(const BatchRequest& request,
+                                   const sim::PerfSimulator& sim) {
+  BatchResponse resp;
+  resp.config = request.config;
+  resp.workload = request.workload;
+  resp.mode = request.mode;
+  try {
+    if (request.mode == PredictMode::kTrace) {
+      // Per-window contexts are trace-specific and not cached: a trace is
+      // one large deterministic simulation, not a repeated lookup key.
+      const auto& cfg = arch::boom_config(request.config);
+      const auto& profile = workload::workload_by_name(request.workload);
+      const auto program = workload::program_features(profile);
+      const auto windows = sim.simulate_trace(cfg, profile);
+      std::vector<core::EvalContext> contexts(windows.size());
+      for (std::size_t w = 0; w < windows.size(); ++w) {
+        contexts[w].cfg = &cfg;
+        contexts[w].workload = request.workload;
+        contexts[w].program = program;
+        contexts[w].events = windows[w];
+      }
+      resp.trace_mw = model_->predict_trace(contexts);
+      for (double mw : resp.trace_mw) resp.total_mw += mw;
+      if (!resp.trace_mw.empty()) {
+        resp.total_mw /= static_cast<double>(resp.trace_mw.size());
+      }
+    } else {
+      const auto ctx =
+          cache_.get_or_compute(request.config, request.workload, sim);
+      if (request.mode == PredictMode::kPerComponent) {
+        const auto result = model_->predict(*ctx);
+        resp.components.reserve(result.components.size());
+        for (const auto& cp : result.components) {
+          resp.components.push_back(
+              {std::string(arch::component_name(cp.component)),
+               cp.groups.clock, cp.groups.sram, cp.groups.logic(),
+               cp.groups.total()});
+        }
+        resp.total_mw = result.total();
+      } else {
+        resp.total_mw = model_->predict_total(*ctx);
+      }
+    }
+    resp.ok = true;
+  } catch (const std::exception& e) {
+    resp.ok = false;
+    resp.error = e.what();
+  }
+  return resp;
+}
+
+std::vector<BatchResponse> BatchEngine::run(
+    std::span<const BatchRequest> requests) {
+  std::vector<BatchResponse> responses(requests.size());
+  if (requests.empty()) return responses;
+
+  const std::size_t workers =
+      std::min(options_.threads, requests.size());
+  if (workers <= 1) {
+    sim::PerfSimulator sim;
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      responses[i] = handle(requests[i], i, sim);
+    }
+    return responses;
+  }
+
+  // One long-lived task per worker; workers pull request indices off a
+  // shared atomic counter and write into disjoint response slots, so the
+  // output is in input order by construction.  Each worker owns a private
+  // PerfSimulator — its phase-rate memo is not thread-safe to share.
+  std::atomic<std::size_t> next{0};
+  std::latch done(static_cast<std::ptrdiff_t>(workers));
+  ThreadPool pool(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    pool.submit([this, &requests, &responses, &next, &done] {
+      sim::PerfSimulator sim;
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= requests.size()) break;
+        responses[i] = handle(requests[i], i, sim);
+      }
+      done.count_down();
+    });
+  }
+  done.wait();
+  return responses;
+}
+
+}  // namespace autopower::serve

@@ -1,0 +1,120 @@
+// Batch inference engine — fans a request list out across a thread pool.
+//
+// One engine wraps one immutable model snapshot (from serve::ModelRegistry
+// or any shared_ptr<const AutoPowerModel>) plus two sharded memo layers.
+// run() executes every request and returns responses IN INPUT ORDER; each
+// worker thread owns a private PerfSimulator (the simulator's internal
+// memo is not thread-safe) while the serve::EvalCache deduplicates
+// (config, workload) simulations and the response memo answers exact
+// repeat queries — (config, workload, mode) — without touching the model
+// at all.  Both layers persist across run() calls.
+//
+// Determinism contract: the simulator, feature extraction, and the model
+// are all deterministic, so `run(reqs)` is bit-identical for any thread
+// count — including the serial `predict` loop it replaces.  A request
+// that fails (unknown config/workload, untrained model) yields ok=false
+// with the error message; it never aborts the rest of the batch.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/autopower.hpp"
+#include "serve/eval_cache.hpp"
+
+namespace autopower::serve {
+
+/// What a batch request asks the model for.
+enum class PredictMode {
+  kTotal,         ///< total core power (mW)
+  kPerComponent,  ///< per-component, per-group breakdown
+  kTrace,         ///< per-window total power over the whole run
+};
+
+[[nodiscard]] std::string_view to_string(PredictMode mode) noexcept;
+/// Parses "total" | "per_component" | "trace"; throws on anything else.
+[[nodiscard]] PredictMode mode_from_string(std::string_view text);
+
+struct BatchRequest {
+  std::string config;    ///< "C1".."C15"
+  std::string workload;  ///< e.g. "dhrystone", "gemm"
+  PredictMode mode = PredictMode::kTotal;
+};
+
+/// Per-component breakdown row of a kPerComponent response.
+struct ComponentBreakdown {
+  std::string component;
+  double clock_mw = 0.0;
+  double sram_mw = 0.0;
+  double logic_mw = 0.0;
+  double total_mw = 0.0;
+};
+
+struct BatchResponse {
+  std::size_t index = 0;  ///< position in the request list
+  std::string config;
+  std::string workload;
+  PredictMode mode = PredictMode::kTotal;
+  bool ok = false;
+  std::string error;                           ///< set when !ok
+  double total_mw = 0.0;                       ///< all modes
+  std::vector<ComponentBreakdown> components;  ///< kPerComponent only
+  std::vector<double> trace_mw;                ///< kTrace only
+};
+
+struct EngineOptions {
+  std::size_t threads = 1;
+  std::size_t cache_shards = 16;
+  /// Memoise whole responses per (config, workload, mode).  The model is
+  /// immutable and every pipeline stage is deterministic, so a repeated
+  /// query can be answered straight from the memo.  Trace responses are
+  /// never memoised (large payload, rarely repeated).
+  bool memoize_responses = true;
+};
+
+class BatchEngine {
+ public:
+  explicit BatchEngine(std::shared_ptr<const core::AutoPowerModel> model,
+                       EngineOptions options = {});
+
+  /// Runs every request; responses are returned in input order.
+  [[nodiscard]] std::vector<BatchResponse> run(
+      std::span<const BatchRequest> requests);
+
+  [[nodiscard]] const EvalCache& cache() const noexcept { return cache_; }
+  /// Hit/miss counters of the response memo (all zero when disabled).
+  [[nodiscard]] EvalCache::Stats response_stats() const noexcept;
+  [[nodiscard]] std::size_t threads() const noexcept {
+    return options_.threads;
+  }
+
+ private:
+  struct ResponseShard {
+    std::mutex mu;
+    std::unordered_map<std::string, std::shared_ptr<const BatchResponse>> map;
+  };
+
+  [[nodiscard]] BatchResponse handle(const BatchRequest& request,
+                                     std::size_t index,
+                                     const sim::PerfSimulator& sim);
+  [[nodiscard]] BatchResponse compute(const BatchRequest& request,
+                                      const sim::PerfSimulator& sim);
+
+  std::shared_ptr<const core::AutoPowerModel> model_;
+  EngineOptions options_;
+  EvalCache cache_;
+  std::deque<ResponseShard> response_shards_;
+  std::atomic<std::uint64_t> response_hits_{0};
+  std::atomic<std::uint64_t> response_misses_{0};
+};
+
+}  // namespace autopower::serve

@@ -1,0 +1,83 @@
+#include "serve/eval_cache.hpp"
+
+#include <functional>
+#include <utility>
+
+#include "arch/params.hpp"
+#include "workload/workload.hpp"
+
+namespace autopower::serve {
+
+namespace {
+
+// '\x1f' (unit separator) cannot appear in config or workload names, so
+// the concatenation is collision-free.
+std::string cache_key(const std::string& config, const std::string& workload) {
+  std::string key;
+  key.reserve(config.size() + 1 + workload.size());
+  key += config;
+  key += '\x1f';
+  key += workload;
+  return key;
+}
+
+}  // namespace
+
+EvalCache::EvalCache(std::size_t shards)
+    : shards_(shards == 0 ? 1 : shards) {}
+
+EvalCache::Shard& EvalCache::shard_for(std::string_view key) noexcept {
+  const std::size_t h = std::hash<std::string_view>{}(key);
+  return shards_[h % shards_.size()];
+}
+
+std::shared_ptr<const core::EvalContext> EvalCache::get_or_compute(
+    const std::string& config, const std::string& workload,
+    const sim::PerfSimulator& sim) {
+  const std::string key = cache_key(config, workload);
+  Shard& shard = shard_for(key);
+  {
+    std::lock_guard lock(shard.mu);
+    if (const auto it = shard.map.find(key); it != shard.map.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+
+  // Compute outside the lock with the caller's simulator.
+  auto ctx = std::make_shared<core::EvalContext>();
+  ctx->cfg = &arch::boom_config(config);  // static storage; pointer stable
+  ctx->workload = workload;
+  const auto& profile = workload::workload_by_name(workload);
+  ctx->program = workload::program_features(profile);
+  ctx->events = sim.simulate(*ctx->cfg, profile);
+
+  std::lock_guard lock(shard.mu);
+  const auto [it, inserted] = shard.map.emplace(key, std::move(ctx));
+  (void)inserted;  // lost the race: adopt the published value
+  return it->second;
+}
+
+EvalCache::Stats EvalCache::stats() const noexcept {
+  return {hits_.load(std::memory_order_relaxed),
+          misses_.load(std::memory_order_relaxed)};
+}
+
+std::size_t EvalCache::size() const {
+  std::size_t n = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard.mu);
+    n += shard.map.size();
+  }
+  return n;
+}
+
+void EvalCache::clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard lock(shard.mu);
+    shard.map.clear();
+  }
+}
+
+}  // namespace autopower::serve

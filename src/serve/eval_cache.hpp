@@ -1,0 +1,75 @@
+// Sharded (config, workload) → EvalContext cache.
+//
+// Building an evaluation context — looking up the configuration and
+// workload, extracting program-level features, and above all running
+// `PerfSimulator::simulate` — dominates per-query cost and is fully
+// deterministic, so the serving layer memoises it here.  The cache is the
+// concurrency boundary around the simulator: `PerfSimulator::simulate` is
+// const but memoises phase rates internally and is therefore NOT safe to
+// share across threads; each caller passes its own (thread-local)
+// simulator, and the cache publishes the resulting context as an
+// immutable `shared_ptr<const EvalContext>` that any thread may read.
+//
+// Sharding: keys hash onto `shards` independently-locked maps, so lookups
+// of different keys rarely contend.  On a miss the context is computed
+// OUTSIDE the shard lock (two threads may transiently duplicate the same
+// deterministic computation; the first insert wins — both observe one
+// published value, and results are bit-identical either way).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "core/sample.hpp"
+#include "sim/perfsim.hpp"
+
+namespace autopower::serve {
+
+class EvalCache {
+ public:
+  /// `shards` is clamped to at least 1.
+  explicit EvalCache(std::size_t shards = 16);
+
+  /// Returns the cached context for (config, workload), computing it with
+  /// `sim` on a miss.  Throws util::Error for unknown names.
+  [[nodiscard]] std::shared_ptr<const core::EvalContext> get_or_compute(
+      const std::string& config, const std::string& workload,
+      const sim::PerfSimulator& sim);
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+  };
+  [[nodiscard]] Stats stats() const noexcept;
+
+  /// Number of cached contexts across all shards.
+  [[nodiscard]] std::size_t size() const;
+
+  void clear();
+
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return shards_.size();
+  }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, std::shared_ptr<const core::EvalContext>>
+        map;
+  };
+
+  [[nodiscard]] Shard& shard_for(std::string_view key) noexcept;
+
+  std::deque<Shard> shards_;  // deque: Shard holds a mutex, must not move
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+};
+
+}  // namespace autopower::serve

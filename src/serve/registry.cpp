@@ -1,0 +1,47 @@
+#include "serve/registry.hpp"
+
+#include <utility>
+
+namespace autopower::serve {
+
+ModelRegistry::ModelHandle ModelRegistry::load(const std::string& path) {
+  auto model = std::make_shared<core::AutoPowerModel>();
+  model->load_from_file(path);
+  return model;  // converts to shared_ptr<const AutoPowerModel>
+}
+
+ModelRegistry::ModelHandle ModelRegistry::get(const std::string& path) {
+  {
+    std::lock_guard lock(mu_);
+    if (const auto it = models_.find(path); it != models_.end()) {
+      return it->second;
+    }
+  }
+  // Load outside the lock: archive reads are slow and must not block
+  // concurrent lookups of already-published models.  If two threads race
+  // on the same cold path the first insert wins and both see one snapshot.
+  ModelHandle loaded = load(path);
+  std::lock_guard lock(mu_);
+  const auto [it, inserted] = models_.emplace(path, std::move(loaded));
+  (void)inserted;
+  return it->second;
+}
+
+ModelRegistry::ModelHandle ModelRegistry::reload(const std::string& path) {
+  ModelHandle loaded = load(path);
+  std::lock_guard lock(mu_);
+  models_[path] = loaded;
+  return loaded;
+}
+
+void ModelRegistry::erase(const std::string& path) {
+  std::lock_guard lock(mu_);
+  models_.erase(path);
+}
+
+std::size_t ModelRegistry::size() const {
+  std::lock_guard lock(mu_);
+  return models_.size();
+}
+
+}  // namespace autopower::serve

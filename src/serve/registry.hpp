@@ -1,0 +1,48 @@
+// Model registry — loads trained `.ap` archives once and hands out
+// immutable, thread-safe model snapshots.
+//
+// A loaded AutoPowerModel is cached behind a
+// `std::shared_ptr<const AutoPowerModel>`: the registry never mutates a
+// published model, and `AutoPowerModel::predict*` const methods are safe
+// for concurrent use (see src/core/autopower.hpp), so any number of
+// serving threads may share one snapshot.  reload() re-reads the archive
+// and atomically swaps the published snapshot; callers that grabbed the
+// old snapshot keep a consistent model until they drop their handle
+// (read-copy-update by shared_ptr refcount).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "core/autopower.hpp"
+
+namespace autopower::serve {
+
+class ModelRegistry {
+ public:
+  using ModelHandle = std::shared_ptr<const core::AutoPowerModel>;
+
+  /// Returns the model archived at `path`, loading it on first use.
+  /// Throws util::Error if the file is missing or malformed.
+  [[nodiscard]] ModelHandle get(const std::string& path);
+
+  /// Re-reads the archive and replaces the cached snapshot.
+  ModelHandle reload(const std::string& path);
+
+  /// Drops the cached snapshot for `path` (no-op if absent).  Handles
+  /// already given out stay valid.
+  void erase(const std::string& path);
+
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  static ModelHandle load(const std::string& path);
+
+  mutable std::mutex mu_;
+  std::map<std::string, ModelHandle> models_;
+};
+
+}  // namespace autopower::serve

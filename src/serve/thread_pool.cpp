@@ -1,0 +1,73 @@
+#include "serve/thread_pool.hpp"
+
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace autopower::serve {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) threads = 1;
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::submit(std::function<void()> task) {
+  AP_ASSERT_MSG(task != nullptr, "ThreadPool::submit: empty task");
+  {
+    std::lock_guard lock(mu_);
+    if (!accepting_) {
+      throw util::Error("ThreadPool::submit after shutdown");
+    }
+    queue_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mu_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::shutdown() {
+  {
+    std::lock_guard lock(mu_);
+    accepting_ = false;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mu_);
+      work_cv_.wait(lock, [this] { return !queue_.empty() || !accepting_; });
+      // Graceful shutdown: keep draining until the queue is empty.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    // A throwing task must not take the worker (and the process) down;
+    // request-level errors are reported through BatchResponse instead.
+    try {
+      task();
+    } catch (...) {
+    }
+    {
+      std::lock_guard lock(mu_);
+      --active_;
+    }
+    idle_cv_.notify_all();
+  }
+}
+
+}  // namespace autopower::serve

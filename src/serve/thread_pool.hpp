@@ -1,0 +1,61 @@
+// Fixed-size worker pool with a FIFO work queue and graceful shutdown.
+//
+// The serving layer's only thread-spawning primitive: BatchEngine fans
+// batch requests out over one of these, and `autopower evaluate --threads`
+// parallelises its held-out predict loop with one.  Semantics:
+//
+//   * submit() enqueues a task; it throws once shutdown has begun.
+//   * shutdown() stops accepting new work, lets the workers DRAIN every
+//     task already queued, then joins them (graceful, not abortive).
+//   * wait_idle() blocks until the queue is empty and no task is running —
+//     a completion barrier for callers that keep the pool alive.
+//
+// The destructor calls shutdown(), so pending work always completes.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace autopower::serve {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (at least one).
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task.  Throws util::Error if shutdown() has been called.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every queued task has finished executing.
+  void wait_idle();
+
+  /// Stops accepting work, drains the queue, joins the workers.  Safe to
+  /// call more than once.
+  void shutdown();
+
+  [[nodiscard]] std::size_t thread_count() const noexcept {
+    return workers_.size();
+  }
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  ///< signalled when work arrives / stops
+  std::condition_variable idle_cv_;  ///< signalled when the pool may be idle
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::size_t active_ = 0;    ///< tasks currently executing
+  bool accepting_ = true;     ///< false once shutdown() begins
+};
+
+}  // namespace autopower::serve

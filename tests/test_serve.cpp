@@ -1,0 +1,463 @@
+// Tests for the batch serving subsystem (src/serve/): thread-pool
+// lifecycle and graceful shutdown, model registry snapshots, eval-cache
+// hit/miss behaviour and cross-thread consistency, batch-engine
+// determinism against the serial predict loop, and the JSONL wire format.
+//
+// This suite is built as its own binary so tools/check.sh can run it
+// under the ThreadSanitizer preset in isolation.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "core/autopower.hpp"
+#include "power/golden.hpp"
+#include "serve/engine.hpp"
+#include "serve/eval_cache.hpp"
+#include "serve/jsonl.hpp"
+#include "serve/registry.hpp"
+#include "serve/thread_pool.hpp"
+#include "sim/perfsim.hpp"
+#include "util/error.hpp"
+#include "workload/workload.hpp"
+
+namespace autopower::serve {
+namespace {
+
+// --- Shared trained model fixture -------------------------------------------
+
+core::EvalContext make_context(const sim::PerfSimulator& sim,
+                               const std::string& config,
+                               const std::string& workload) {
+  core::EvalContext ctx;
+  ctx.cfg = &arch::boom_config(config);
+  ctx.workload = workload;
+  const auto& profile = workload::workload_by_name(workload);
+  ctx.program = workload::program_features(profile);
+  ctx.events = sim.simulate(*ctx.cfg, profile);
+  return ctx;
+}
+
+class ServeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    sim::PerfSimulator sim;
+    power::GoldenPowerModel golden;
+    std::vector<core::EvalContext> train;
+    for (const std::string config : {"C1", "C15"}) {
+      for (const auto& w : workload::riscv_tests_workloads()) {
+        train.push_back(make_context(sim, config, w.name));
+      }
+    }
+    auto model = std::make_shared<core::AutoPowerModel>();
+    model->train(train, golden);
+    model_ = new std::shared_ptr<const core::AutoPowerModel>(std::move(model));
+  }
+  static void TearDownTestSuite() {
+    delete model_;
+    model_ = nullptr;
+  }
+
+  static std::shared_ptr<const core::AutoPowerModel> model() {
+    return *model_;
+  }
+
+  static std::shared_ptr<const core::AutoPowerModel>* model_;
+};
+
+std::shared_ptr<const core::AutoPowerModel>* ServeTest::model_ = nullptr;
+
+// --- ThreadPool --------------------------------------------------------------
+
+TEST(ThreadPoolTest, ExecutesEverySubmittedTask) {
+  std::atomic<int> counter{0};
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.thread_count(), 4u);
+  for (int i = 0; i < 200; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPoolTest, ShutdownDrainsPendingWork) {
+  std::atomic<int> counter{0};
+  ThreadPool pool(2);
+  for (int i = 0; i < 64; ++i) {
+    pool.submit([&counter] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      counter.fetch_add(1);
+    });
+  }
+  // Most tasks are still queued here; a graceful shutdown must run them
+  // all before joining rather than dropping the queue.
+  pool.shutdown();
+  EXPECT_EQ(counter.load(), 64);
+}
+
+TEST(ThreadPoolTest, SubmitAfterShutdownThrows) {
+  ThreadPool pool(1);
+  pool.shutdown();
+  EXPECT_THROW(pool.submit([] {}), util::Error);
+  pool.shutdown();  // idempotent
+}
+
+TEST(ThreadPoolTest, ThrowingTaskDoesNotKillWorkers) {
+  std::atomic<int> counter{0};
+  ThreadPool pool(1);
+  pool.submit([] { throw std::runtime_error("request failed"); });
+  pool.submit([&counter] { counter.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+// --- ModelRegistry -----------------------------------------------------------
+
+class RegistryTest : public ServeTest {};
+
+TEST_F(RegistryTest, CachesSnapshotsByPath) {
+  const auto path = (std::filesystem::temp_directory_path() /
+                     "autopower_registry_test.ap")
+                        .string();
+  model()->save_to_file(path);
+
+  ModelRegistry registry;
+  const auto a = registry.get(path);
+  const auto b = registry.get(path);
+  EXPECT_EQ(a.get(), b.get());  // one snapshot, shared
+  EXPECT_EQ(registry.size(), 1u);
+  EXPECT_TRUE(a->trained());
+
+  // reload publishes a fresh snapshot; the old handle stays valid.
+  const auto c = registry.reload(path);
+  EXPECT_NE(a.get(), c.get());
+  EXPECT_DOUBLE_EQ(a->predict_total(make_context(sim::PerfSimulator{}, "C8",
+                                                 "dhrystone")),
+                   c->predict_total(make_context(sim::PerfSimulator{}, "C8",
+                                                 "dhrystone")));
+
+  registry.erase(path);
+  EXPECT_EQ(registry.size(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST_F(RegistryTest, MissingArchiveThrows) {
+  ModelRegistry registry;
+  EXPECT_THROW((void)registry.get("/nonexistent/model.ap"), util::Error);
+}
+
+// --- EvalCache ---------------------------------------------------------------
+
+TEST(EvalCacheTest, MissThenHitReturnsSameContext) {
+  EvalCache cache(4);
+  sim::PerfSimulator sim;
+  const auto a = cache.get_or_compute("C3", "dhrystone", sim);
+  const auto b = cache.get_or_compute("C3", "dhrystone", sim);
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.size(), 1u);
+
+  (void)cache.get_or_compute("C4", "qsort", sim);
+  EXPECT_EQ(cache.size(), 2u);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(EvalCacheTest, CachedContextMatchesDirectComputation) {
+  EvalCache cache;
+  sim::PerfSimulator sim;
+  const auto cached = cache.get_or_compute("C5", "towers", sim);
+  const auto direct = make_context(sim, "C5", "towers");
+  EXPECT_EQ(cached->cfg, direct.cfg);
+  for (std::size_t i = 0; i < arch::kNumEvents; ++i) {
+    const auto kind = static_cast<arch::EventKind>(i);
+    EXPECT_EQ(cached->events[kind], direct.events[kind]);
+  }
+}
+
+TEST(EvalCacheTest, UnknownNamesThrow) {
+  EvalCache cache;
+  sim::PerfSimulator sim;
+  EXPECT_THROW((void)cache.get_or_compute("C99", "dhrystone", sim),
+               util::Error);
+  EXPECT_THROW((void)cache.get_or_compute("C1", "nonsense", sim),
+               util::Error);
+}
+
+TEST(EvalCacheTest, CrossThreadLookupsAgree) {
+  EvalCache cache(8);
+  constexpr int kThreads = 8;
+  std::vector<std::shared_ptr<const core::EvalContext>> seen(kThreads);
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&cache, &seen, t] {
+        sim::PerfSimulator sim;  // thread-private, as the contract requires
+        seen[t] = cache.get_or_compute("C7", "spmv", sim);
+      });
+    }
+    for (auto& th : threads) th.join();
+  }
+  // Every thread must observe the one published context, even if several
+  // raced on the initial miss.
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(seen[0].get(), seen[t].get());
+  }
+  EXPECT_EQ(cache.size(), 1u);
+  const auto stats = cache.stats();
+  EXPECT_GE(stats.misses, 1u);
+  EXPECT_EQ(stats.hits + stats.misses, static_cast<std::uint64_t>(kThreads));
+}
+
+// --- BatchEngine -------------------------------------------------------------
+
+class EngineTest : public ServeTest {};
+
+std::vector<BatchRequest> grid_requests(PredictMode mode) {
+  std::vector<BatchRequest> requests;
+  for (const auto& cfg : arch::boom_design_space()) {
+    for (const std::string wl : {"dhrystone", "qsort", "towers", "spmv"}) {
+      requests.push_back({cfg.name(), wl, mode});
+    }
+  }
+  return requests;
+}
+
+TEST_F(EngineTest, ParallelRunMatchesSerialPredictLoopExactly) {
+  const auto requests = grid_requests(PredictMode::kTotal);
+
+  // The serial baseline: the plain predict loop the engine replaces.
+  sim::PerfSimulator sim;
+  std::vector<double> serial;
+  serial.reserve(requests.size());
+  for (const auto& r : requests) {
+    serial.push_back(model()->predict_total(make_context(sim, r.config,
+                                                         r.workload)));
+  }
+
+  BatchEngine engine(model(), {.threads = 8});
+  const auto responses = engine.run(requests);
+  ASSERT_EQ(responses.size(), requests.size());
+  for (std::size_t i = 0; i < responses.size(); ++i) {
+    ASSERT_TRUE(responses[i].ok) << responses[i].error;
+    EXPECT_EQ(responses[i].index, i);
+    EXPECT_EQ(responses[i].config, requests[i].config);
+    EXPECT_EQ(responses[i].workload, requests[i].workload);
+    // Bit-identical, not approximately equal.
+    EXPECT_EQ(responses[i].total_mw, serial[i]);
+  }
+}
+
+TEST_F(EngineTest, ThreadCountDoesNotChangeResults) {
+  const auto requests = grid_requests(PredictMode::kTotal);
+  BatchEngine serial_engine(model(), {.threads = 1});
+  BatchEngine parallel_engine(model(), {.threads = 8});
+  const auto a = serial_engine.run(requests);
+  const auto b = parallel_engine.run(requests);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].total_mw, b[i].total_mw);
+  }
+}
+
+TEST_F(EngineTest, PerComponentAndTraceModes) {
+  // Trace mode on a riscv-tests workload: same code path as the GEMM/SPMM
+  // kernels at a fraction of the window count (keeps the tsan run fast).
+  std::vector<BatchRequest> requests = {
+      {"C8", "median", PredictMode::kPerComponent},
+      {"C3", "qsort", PredictMode::kTrace},
+  };
+  BatchEngine engine(model(), {.threads = 2});
+  const auto responses = engine.run(requests);
+  ASSERT_EQ(responses.size(), 2u);
+
+  ASSERT_TRUE(responses[0].ok) << responses[0].error;
+  ASSERT_EQ(responses[0].components.size(), arch::kNumComponents);
+  sim::PerfSimulator sim;
+  const auto direct = model()->predict(make_context(sim, "C8", "median"));
+  EXPECT_EQ(responses[0].total_mw, direct.total());
+  EXPECT_EQ(responses[0].components[0].clock_mw,
+            direct.components[0].groups.clock);
+
+  ASSERT_TRUE(responses[1].ok) << responses[1].error;
+  EXPECT_GT(responses[1].trace_mw.size(), 100u);
+  for (const double mw : responses[1].trace_mw) EXPECT_GT(mw, 0.0);
+}
+
+TEST_F(EngineTest, BadRequestFailsAloneNotTheBatch) {
+  std::vector<BatchRequest> requests = {
+      {"C1", "dhrystone", PredictMode::kTotal},
+      {"C99", "dhrystone", PredictMode::kTotal},
+      {"C2", "no_such_workload", PredictMode::kTotal},
+      {"C2", "vvadd", PredictMode::kTotal},
+  };
+  BatchEngine engine(model(), {.threads = 4});
+  const auto responses = engine.run(requests);
+  EXPECT_TRUE(responses[0].ok);
+  EXPECT_FALSE(responses[1].ok);
+  EXPECT_NE(responses[1].error.find("C99"), std::string::npos);
+  EXPECT_FALSE(responses[2].ok);
+  EXPECT_TRUE(responses[3].ok);
+}
+
+TEST_F(EngineTest, CachesDeduplicateRepeatedRequests) {
+  std::vector<BatchRequest> requests;
+  for (int i = 0; i < 40; ++i) {
+    requests.push_back({"C6", "rsort", PredictMode::kTotal});
+  }
+  BatchEngine engine(model(), {.threads = 4});
+  const auto responses = engine.run(requests);
+  for (std::size_t i = 0; i < responses.size(); ++i) {
+    ASSERT_TRUE(responses[i].ok);
+    EXPECT_EQ(responses[i].index, i);
+    EXPECT_EQ(responses[i].total_mw, responses[0].total_mw);
+  }
+  // Response memo: at most one transient duplicate computation per worker
+  // thread; everything else is a hit.
+  const auto rs = engine.response_stats();
+  EXPECT_LE(rs.misses, 4u);
+  EXPECT_GE(rs.hits, 40u - rs.misses);
+  // Eval cache: only the response-memo misses ever reached it.
+  EXPECT_EQ(engine.cache().size(), 1u);
+  EXPECT_LE(engine.cache().stats().misses, rs.misses);
+}
+
+TEST_F(EngineTest, MemoDisabledStillDeterministic) {
+  std::vector<BatchRequest> requests(
+      20, BatchRequest{"C9", "multiply", PredictMode::kTotal});
+  BatchEngine memo_on(model(), {.threads = 4});
+  BatchEngine memo_off(model(),
+                       {.threads = 4, .memoize_responses = false});
+  const auto a = memo_on.run(requests);
+  const auto b = memo_off.run(requests);
+  EXPECT_EQ(memo_off.response_stats().hits, 0u);
+  EXPECT_EQ(memo_off.response_stats().misses, 0u);
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    EXPECT_EQ(a[i].total_mw, b[i].total_mw);
+  }
+}
+
+TEST_F(EngineTest, EmptyBatchAndNullModel) {
+  BatchEngine engine(model(), {.threads = 2});
+  EXPECT_TRUE(engine.run({}).empty());
+  EXPECT_THROW(BatchEngine(nullptr, {}), util::Error);
+}
+
+// --- JSONL -------------------------------------------------------------------
+
+TEST(JsonlTest, ParsesRequestsWithAndWithoutMode) {
+  const auto a = request_from_jsonl(
+      R"({"config": "C3", "workload": "dhrystone"})");
+  EXPECT_EQ(a.config, "C3");
+  EXPECT_EQ(a.workload, "dhrystone");
+  EXPECT_EQ(a.mode, PredictMode::kTotal);
+
+  const auto b = request_from_jsonl(
+      R"({"mode": "per_component", "workload": "gemm", "config": "C8"})");
+  EXPECT_EQ(b.mode, PredictMode::kPerComponent);
+
+  const auto c =
+      request_from_jsonl(R"({"config":"C1","workload":"spmv","mode":"trace"})");
+  EXPECT_EQ(c.mode, PredictMode::kTrace);
+}
+
+TEST(JsonlTest, RejectsMalformedRequests) {
+  EXPECT_THROW((void)request_from_jsonl(R"({"workload": "gemm"})"),
+               util::Error);  // missing config
+  EXPECT_THROW((void)request_from_jsonl(R"({"config": "C1"})"),
+               util::Error);  // missing workload
+  EXPECT_THROW((void)request_from_jsonl(
+                   R"({"config": "C1", "workload": "gemm", "x": 1})"),
+               util::Error);  // unknown key
+  EXPECT_THROW((void)request_from_jsonl(
+                   R"({"config": "C1", "workload": "gemm", "mode": "bogus"})"),
+               util::Error);  // unknown mode
+  EXPECT_THROW((void)request_from_jsonl(
+                   R"({"config": 3, "workload": "gemm"})"),
+               util::Error);  // wrong type
+  EXPECT_THROW((void)request_from_jsonl(
+                   R"({"config": "C1", "config": "C2", "workload": "g"})"),
+               util::Error);  // duplicate key
+  EXPECT_THROW((void)request_from_jsonl("not json"), util::Error);
+  EXPECT_THROW((void)request_from_jsonl(R"({"config": "C1"} trailing)"),
+               util::Error);
+}
+
+TEST(JsonlTest, ResponseSerialisationRoundTripsExactly) {
+  BatchResponse resp;
+  resp.index = 7;
+  resp.config = "C3";
+  resp.workload = "dhry\"stone";  // exercises escaping
+  resp.mode = PredictMode::kTrace;
+  resp.ok = true;
+  resp.total_mw = 71.48132360793859;
+  resp.trace_mw = {1.0 / 3.0, 38.088830629505615, 1e-12};
+
+  const std::string line = response_to_jsonl(resp);
+  const JsonValue doc = JsonValue::parse(line);
+  EXPECT_EQ(doc.find("index")->as_number(), 7.0);
+  EXPECT_EQ(doc.find("config")->as_string(), "C3");
+  EXPECT_EQ(doc.find("workload")->as_string(), "dhry\"stone");
+  EXPECT_EQ(doc.find("mode")->as_string(), "trace");
+  EXPECT_TRUE(doc.find("ok")->as_bool());
+  // Numbers must survive the wire bit-for-bit.
+  EXPECT_EQ(doc.find("total_mw")->as_number(), resp.total_mw);
+  const auto& trace = doc.find("trace_mw")->as_array();
+  ASSERT_EQ(trace.size(), 3u);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(trace[i].as_number(), resp.trace_mw[i]);
+  }
+}
+
+TEST(JsonlTest, ErrorResponseCarriesMessage) {
+  BatchResponse resp;
+  resp.index = 0;
+  resp.config = "C99";
+  resp.workload = "gemm";
+  resp.ok = false;
+  resp.error = "unknown BOOM configuration: C99";
+  const JsonValue doc = JsonValue::parse(response_to_jsonl(resp));
+  EXPECT_FALSE(doc.find("ok")->as_bool());
+  EXPECT_EQ(doc.find("error")->as_string(), resp.error);
+  EXPECT_EQ(doc.find("total_mw"), nullptr);
+}
+
+TEST(JsonlTest, ReadRequestsSkipsBlankLinesAndReportsLineNumbers) {
+  std::istringstream in(
+      "{\"config\": \"C1\", \"workload\": \"vvadd\"}\n"
+      "\n"
+      "   \n"
+      "{\"config\": \"C2\", \"workload\": \"median\", \"mode\": \"total\"}\n");
+  const auto requests = read_requests(in);
+  ASSERT_EQ(requests.size(), 2u);
+  EXPECT_EQ(requests[1].config, "C2");
+
+  std::istringstream bad("{\"config\": \"C1\", \"workload\": \"vvadd\"}\n"
+                         "{broken\n");
+  try {
+    (void)read_requests(bad);
+    FAIL() << "expected util::Error";
+  } catch (const util::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(JsonlTest, JsonValueParsesNestedStructures) {
+  const auto doc = JsonValue::parse(
+      R"({"a": [1, 2.5, -3e2], "b": {"c": null, "d": false}, "e": "A"})");
+  EXPECT_EQ(doc.find("a")->as_array()[2].as_number(), -300.0);
+  EXPECT_TRUE(doc.find("b")->find("c")->is_null());
+  EXPECT_FALSE(doc.find("b")->find("d")->as_bool());
+  EXPECT_EQ(doc.find("e")->as_string(), "A");
+}
+
+}  // namespace
+}  // namespace autopower::serve

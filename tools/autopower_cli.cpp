@@ -4,22 +4,31 @@
 //   list                                  show configurations and workloads
 //   train    --known C1,C15 --out m.ap    train and persist a model
 //   predict  --model m.ap --config C8 --workload dhrystone [--per-component]
-//   evaluate --model m.ap --known C1,C15  accuracy on the held-out grid
+//   evaluate --model m.ap --known C1,C15 [--threads N]
 //   trace    --model m.ap --config C3 --workload gemm [--csv out.csv]
+//   batch    --model m.ap --requests reqs.jsonl [--out results.jsonl]
+//            [--threads N]                concurrent JSONL batch inference
 //
 // The CLI drives exactly the same public API the examples use; a model
 // trained here can be reloaded by any program linking the library.
 
+#include <atomic>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <set>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/autopower.hpp"
 #include "exp/harness.hpp"
 #include "exp/trace.hpp"
+#include "serve/engine.hpp"
+#include "serve/jsonl.hpp"
+#include "serve/registry.hpp"
+#include "serve/thread_pool.hpp"
 #include "util/error.hpp"
 #include "util/table.hpp"
 
@@ -29,7 +38,14 @@ namespace {
 
 using ArgMap = std::map<std::string, std::string>;
 
-ArgMap parse_flags(int argc, char** argv, int first) {
+/// Which flags a subcommand accepts: valued flags consume the next token,
+/// boolean flags take none.
+struct FlagSpec {
+  std::set<std::string> valued;
+  std::set<std::string> boolean;
+};
+
+ArgMap parse_flags(int argc, char** argv, int first, const FlagSpec& spec) {
   ArgMap flags;
   for (int i = first; i < argc; ++i) {
     std::string key = argv[i];
@@ -37,15 +53,33 @@ ArgMap parse_flags(int argc, char** argv, int first) {
       throw util::InvalidArgument("expected a --flag, got: " + key);
     }
     key = key.substr(2);
-    // Boolean flags take no value; valued flags consume the next token.
-    if (key == "per-component") {
-      flags[key] = "1";
-    } else {
+    const bool is_valued = spec.valued.count(key) > 0;
+    if (!is_valued && spec.boolean.count(key) == 0) {
+      throw util::InvalidArgument("unknown flag --" + key);
+    }
+    AP_REQUIRE(flags.count(key) == 0, "duplicate flag --" + key);
+    if (is_valued) {
       AP_REQUIRE(i + 1 < argc, "flag --" + key + " needs a value");
       flags[key] = argv[++i];
+    } else {
+      flags[key] = "1";
     }
   }
   return flags;
+}
+
+int parse_threads(const ArgMap& flags) {
+  const auto it = flags.find("threads");
+  if (it == flags.end()) return 1;
+  int threads = 0;
+  try {
+    threads = std::stoi(it->second);
+  } catch (const std::exception&) {
+    throw util::InvalidArgument("--threads wants an integer, got: " +
+                                it->second);
+  }
+  AP_REQUIRE(threads >= 1, "--threads must be >= 1");
+  return threads;
 }
 
 std::string require_flag(const ArgMap& flags, const std::string& key) {
@@ -151,16 +185,81 @@ int cmd_evaluate(const ArgMap& flags) {
   core::AutoPowerModel model;
   model.load_from_file(require_flag(flags, "model"));
   const auto known = split_csv(require_flag(flags, "known"));
+  const int threads = parse_threads(flags);
 
   sim::PerfSimulator simulator;
   power::GoldenPowerModel golden;
   const auto data = exp::ExperimentData::build(simulator, golden);
-  const auto result = exp::evaluate_predictor(
-      data, known, "AutoPower",
-      [&](const core::EvalContext& ctx) { return model.predict_total(ctx); });
+
+  exp::MethodResult result;
+  if (threads <= 1) {
+    result = exp::evaluate_predictor(
+        data, known, "AutoPower",
+        [&](const core::EvalContext& ctx) { return model.predict_total(ctx); });
+  } else {
+    // Parallel predict over the held-out grid: predict* const methods are
+    // safe for concurrent use, so the workers share the model directly.
+    const auto held_out = data.samples_excluding(known);
+    result.method = "AutoPower";
+    result.actual.resize(held_out.size());
+    result.predicted.resize(held_out.size());
+    std::atomic<std::size_t> next{0};
+    serve::ThreadPool pool(static_cast<std::size_t>(threads));
+    for (std::size_t w = 0; w < pool.thread_count(); ++w) {
+      pool.submit([&] {
+        for (;;) {
+          const std::size_t i = next.fetch_add(1);
+          if (i >= held_out.size()) return;
+          result.actual[i] = held_out[i]->golden.total();
+          result.predicted[i] = model.predict_total(held_out[i]->ctx);
+        }
+      });
+    }
+    pool.wait_idle();
+    result.accuracy = exp::compute_accuracy(result.actual, result.predicted);
+  }
   std::cout << "Held-out accuracy (excluding ";
   for (const auto& k : known) std::cout << k << ' ';
   std::cout << "): " << result.accuracy.to_string() << "\n";
+  return 0;
+}
+
+int cmd_batch(const ArgMap& flags) {
+  const auto model_path = require_flag(flags, "model");
+  const auto requests_path = require_flag(flags, "requests");
+  std::size_t threads = static_cast<std::size_t>(parse_threads(flags));
+  if (flags.count("threads") == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+
+  std::vector<serve::BatchRequest> requests;
+  {
+    std::ifstream in(requests_path);
+    AP_REQUIRE(in.good(), "cannot open requests file: " + requests_path);
+    requests = serve::read_requests(in);
+  }
+  AP_REQUIRE(!requests.empty(), "no requests in " + requests_path);
+
+  serve::ModelRegistry registry;
+  serve::BatchEngine engine(registry.get(model_path), {.threads = threads});
+  const auto responses = engine.run(requests);
+
+  if (const auto it = flags.find("out"); it != flags.end()) {
+    std::ofstream out(it->second);
+    AP_REQUIRE(out.good(), "cannot open output file: " + it->second);
+    serve::write_responses(out, responses);
+    std::size_t failed = 0;
+    for (const auto& r : responses) {
+      if (!r.ok) ++failed;
+    }
+    const auto stats = engine.cache().stats();
+    std::cerr << responses.size() << " responses written to " << it->second
+              << " (" << failed << " failed; " << threads << " threads, "
+              << stats.hits << " cache hits / " << stats.misses
+              << " misses)\n";
+  } else {
+    serve::write_responses(std::cout, responses);
+  }
   return 0;
 }
 
@@ -205,10 +304,39 @@ int usage() {
       "  train    --known C1,C15 --out model.ap\n"
       "  predict  --model model.ap --config C8 --workload dhrystone"
       " [--per-component]\n"
-      "  evaluate --model model.ap --known C1,C15\n"
+      "  evaluate --model model.ap --known C1,C15 [--threads N]\n"
       "  trace    --model model.ap --config C3 --workload gemm"
-      " [--csv out.csv]\n";
+      " [--csv out.csv]\n"
+      "  batch    --model model.ap --requests reqs.jsonl"
+      " [--out results.jsonl] [--threads N]\n";
   return 2;
+}
+
+/// One dispatch row: the accepted flags and the handler.
+struct Command {
+  FlagSpec spec;
+  int (*run)(const ArgMap&);
+};
+
+const std::map<std::string, Command>& commands() {
+  static const std::map<std::string, Command> table = {
+      {"list", {{}, [](const ArgMap&) { return cmd_list(); }}},
+      {"train", {{.valued = {"known", "out"}, .boolean = {}}, cmd_train}},
+      {"predict",
+       {{.valued = {"model", "config", "workload"},
+         .boolean = {"per-component"}},
+        cmd_predict}},
+      {"evaluate",
+       {{.valued = {"model", "known", "threads"}, .boolean = {}},
+        cmd_evaluate}},
+      {"trace",
+       {{.valued = {"model", "config", "workload", "csv"}, .boolean = {}},
+        cmd_trace}},
+      {"batch",
+       {{.valued = {"model", "requests", "out", "threads"}, .boolean = {}},
+        cmd_batch}},
+  };
+  return table;
 }
 
 }  // namespace
@@ -216,15 +344,14 @@ int usage() {
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
-  try {
-    const ArgMap flags = parse_flags(argc, argv, 2);
-    if (command == "list") return cmd_list();
-    if (command == "train") return cmd_train(flags);
-    if (command == "predict") return cmd_predict(flags);
-    if (command == "evaluate") return cmd_evaluate(flags);
-    if (command == "trace") return cmd_trace(flags);
+  const auto it = commands().find(command);
+  if (it == commands().end()) {
     std::cerr << "unknown command: " << command << "\n";
     return usage();
+  }
+  try {
+    const ArgMap flags = parse_flags(argc, argv, 2, it->second.spec);
+    return it->second.run(flags);
   } catch (const util::Error& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

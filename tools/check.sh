@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Race-checks the serving subsystem: builds the ThreadSanitizer preset and
+# runs the test_serve suite under it.  Run from anywhere; exits non-zero
+# on a build failure, test failure, or any TSan report.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "== configure (tsan preset) =="
+cmake --preset tsan
+
+echo "== build test_serve =="
+cmake --build --preset tsan --target test_serve -j "$(nproc)"
+
+echo "== run test_serve under ThreadSanitizer =="
+# halt_on_error makes a race fail the run instead of just logging it.
+TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}" ./build-tsan/tests/test_serve
+
+echo "OK: test_serve is race-clean"
