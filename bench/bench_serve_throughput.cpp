@@ -13,10 +13,12 @@
 //
 // The bench FAILS (exit 1) if any parallel run is not bit-identical to
 // the serial baseline, or if the 4-thread engine is below the 2.5x
-// speedup bar over the serial baseline.
+// speedup bar over the serial baseline.  `--json <path>` additionally
+// writes the headline numbers for tools/check.sh to collect.
 
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <thread>
 #include <vector>
@@ -52,7 +54,11 @@ core::EvalContext make_context(const sim::PerfSimulator& sim,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) json_path = argv[i + 1];
+  }
   // Train the model exactly like the paper's 2-configuration experiment.
   sim::PerfSimulator sim;
   power::GoldenPowerModel golden;
@@ -124,6 +130,20 @@ int main() {
 
   std::printf("bit-identical to serial  : %s\n", identical ? "yes" : "NO");
   std::printf("speedup @ 4 threads      : %.2fx (bar: 2.50x)\n", speedup_at_4);
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f != nullptr) {
+      std::fprintf(f,
+                   "{\n"
+                   "  \"serial_req_per_s\": %.1f,\n"
+                   "  \"engine_4thread_speedup\": %.3f,\n"
+                   "  \"bit_identical\": %s\n"
+                   "}\n",
+                   kRequests / serial_s, speedup_at_4,
+                   identical ? "true" : "false");
+      std::fclose(f);
+    }
+  }
   if (!identical) {
     std::printf("FAIL: parallel results diverged from the serial baseline\n");
     return 1;

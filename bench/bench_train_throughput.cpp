@@ -1,0 +1,233 @@
+// Training-core throughput: the three fast paths of the training stack,
+// each self-checked against the exact behaviour it replaces.
+//
+//   1. Tree building — GBT fit at n=2000 with the presorted exact-greedy
+//      builder vs the per-node re-sorting reference.  The ensembles must
+//      be byte-identical (same splits, same tie-breaking); the fast
+//      builder must clear a 3x speedup bar.
+//   2. Batched inference — predict_all on the flattened SoA forest vs a
+//      per-sample predict() loop.  Bit-identical outputs; 2x bar,
+//      single-threaded.
+//   3. Parallel sub-model fitting — AutoPowerModel::train at 4 threads vs
+//      1.  Archives must be byte-identical at any thread count; the
+//      wall-clock speedup bar applies only on multi-core hosts (on a
+//      single hardware thread the pool can only interleave).
+//
+// The bench FAILS (exit 1) on any identity violation or missed bar.
+// `--json <path>` additionally writes the headline numbers for
+// tools/check.sh to collect.
+
+#include <array>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/autopower.hpp"
+#include "exp/dataset.hpp"
+#include "ml/gbt.hpp"
+#include "power/golden.hpp"
+#include "sim/perfsim.hpp"
+#include "util/archive.hpp"
+#include "util/rng.hpp"
+
+using namespace autopower;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+// Activity-model-shaped data: a few informative columns, duplicate-heavy
+// discrete columns, and one constant column, like real (H, E) matrices
+// where hardware parameters repeat across workloads.
+ml::Dataset synthetic_dataset(std::size_t n) {
+  ml::Dataset data({"h0", "h1", "h2", "e0", "e1", "e2", "konst", "coarse"});
+  util::Rng rng(99);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double h0 = std::floor(rng.next_range(1.0, 5.0));
+    const double h1 = std::floor(rng.next_range(0.0, 3.0)) * 16.0;
+    const double h2 = std::floor(rng.next_range(0.0, 2.0));
+    const double e0 = rng.next_range(0.0, 1.0);
+    const double e1 = rng.next_range(0.0, 1.0);
+    const double e2 = rng.next_range(0.0, 0.2);
+    const double coarse = std::floor(rng.next_range(0.0, 20.0)) / 20.0;
+    const double y = h0 * e0 + 0.02 * h1 * (e1 > 0.5 ? 1.0 : 0.3) +
+                     h2 * coarse + 5.0 * e2 + rng.next_range(-0.05, 0.05);
+    data.add_sample(std::array{h0, h1, h2, e0, e1, e2, 2.5, coarse}, y);
+  }
+  return data;
+}
+
+std::string gbt_archive(const ml::GBTRegressor& model) {
+  std::ostringstream os;
+  util::ArchiveWriter w(os);
+  model.save(w);
+  return os.str();
+}
+
+std::string model_archive(const core::AutoPowerModel& model) {
+  std::ostringstream os;
+  model.save(os);
+  return os.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) json_path = argv[i + 1];
+  }
+  bool ok = true;
+
+  // --- 1. Presorted exact-greedy tree building ---------------------------
+  const auto data = synthetic_dataset(2000);
+  ml::GbtOptions gbt_opts{.num_rounds = 60,
+                          .learning_rate = 0.15,
+                          .tree = {.max_depth = 4, .lambda = 1.0}};
+  ml::GbtOptions ref_opts = gbt_opts;
+  ref_opts.tree.reference_split_search = true;
+
+  ml::GBTRegressor reference(ref_opts);
+  auto start = std::chrono::steady_clock::now();
+  reference.fit(data);
+  const double ref_fit_s = seconds_since(start);
+
+  ml::GBTRegressor fast(gbt_opts);
+  start = std::chrono::steady_clock::now();
+  fast.fit(data);
+  const double fast_fit_s = seconds_since(start);
+
+  const double fit_speedup = ref_fit_s / fast_fit_s;
+  const bool fit_identical = gbt_archive(fast) == gbt_archive(reference);
+  std::printf("GBT fit, n=2000, reference : %.3f s\n", ref_fit_s);
+  std::printf("GBT fit, n=2000, presorted : %.3f s  (%.2fx, bar 3.00x)\n",
+              fast_fit_s, fit_speedup);
+  std::printf("ensembles byte-identical   : %s\n",
+              fit_identical ? "yes" : "NO");
+  if (!fit_identical) {
+    std::printf("FAIL: presorted builder diverged from the reference\n");
+    ok = false;
+  }
+  if (fit_speedup < 3.0) {
+    std::printf("FAIL: presorted fit below the 3x bar\n");
+    ok = false;
+  }
+
+  // --- 2. Flattened batched inference ------------------------------------
+  // Repeat the passes so the per-sample baseline runs long enough to time.
+  constexpr int kPredictRepeats = 30;
+  std::vector<double> per_sample(data.size());
+  start = std::chrono::steady_clock::now();
+  for (int rep = 0; rep < kPredictRepeats; ++rep) {
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      per_sample[i] = fast.predict(data.features(i));
+    }
+  }
+  const double loop_s = seconds_since(start) / kPredictRepeats;
+
+  std::vector<double> batched;
+  start = std::chrono::steady_clock::now();
+  for (int rep = 0; rep < kPredictRepeats; ++rep) {
+    batched = fast.predict_all(data);
+  }
+  const double batch_s = seconds_since(start) / kPredictRepeats;
+
+  const double predict_speedup = loop_s / batch_s;
+  bool predict_identical = batched.size() == per_sample.size();
+  for (std::size_t i = 0; predict_identical && i < batched.size(); ++i) {
+    predict_identical = batched[i] == per_sample[i];
+  }
+  std::printf("predict loop, per-sample   : %.2f Msamples/s  (%.4f s)\n",
+              data.size() / loop_s / 1e6, loop_s);
+  std::printf("predict_all, flattened     : %.2f Msamples/s  (%.4f s, "
+              "%.2fx, bar 2.00x)\n",
+              data.size() / batch_s / 1e6, batch_s, predict_speedup);
+  std::printf("predictions bit-identical  : %s\n",
+              predict_identical ? "yes" : "NO");
+  if (!predict_identical) {
+    std::printf("FAIL: batched inference diverged from predict()\n");
+    ok = false;
+  }
+  if (predict_speedup < 2.0) {
+    std::printf("FAIL: batched inference below the 2x bar\n");
+    ok = false;
+  }
+
+  // --- 3. Parallel sub-model fitting -------------------------------------
+  sim::PerfSimulator sim;
+  power::GoldenPowerModel golden;
+  const auto exp_data = exp::ExperimentData::build(sim, golden);
+  const auto known = exp::ExperimentData::training_configs(2);
+  const auto contexts = exp_data.contexts_of(known);
+
+  core::AutoPowerModel serial_model;
+  start = std::chrono::steady_clock::now();
+  serial_model.train(contexts, golden, 1);
+  const double train1_s = seconds_since(start);
+
+  core::AutoPowerModel parallel_model;
+  start = std::chrono::steady_clock::now();
+  parallel_model.train(contexts, golden, 4);
+  const double train4_s = seconds_since(start);
+
+  const double train_speedup = train1_s / train4_s;
+  const bool archives_identical =
+      model_archive(serial_model) == model_archive(parallel_model);
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  std::printf("AutoPower train, 1 thread  : %.3f s\n", train1_s);
+  std::printf("AutoPower train, 4 threads : %.3f s  (%.2fx, %u hw threads)\n",
+              train4_s, train_speedup, hw);
+  std::printf("archives byte-identical    : %s\n",
+              archives_identical ? "yes" : "NO");
+  if (!archives_identical) {
+    std::printf("FAIL: parallel training changed the trained model\n");
+    ok = false;
+  }
+  // The wall-clock bar only means something with real parallel hardware.
+  if (hw >= 2 && train_speedup < 1.2) {
+    std::printf("FAIL: parallel training below the 1.2x bar\n");
+    ok = false;
+  }
+
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f != nullptr) {
+      std::fprintf(
+          f,
+          "{\n"
+          "  \"gbt_fit_reference_s\": %.6f,\n"
+          "  \"gbt_fit_presorted_s\": %.6f,\n"
+          "  \"gbt_fit_speedup\": %.3f,\n"
+          "  \"predict_loop_s\": %.6f,\n"
+          "  \"predict_all_s\": %.6f,\n"
+          "  \"predict_speedup\": %.3f,\n"
+          "  \"train_1thread_s\": %.6f,\n"
+          "  \"train_4thread_s\": %.6f,\n"
+          "  \"train_speedup\": %.3f,\n"
+          "  \"hardware_threads\": %u,\n"
+          "  \"bit_identical\": %s\n"
+          "}\n",
+          ref_fit_s, fast_fit_s, fit_speedup, loop_s, batch_s,
+          predict_speedup, train1_s, train4_s, train_speedup, hw,
+          (fit_identical && predict_identical && archives_identical)
+              ? "true"
+              : "false");
+      std::fclose(f);
+    } else {
+      std::printf("FAIL: cannot write %s\n", json_path.c_str());
+      ok = false;
+    }
+  }
+
+  std::printf(ok ? "PASS\n" : "FAIL\n");
+  return ok ? 0 : 1;
+}

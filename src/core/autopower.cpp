@@ -1,24 +1,70 @@
 #include "core/autopower.hpp"
 
+#include <exception>
 #include <fstream>
+#include <mutex>
 
 #include "util/archive.hpp"
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace autopower::core {
 
 void AutoPowerModel::train(std::span<const EvalContext> samples,
-                           const power::GoldenPowerModel& golden) {
+                           const power::GoldenPowerModel& golden,
+                           std::size_t threads) {
   AP_REQUIRE(!samples.empty(), "AutoPower needs training samples");
+  // Reset every slot up front (serially — cheap) so the fit tasks below
+  // only ever touch their own component's models.
   for (arch::ComponentKind c : arch::all_components()) {
     const auto i = static_cast<std::size_t>(c);
     clock_[i] = ClockPowerModel(options_.clock);
     sram_[i] = SramPowerModel(options_.sram);
     logic_[i] = LogicPowerModel(options_.logic);
-    clock_[i].train(c, samples, golden);
-    sram_[i].train(c, samples, golden);
-    logic_[i].train(c, samples, golden);
   }
+
+  if (threads <= 1) {
+    for (arch::ComponentKind c : arch::all_components()) {
+      const auto i = static_cast<std::size_t>(c);
+      clock_[i].train(c, samples, golden);
+      sram_[i].train(c, samples, golden);
+      logic_[i].train(c, samples, golden);
+    }
+    trained_ = true;
+    return;
+  }
+
+  // 22 components x 3 groups = 66 independent fits.  Each task writes one
+  // pre-reset slot and nothing else, so the trained model does not depend
+  // on scheduling: archives are byte-identical at any thread count.  The
+  // pool's workers swallow exceptions (a serving-layer contract), so each
+  // task captures its own failure; the first one is rethrown here.
+  util::ThreadPool pool(threads);
+  std::mutex err_mu;
+  std::exception_ptr first_error;
+  const auto guarded = [&err_mu, &first_error](auto&& fit) {
+    try {
+      fit();
+    } catch (...) {
+      std::lock_guard lock(err_mu);
+      if (!first_error) first_error = std::current_exception();
+    }
+  };
+  for (arch::ComponentKind c : arch::all_components()) {
+    const auto i = static_cast<std::size_t>(c);
+    pool.submit([&, c, i] {
+      guarded([&] { clock_[i].train(c, samples, golden); });
+    });
+    pool.submit([&, c, i] {
+      guarded([&] { sram_[i].train(c, samples, golden); });
+    });
+    pool.submit([&, c, i] {
+      guarded([&] { logic_[i].train(c, samples, golden); });
+    });
+  }
+  pool.wait_idle();
+  pool.shutdown();
+  if (first_error) std::rethrow_exception(first_error);
   trained_ = true;
 }
 
@@ -66,18 +112,34 @@ void AutoPowerModel::load_from_file(const std::string& path) {
 }
 
 power::PowerResult AutoPowerModel::predict(const EvalContext& ctx) const {
+  return predict_batch({&ctx, 1}).front();
+}
+
+std::vector<power::PowerResult> AutoPowerModel::predict_batch(
+    std::span<const EvalContext> ctxs) const {
+  if (ctxs.empty()) return {};  // nothing to do, even untrained
   AP_REQUIRE(trained_, "AutoPower not trained");
-  power::PowerResult out;
-  out.components.reserve(arch::kNumComponents);
+  std::vector<power::PowerResult> out(ctxs.size());
+  for (auto& r : out) r.components.resize(arch::kNumComponents);
+
+  // Component-major: each component's group models see the whole batch at
+  // once, so every GBT walks its flattened forest in one predict_rows
+  // pass instead of once per context.
+  std::vector<double> reg(ctxs.size());
+  std::vector<double> comb(ctxs.size());
   for (arch::ComponentKind c : arch::all_components()) {
     const auto i = static_cast<std::size_t>(c);
-    power::ComponentPower cp;
-    cp.component = c;
-    cp.groups.clock = clock_[i].predict(ctx);
-    cp.groups.sram = sram_[i].predict(ctx);
-    cp.groups.logic_register = logic_[i].predict_register_power(ctx);
-    cp.groups.logic_comb = logic_[i].predict_comb_power(ctx);
-    out.components.push_back(cp);
+    const auto clock = clock_[i].predict_batch(ctxs);
+    const auto sram = sram_[i].predict_batch(ctxs);
+    logic_[i].predict_batch(ctxs, reg, comb);
+    for (std::size_t j = 0; j < ctxs.size(); ++j) {
+      power::ComponentPower& cp = out[j].components[i];
+      cp.component = c;
+      cp.groups.clock = clock[j];
+      cp.groups.sram = sram[j];
+      cp.groups.logic_register = reg[j];
+      cp.groups.logic_comb = comb[j];
+    }
   }
   return out;
 }
@@ -88,9 +150,10 @@ double AutoPowerModel::predict_total(const EvalContext& ctx) const {
 
 std::vector<double> AutoPowerModel::predict_trace(
     std::span<const EvalContext> windows) const {
+  const auto results = predict_batch(windows);
   std::vector<double> out;
-  out.reserve(windows.size());
-  for (const auto& w : windows) out.push_back(predict_total(w));
+  out.reserve(results.size());
+  for (const auto& r : results) out.push_back(r.total());
   return out;
 }
 

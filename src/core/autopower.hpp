@@ -41,8 +41,12 @@ struct AutoPowerOptions {
 /// The end-to-end AutoPower model: 22 components x 3 power groups.
 ///
 /// Thread safety: train(), load() and the file wrappers mutate the model
-/// and must not run concurrently with anything else.  Once training or
-/// loading has completed, every const method — predict(), predict_total(),
+/// and must not run concurrently with anything else.  train() may itself
+/// fan the independent sub-model fits across an internal worker pool
+/// (`threads` parameter); each task writes a disjoint per-component slot,
+/// so the trained model — and hence its saved archive — is byte-identical
+/// at any thread count.  Once training or loading has completed, every
+/// const method — predict(), predict_batch(), predict_total(),
 /// predict_trace(), the per-component model accessors — only reads
 /// immutable state and is safe to call concurrently from any number of
 /// threads on one shared instance (the serving layer in src/serve/ relies
@@ -56,11 +60,21 @@ class AutoPowerModel {
   /// Trains every per-component group model.  `samples` should cover the
   /// known configurations x training workloads; golden labels are read
   /// from the golden flow (synthesis reports, RTL activity, power sim).
+  /// With `threads > 1` the 22 x 3 independent sub-model fits run on a
+  /// worker pool; results land in fixed per-component slots, so the model
+  /// is identical (archives byte-equal) at any thread count.
   void train(std::span<const EvalContext> samples,
-             const power::GoldenPowerModel& golden);
+             const power::GoldenPowerModel& golden, std::size_t threads = 1);
 
   /// Full per-component, per-group power prediction (mW).
   [[nodiscard]] power::PowerResult predict(const EvalContext& ctx) const;
+
+  /// Batched prediction: one PowerResult per context, evaluated
+  /// component-major so every GBT sub-model makes a single pass over its
+  /// flattened forest for the whole batch.  Element i is bit-identical to
+  /// predict(ctxs[i]).
+  [[nodiscard]] std::vector<power::PowerResult> predict_batch(
+      std::span<const EvalContext> ctxs) const;
 
   /// Total core power (mW).
   [[nodiscard]] double predict_total(const EvalContext& ctx) const;

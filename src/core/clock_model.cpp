@@ -141,4 +141,33 @@ double ClockPowerModel::predict(const EvalContext& ctx) const {
   return std::max(0.0, r * (1.0 - g) * p_reg + alpha_eff * r * g);
 }
 
+std::vector<double> ClockPowerModel::predict_batch(
+    std::span<const EvalContext> ctxs) const {
+  if (!trained_) throw util::NotFitted("clock model not trained");
+  if (ctxs.empty()) return {};
+
+  // alpha' for all contexts in one flattened-forest pass; R and g are
+  // cheap ridge dot-products evaluated per context.
+  const auto he_names = feature_names(component_, FeatureSpec::he());
+  std::vector<double> alpha;
+  if (options_.linear_alpha) {
+    alpha.reserve(ctxs.size());
+    for (const auto& ctx : ctxs) {
+      alpha.push_back(predict_effective_active_rate(ctx));
+    }
+  } else {
+    alpha = alpha_model_.predict_rows(
+        feature_rows(component_, FeatureSpec::he(), ctxs), he_names.size());
+  }
+
+  const double p_reg = techlib::TechLibrary::default_40nm().clock_pin_energy;
+  std::vector<double> out(ctxs.size());
+  for (std::size_t i = 0; i < ctxs.size(); ++i) {
+    const double r = predict_register_count(*ctxs[i].cfg);
+    const double g = predict_gating_rate(*ctxs[i].cfg);
+    out[i] = std::max(0.0, r * (1.0 - g) * p_reg + alpha[i] * r * g);
+  }
+  return out;
+}
+
 }  // namespace autopower::core

@@ -55,6 +55,12 @@ class ClockPowerModel {
   /// Predicted clock power (mW) via Eq. 7.
   [[nodiscard]] double predict(const EvalContext& ctx) const;
 
+  /// Batched Eq. 7 over many contexts: alpha' is evaluated through the
+  /// GBT's flattened predict_rows path.  Bit-identical to predict() per
+  /// context.
+  [[nodiscard]] std::vector<double> predict_batch(
+      std::span<const EvalContext> ctxs) const;
+
   // Sub-model outputs, exposed for the Fig. 7 sub-model accuracy study.
   [[nodiscard]] double predict_register_count(
       const arch::HardwareConfig& cfg) const;

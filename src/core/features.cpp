@@ -42,4 +42,17 @@ std::vector<double> feature_vector(arch::ComponentKind c,
   return out;
 }
 
+std::vector<double> feature_rows(arch::ComponentKind c,
+                                 const FeatureSpec& spec,
+                                 std::span<const EvalContext> ctxs) {
+  std::vector<double> rows;
+  for (const auto& ctx : ctxs) {
+    const auto f =
+        feature_vector(c, spec, *ctx.cfg, ctx.events, ctx.program);
+    if (rows.empty()) rows.reserve(f.size() * ctxs.size());
+    rows.insert(rows.end(), f.begin(), f.end());
+  }
+  return rows;
+}
+
 }  // namespace autopower::core

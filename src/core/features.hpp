@@ -9,12 +9,14 @@
 //          performance-simulator inaccuracy, Sec. II-B).
 #pragma once
 
+#include <span>
 #include <string>
 #include <vector>
 
 #include "arch/component.hpp"
 #include "arch/events.hpp"
 #include "arch/params.hpp"
+#include "core/sample.hpp"
 #include "workload/workload.hpp"
 
 namespace autopower::core {
@@ -42,5 +44,12 @@ struct FeatureSpec {
     arch::ComponentKind c, const FeatureSpec& spec,
     const arch::HardwareConfig& cfg, const arch::EventVector& events,
     const workload::ProgramFeatures& program);
+
+/// Row-major feature matrix for one component across many contexts — the
+/// input layout ml::GBTRegressor::predict_rows consumes.  Row i is exactly
+/// feature_vector(c, spec, ctxs[i]...).
+[[nodiscard]] std::vector<double> feature_rows(
+    arch::ComponentKind c, const FeatureSpec& spec,
+    std::span<const EvalContext> ctxs);
 
 }  // namespace autopower::core

@@ -126,4 +126,26 @@ double LogicPowerModel::predict(const EvalContext& ctx) const {
   return predict_register_power(ctx) + predict_comb_power(ctx);
 }
 
+void LogicPowerModel::predict_batch(std::span<const EvalContext> ctxs,
+                                    std::span<double> reg_out,
+                                    std::span<double> comb_out) const {
+  AP_REQUIRE(trained_, "logic model not trained");
+  AP_REQUIRE(reg_out.size() == ctxs.size() && comb_out.size() == ctxs.size(),
+             "logic predict_batch output spans must match context count");
+  if (ctxs.empty()) return;
+
+  const auto rows = feature_rows(component_, FeatureSpec::he(), ctxs);
+  const std::size_t arity =
+      feature_names(component_, FeatureSpec::he()).size();
+  const auto act = reg_act_model_.predict_rows(rows, arity);
+  const auto var = comb_var_model_.predict_rows(rows, arity);
+
+  for (std::size_t i = 0; i < ctxs.size(); ++i) {
+    const auto h =
+        ctxs[i].cfg->features_for(arch::component_hw_params(component_));
+    reg_out[i] = std::max(0.0, reg_count_model_.predict(h) * act[i]);
+    comb_out[i] = std::max(0.0, comb_stable_model_.predict(h) * var[i]);
+  }
+}
+
 }  // namespace autopower::core

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <span>
+#include <vector>
 
 #include "arch/component.hpp"
 #include "core/sample.hpp"
@@ -42,6 +43,14 @@ class LogicPowerModel {
 
   /// Predicted logic power (register + combinational, mW).
   [[nodiscard]] double predict(const EvalContext& ctx) const;
+
+  /// Batched Eq. 11/12 over many contexts, filling per-context register
+  /// and combinational power.  Both GBT activity models share one feature
+  /// matrix and go through the flattened predict_rows path; bit-identical
+  /// to the per-context getters.
+  void predict_batch(std::span<const EvalContext> ctxs,
+                     std::span<double> reg_out,
+                     std::span<double> comb_out) const;
 
   [[nodiscard]] double predict_register_power(const EvalContext& ctx) const;
   [[nodiscard]] double predict_comb_power(const EvalContext& ctx) const;

@@ -152,6 +152,17 @@ void ScalingPatternModel::load(util::ArchiveReader& in) {
   capacity_ = load_law(in);
   throughput_ = load_law(in);
   width_ = load_law(in);
+  // A model that claims to be fitted must carry usable laws: fit() always
+  // produces a positive finite coefficient (block shapes are >= 1 and the
+  // predictors positive).  A default-constructed law (k = 0) here would
+  // silently predict 1x1x1 blocks for every configuration.
+  if (fitted_) {
+    for (const ProportionalLaw* law : {&capacity_, &throughput_, &width_}) {
+      AP_REQUIRE(std::isfinite(law->k) && law->k > 0.0,
+                 "corrupt scaling-law archive: fitted model with "
+                 "unfitted law");
+    }
+  }
 }
 
 BlockPrediction ScalingPatternModel::predict(

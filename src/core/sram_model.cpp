@@ -158,6 +158,40 @@ double SramPowerModel::predict(const EvalContext& ctx) const {
   return std::max(0.0, total);
 }
 
+std::vector<double> SramPowerModel::predict_batch(
+    std::span<const EvalContext> ctxs) const {
+  AP_REQUIRE(trained_, "SRAM model not trained");
+  if (ctxs.empty()) return {};
+  std::vector<double> out(ctxs.size(), 0.0);
+  if (positions_.empty()) return out;
+
+  const FeatureSpec spec = options_.program_features ? FeatureSpec::hep()
+                                                     : FeatureSpec::he();
+  const auto rows = feature_rows(component_, spec, ctxs);
+  const std::size_t arity = feature_names(component_, spec).size();
+  const auto& macros = techlib::SramMacroLibrary::default_40nm();
+  const auto& lib = techlib::TechLibrary::default_40nm();
+
+  // Position-major so each position's two forests make one batched pass;
+  // out[i] accumulates positions in declaration order, the same order
+  // predict() sums them, so totals are bit-identical.
+  for (const auto& pm : positions_) {
+    const auto f_read = pm.read_model.predict_rows(rows, arity);
+    const auto f_write = pm.write_model.predict_rows(rows, arity);
+    for (std::size_t i = 0; i < ctxs.size(); ++i) {
+      const BlockPrediction block = pm.hardware.predict(*ctxs[i].cfg);
+      const auto mapping =
+          techlib::map_block_to_macros(macros, block.width, block.depth);
+      const double rw = lib.power_mw(
+          f_read[i] * mapping.per_row * mapping.macro.read_energy +
+          f_write[i] * mapping.per_row * mapping.macro.write_energy);
+      out[i] += block.count * (rw + pm.pin_constant);
+    }
+  }
+  for (double& v : out) v = std::max(0.0, v);
+  return out;
+}
+
 BlockPrediction SramPowerModel::predict_block(
     const arch::HardwareConfig& cfg, std::string_view position) const {
   AP_REQUIRE(trained_, "SRAM model not trained");

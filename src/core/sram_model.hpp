@@ -54,6 +54,12 @@ class SramPowerModel {
   /// positions.
   [[nodiscard]] double predict(const EvalContext& ctx) const;
 
+  /// Batched Eq. 10 over many contexts: per-position read/write
+  /// frequencies go through the GBTs' flattened predict_rows path.
+  /// Bit-identical to predict() per context.
+  [[nodiscard]] std::vector<double> predict_batch(
+      std::span<const EvalContext> ctxs) const;
+
   /// Predicted block shape of one position (hardware model output),
   /// for the Table I example and the ~0-MAPE hardware-model check.
   [[nodiscard]] BlockPrediction predict_block(

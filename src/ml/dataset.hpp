@@ -36,6 +36,12 @@ class Dataset {
   /// Read-only view of sample `i`'s feature vector.
   [[nodiscard]] std::span<const double> features(std::size_t i) const;
 
+  /// The whole feature matrix, row-major (size() * num_features() doubles).
+  /// Batched predictors iterate this directly instead of per-row spans.
+  [[nodiscard]] std::span<const double> row_major_features() const noexcept {
+    return features_;
+  }
+
   [[nodiscard]] double target(std::size_t i) const { return targets_.at(i); }
   [[nodiscard]] const std::vector<double>& targets() const noexcept {
     return targets_;

@@ -39,7 +39,51 @@ void GBTRegressor::fit(const Dataset& data) {
     }
     trees_.push_back(std::move(tree));
   }
+  rebuild_flat();
   fitted_ = true;
+}
+
+void GBTRegressor::rebuild_flat() {
+  flat_feature_.clear();
+  flat_threshold_.clear();
+  flat_left_.clear();
+  flat_right_.clear();
+  flat_weight_.clear();
+  flat_roots_.clear();
+  flat_depth_.clear();
+  max_feature_ = -1;
+
+  std::size_t total = 0;
+  for (const auto& tree : trees_) total += tree.node_count();
+  flat_feature_.reserve(total);
+  flat_threshold_.reserve(total);
+  flat_left_.reserve(total);
+  flat_right_.reserve(total);
+  flat_weight_.reserve(total);
+  flat_roots_.reserve(trees_.size());
+  flat_depth_.reserve(trees_.size());
+
+  for (const auto& tree : trees_) {
+    flat_roots_.push_back(static_cast<std::int32_t>(flat_feature_.size()));
+    flat_depth_.push_back(static_cast<std::int32_t>(tree.depth()));
+    tree.flatten_into(flat_feature_, flat_threshold_, flat_left_, flat_right_,
+                      flat_weight_);
+  }
+  for (const std::int32_t f : flat_feature_) {
+    max_feature_ = std::max(max_feature_, static_cast<int>(f));
+  }
+  // Make leaves self-looping so a fixed-depth level-synchronous walk lands
+  // on — and stays on — the correct leaf.  Leaf feature becomes 0 (a valid
+  // column; the comparison result no longer matters once both children are
+  // the node itself), which never raises max_feature_ above an interior
+  // node's.
+  for (std::size_t i = 0; i < flat_feature_.size(); ++i) {
+    if (flat_left_[i] < 0) {
+      flat_left_[i] = static_cast<std::int32_t>(i);
+      flat_right_[i] = static_cast<std::int32_t>(i);
+      flat_feature_[i] = 0;
+    }
+  }
 }
 
 void GBTRegressor::save(util::ArchiveWriter& out) const {
@@ -71,6 +115,7 @@ void GBTRegressor::load(util::ArchiveReader& in) {
   AP_REQUIRE(n >= 0 && n < (1 << 20), "corrupt GBT archive");
   trees_.assign(static_cast<std::size_t>(n), RegressionTree{});
   for (auto& tree : trees_) tree.load(in);
+  rebuild_flat();
 }
 
 double GBTRegressor::predict(std::span<const double> features) const {
@@ -84,9 +129,65 @@ double GBTRegressor::predict(std::span<const double> features) const {
 }
 
 std::vector<double> GBTRegressor::predict_all(const Dataset& data) const {
-  std::vector<double> out(data.size());
-  for (std::size_t i = 0; i < data.size(); ++i) {
-    out[i] = predict(data.features(i));
+  if (data.empty()) return {};
+  return predict_rows(data.row_major_features(), data.num_features());
+}
+
+std::vector<double> GBTRegressor::predict_rows(
+    std::span<const double> rows, std::size_t num_features) const {
+  if (!fitted_) throw util::NotFitted("GBTRegressor::predict_rows before fit");
+  AP_REQUIRE(num_features > 0 && rows.size() % num_features == 0,
+             "row buffer is not a multiple of the feature arity");
+  AP_REQUIRE(max_feature_ < static_cast<int>(num_features),
+             "feature arity mismatch in GBT predict_rows");
+
+  const std::size_t count = rows.size() / num_features;
+  std::vector<double> out(count, base_score_);
+
+  // Tree-major over blocks of samples, level-synchronous within a tree:
+  // every sample in the block advances one level per pass, for exactly the
+  // tree's depth.  Self-looping leaves make the walk branch-free (a sample
+  // that reaches its leaf early just stays there), and the per-level loads
+  // are independent across the block — the CPU overlaps them instead of
+  // serialising one root-to-leaf chain per sample.  The per-sample
+  // accumulation order (tree 0, 1, ...) matches predict() exactly, so
+  // results are bit-identical.
+  constexpr std::size_t kBlock = 64;
+  const double lr = options_.learning_rate;
+  const std::int32_t* const feature = flat_feature_.data();
+  const double* const threshold = flat_threshold_.data();
+  const std::int32_t* const left = flat_left_.data();
+  const std::int32_t* const right = flat_right_.data();
+  const double* const weight = flat_weight_.data();
+  std::int32_t idx[kBlock];
+  for (std::size_t begin = 0; begin < count; begin += kBlock) {
+    const std::size_t block = std::min(kBlock, count - begin);
+    const double* const block_rows = rows.data() + begin * num_features;
+    for (std::size_t t = 0; t < flat_roots_.size(); ++t) {
+      const std::int32_t root = flat_roots_[t];
+      const std::int32_t depth = flat_depth_[t];
+      for (std::size_t i = 0; i < block; ++i) idx[i] = root;
+      for (std::int32_t level = 0; level < depth; ++level) {
+        for (std::size_t i = 0; i < block; ++i) {
+          const auto k = static_cast<std::size_t>(idx[i]);
+          const double x = block_rows[i * num_features +
+                                      static_cast<std::size_t>(feature[k])];
+          // Branchless select: split direction is data-dependent and
+          // unpredictable, so a conditional jump here would mispredict
+          // roughly every other node and stall the whole block.
+          const std::int32_t mask = -static_cast<std::int32_t>(
+              x < threshold[k]);
+          idx[i] = (left[k] & mask) | (right[k] & ~mask);
+        }
+      }
+      for (std::size_t i = 0; i < block; ++i) {
+        out[begin + i] += lr * weight[static_cast<std::size_t>(idx[i])];
+      }
+    }
+  }
+
+  if (options_.nonnegative_prediction) {
+    for (double& v : out) v = std::max(v, 0.0);
   }
   return out;
 }

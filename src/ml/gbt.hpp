@@ -6,8 +6,16 @@
 // a from-scratch implementation of the same algorithm for squared-error
 // loss: second-order boosting with shrinkage, L2 leaf regularisation and
 // gamma split cost.  Deterministic — no row/column subsampling.
+//
+// Inference comes in two layouts: predict() pointer-walks the per-tree
+// Node arrays for one sample, while predict_rows()/predict_all() walk a
+// flattened structure-of-arrays forest (feature[] / threshold[] / left[] /
+// right[] / weight[], rebuilt on fit() and load()) tree-major over blocks
+// of samples.  Both are bit-identical; the flattened path is what the
+// batch-serving and trace-prediction layers use.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -37,8 +45,15 @@ class GBTRegressor {
   /// Predicts one sample; throws util::NotFitted before fit().
   [[nodiscard]] double predict(std::span<const double> features) const;
 
-  /// Predicts every sample in a dataset.
+  /// Predicts every sample in a dataset (batched, flattened-forest path).
   [[nodiscard]] std::vector<double> predict_all(const Dataset& data) const;
+
+  /// Batched prediction over `rows.size() / num_features` feature vectors
+  /// stored row-major in `rows`.  Iterates tree-major over blocks of
+  /// samples on the flattened SoA forest; bit-identical to calling
+  /// predict() on each row.
+  [[nodiscard]] std::vector<double> predict_rows(
+      std::span<const double> rows, std::size_t num_features) const;
 
   [[nodiscard]] bool fitted() const noexcept { return fitted_; }
   [[nodiscard]] std::size_t num_trees() const noexcept {
@@ -51,10 +66,27 @@ class GBTRegressor {
   void load(util::ArchiveReader& in);
 
  private:
+  void rebuild_flat();
+
   GbtOptions options_;
   std::vector<RegressionTree> trees_;
   double base_score_ = 0.0;
   bool fitted_ = false;
+
+  // Flattened SoA forest (rebuilt on fit()/load()): every tree's nodes
+  // concatenated, child links rebased to absolute indices.  Leaves are
+  // made self-looping (left = right = own index, feature = 0) so a block
+  // of samples can be advanced level-synchronously for exactly the tree's
+  // depth with no per-sample termination test — the traversal becomes
+  // independent work across samples instead of one serial load chain each.
+  std::vector<std::int32_t> flat_feature_;
+  std::vector<double> flat_threshold_;
+  std::vector<std::int32_t> flat_left_;
+  std::vector<std::int32_t> flat_right_;
+  std::vector<double> flat_weight_;
+  std::vector<std::int32_t> flat_roots_;  ///< root node index per tree
+  std::vector<std::int32_t> flat_depth_;  ///< levels to walk per tree
+  int max_feature_ = -1;  ///< highest feature index any node tests
 };
 
 }  // namespace autopower::ml

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <numeric>
 
 #include "util/error.hpp"
 
@@ -20,6 +21,23 @@ double score(double grad_sum, double hess_sum, double lambda) {
 
 }  // namespace
 
+/// Per-fit scratch for the presorted builder: one sorted column index (and
+/// its value column) per feature, computed once, plus per-node gather
+/// buffers reused across every node of the tree.
+struct RegressionTree::PresortWorkspace {
+  std::size_t n = 0;
+  // Column-major: sorted_idx[f * n + k] is the index of the k-th smallest
+  // sample under feature f, ties broken by sample index — the same
+  // (value, index) order the reference per-node sort uses.
+  std::vector<std::uint32_t> sorted_idx;
+  std::vector<double> sorted_val;  ///< feature values, parallel to sorted_idx
+  std::vector<unsigned char> in_node;  ///< node-membership mask
+  // Contiguous per-node gathers (value / grad / hess in presorted order).
+  std::vector<double> val;
+  std::vector<double> grad;
+  std::vector<double> hess;
+};
+
 void RegressionTree::fit(const Dataset& data, std::span<const double> grad,
                          std::span<const double> hess,
                          const TreeOptions& options) {
@@ -28,15 +46,156 @@ void RegressionTree::fit(const Dataset& data, std::span<const double> grad,
   AP_REQUIRE(!data.empty(), "cannot fit tree on empty dataset");
   nodes_.clear();
   depth_ = 0;
-  std::vector<std::size_t> samples(data.size());
-  for (std::size_t i = 0; i < samples.size(); ++i) samples[i] = i;
-  build(data, grad, hess, samples, 0, options);
+
+  if (options.reference_split_search) {
+    std::vector<std::size_t> samples(data.size());
+    std::iota(samples.begin(), samples.end(), std::size_t{0});
+    build_reference(data, grad, hess, samples, 0, options);
+    return;
+  }
+
+  const std::size_t n = data.size();
+  const std::size_t num_features = data.num_features();
+  AP_REQUIRE(n < std::numeric_limits<std::uint32_t>::max(),
+             "dataset too large for the presorted tree builder");
+
+  PresortWorkspace ws;
+  ws.n = n;
+  ws.sorted_idx.resize(num_features * n);
+  ws.sorted_val.resize(num_features * n);
+  ws.in_node.assign(n, 0);
+  ws.val.resize(n);
+  ws.grad.resize(n);
+  ws.hess.resize(n);
+
+  std::vector<double> col(n);
+  std::vector<std::uint32_t> order(n);
+  for (std::size_t f = 0; f < num_features; ++f) {
+    for (std::size_t i = 0; i < n; ++i) col[i] = data.features(i)[f];
+    std::iota(order.begin(), order.end(), std::uint32_t{0});
+    std::sort(order.begin(), order.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                return col[a] < col[b] || (col[a] == col[b] && a < b);
+              });
+    for (std::size_t k = 0; k < n; ++k) {
+      ws.sorted_idx[f * n + k] = order[k];
+      ws.sorted_val[f * n + k] = col[order[k]];
+    }
+  }
+
+  std::vector<std::uint32_t> samples(n);
+  std::iota(samples.begin(), samples.end(), std::uint32_t{0});
+  build_presorted(data, grad, hess, samples, 0, options, ws);
 }
 
-int RegressionTree::build(const Dataset& data, std::span<const double> grad,
-                          std::span<const double> hess,
-                          std::vector<std::size_t>& samples, int depth,
-                          const TreeOptions& options) {
+int RegressionTree::build_presorted(const Dataset& data,
+                                    std::span<const double> grad,
+                                    std::span<const double> hess,
+                                    std::vector<std::uint32_t>& samples,
+                                    int depth, const TreeOptions& options,
+                                    PresortWorkspace& ws) {
+  depth_ = std::max(depth_, depth);
+  double grad_sum = 0.0;
+  double hess_sum = 0.0;
+  for (std::uint32_t i : samples) {
+    grad_sum += grad[i];
+    hess_sum += hess[i];
+  }
+
+  const int node_index = static_cast<int>(nodes_.size());
+  nodes_.push_back(Node{});
+  nodes_[node_index].weight = leaf_weight(grad_sum, hess_sum, options.lambda);
+
+  if (depth >= options.max_depth || samples.size() < 2) return node_index;
+
+  // Exact greedy split search over the presorted columns.
+  double best_gain = 0.0;
+  int best_feature = -1;
+  double best_threshold = 0.0;
+  const double parent_score = score(grad_sum, hess_sum, options.lambda);
+
+  const std::size_t n = ws.n;
+  const std::size_t m = samples.size();
+  for (std::uint32_t i : samples) ws.in_node[i] = 1;
+
+  for (std::size_t f = 0; f < data.num_features(); ++f) {
+    // Gather this node's members, in presorted order, into contiguous
+    // buffers; the split scan then runs over plain arrays.
+    const std::uint32_t* idx = ws.sorted_idx.data() + f * n;
+    const double* val = ws.sorted_val.data() + f * n;
+    if (m == n) {  // root: every sample is a member
+      for (std::size_t k = 0; k < n; ++k) {
+        ws.val[k] = val[k];
+        ws.grad[k] = grad[idx[k]];
+        ws.hess[k] = hess[idx[k]];
+      }
+    } else {
+      std::size_t out = 0;
+      for (std::size_t k = 0; k < n; ++k) {
+        const std::uint32_t i = idx[k];
+        if (!ws.in_node[i]) continue;
+        ws.val[out] = val[k];
+        ws.grad[out] = grad[i];
+        ws.hess[out] = hess[i];
+        ++out;
+      }
+    }
+
+    double gl = 0.0;
+    double hl = 0.0;
+    for (std::size_t k = 0; k + 1 < m; ++k) {
+      gl += ws.grad[k];
+      hl += ws.hess[k];
+      if (ws.val[k] == ws.val[k + 1]) continue;  // split between distinct
+      const double gr = grad_sum - gl;
+      const double hr = hess_sum - hl;
+      if (hl < options.min_child_weight || hr < options.min_child_weight) {
+        continue;
+      }
+      const double gain = 0.5 * (score(gl, hl, options.lambda) +
+                                 score(gr, hr, options.lambda) -
+                                 parent_score) -
+                          options.gamma;
+      if (gain > best_gain + 1e-12) {
+        best_gain = gain;
+        best_feature = static_cast<int>(f);
+        best_threshold = 0.5 * (ws.val[k] + ws.val[k + 1]);
+      }
+    }
+  }
+
+  for (std::uint32_t i : samples) ws.in_node[i] = 0;
+
+  if (best_feature < 0) return node_index;
+
+  std::vector<std::uint32_t> left;
+  std::vector<std::uint32_t> right;
+  for (std::uint32_t i : samples) {
+    if (data.features(i)[static_cast<std::size_t>(best_feature)] <
+        best_threshold) {
+      left.push_back(i);
+    } else {
+      right.push_back(i);
+    }
+  }
+  AP_ASSERT(!left.empty() && !right.empty());
+
+  nodes_[node_index].feature = best_feature;
+  nodes_[node_index].threshold = best_threshold;
+  const int l =
+      build_presorted(data, grad, hess, left, depth + 1, options, ws);
+  nodes_[node_index].left = l;
+  const int r =
+      build_presorted(data, grad, hess, right, depth + 1, options, ws);
+  nodes_[node_index].right = r;
+  return node_index;
+}
+
+int RegressionTree::build_reference(const Dataset& data,
+                                    std::span<const double> grad,
+                                    std::span<const double> hess,
+                                    std::vector<std::size_t>& samples,
+                                    int depth, const TreeOptions& options) {
   depth_ = std::max(depth_, depth);
   double grad_sum = 0.0;
   double hess_sum = 0.0;
@@ -51,7 +210,7 @@ int RegressionTree::build(const Dataset& data, std::span<const double> grad,
 
   if (depth >= options.max_depth || samples.size() < 2) return node_index;
 
-  // Exact greedy split search.
+  // Exact greedy split search, re-sorting the node's samples per feature.
   double best_gain = 0.0;
   int best_feature = -1;
   double best_threshold = 0.0;
@@ -106,11 +265,26 @@ int RegressionTree::build(const Dataset& data, std::span<const double> grad,
 
   nodes_[node_index].feature = best_feature;
   nodes_[node_index].threshold = best_threshold;
-  const int l = build(data, grad, hess, left, depth + 1, options);
+  const int l = build_reference(data, grad, hess, left, depth + 1, options);
   nodes_[node_index].left = l;
-  const int r = build(data, grad, hess, right, depth + 1, options);
+  const int r = build_reference(data, grad, hess, right, depth + 1, options);
   nodes_[node_index].right = r;
   return node_index;
+}
+
+void RegressionTree::flatten_into(std::vector<std::int32_t>& feature,
+                                  std::vector<double>& threshold,
+                                  std::vector<std::int32_t>& left,
+                                  std::vector<std::int32_t>& right,
+                                  std::vector<double>& weight) const {
+  const auto offset = static_cast<std::int32_t>(feature.size());
+  for (const Node& n : nodes_) {
+    feature.push_back(n.feature);
+    threshold.push_back(n.threshold);
+    left.push_back(n.left < 0 ? -1 : n.left + offset);
+    right.push_back(n.right < 0 ? -1 : n.right + offset);
+    weight.push_back(n.weight);
+  }
 }
 
 void RegressionTree::save(util::ArchiveWriter& out) const {
@@ -146,9 +320,17 @@ void RegressionTree::load(util::ArchiveReader& in) {
     nodes_[i].threshold = values[2 * i];
     nodes_[i].weight = values[2 * i + 1];
     const auto limit = static_cast<int>(n);
-    AP_REQUIRE(nodes_[i].feature >= -1 && nodes_[i].left < limit &&
+    // Children must be -1 (leaf link) or a valid node index; any other
+    // negative value would pass a `< limit` check and then index out of
+    // bounds in predict().
+    AP_REQUIRE(nodes_[i].feature >= -1 && nodes_[i].left >= -1 &&
+                   nodes_[i].right >= -1 && nodes_[i].left < limit &&
                    nodes_[i].right < limit,
                "corrupt tree archive: bad node indices");
+    // An interior node (feature >= 0) must have both children.
+    AP_REQUIRE(nodes_[i].feature < 0 ||
+                   (nodes_[i].left >= 0 && nodes_[i].right >= 0),
+               "corrupt tree archive: interior node missing a child");
   }
   AP_REQUIRE(!nodes_.empty(), "corrupt tree archive: no nodes");
 }

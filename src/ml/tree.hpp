@@ -3,11 +3,21 @@
 // Follows the XGBoost formulation: each sample carries a gradient/hessian
 // pair; leaves take weight -G/(H + lambda); splits maximise the second-order
 // gain with gamma as the split cost.  Split finding is exact greedy over
-// sorted feature values — the datasets here are tiny so histogram
-// approximation is unnecessary.
+// sorted feature values.
+//
+// Two builders produce bit-identical trees:
+//   * the presorted fast path (default) computes one sorted column index
+//     per feature once per fit(), then scans each node's members in that
+//     presorted order through a node-membership mask, gathering grad/hess
+//     into contiguous scratch buffers — O(F n) per node;
+//   * the reference path re-sorts the node's sample list per feature per
+//     node — O(F n log n) per node.  It is retained (TreeOptions::
+//     reference_split_search) so property tests and benchmarks can verify
+//     the fast path split-for-split.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -22,6 +32,10 @@ struct TreeOptions {
   double lambda = 1.0;            ///< L2 on leaf weights.
   double gamma = 0.0;             ///< Minimum gain to split.
   double min_child_weight = 1.0;  ///< Minimum hessian sum per child.
+  /// Use the per-node re-sorting reference split search instead of the
+  /// presorted fast path.  Both produce bit-identical trees; the reference
+  /// exists for the property tests and bench_train_throughput self-checks.
+  bool reference_split_search = false;
 };
 
 /// A fitted regression tree (flat node array, index 0 is the root).
@@ -40,6 +54,15 @@ class RegressionTree {
   }
   [[nodiscard]] int depth() const noexcept { return depth_; }
 
+  /// Appends this tree's nodes to a flattened structure-of-arrays forest,
+  /// rebasing child links to absolute indices (leaf links stay -1).
+  /// GBTRegressor builds its batched inference layout from this.
+  void flatten_into(std::vector<std::int32_t>& feature,
+                    std::vector<double>& threshold,
+                    std::vector<std::int32_t>& left,
+                    std::vector<std::int32_t>& right,
+                    std::vector<double>& weight) const;
+
   /// Serialization (see util/archive.hpp).
   void save(util::ArchiveWriter& out) const;
   void load(util::ArchiveReader& in);
@@ -53,9 +76,17 @@ class RegressionTree {
     double weight = 0.0;  // leaf value
   };
 
-  int build(const Dataset& data, std::span<const double> grad,
-            std::span<const double> hess, std::vector<std::size_t>& samples,
-            int depth, const TreeOptions& options);
+  struct PresortWorkspace;  // defined in tree.cpp
+
+  int build_reference(const Dataset& data, std::span<const double> grad,
+                      std::span<const double> hess,
+                      std::vector<std::size_t>& samples, int depth,
+                      const TreeOptions& options);
+
+  int build_presorted(const Dataset& data, std::span<const double> grad,
+                      std::span<const double> hess,
+                      std::vector<std::uint32_t>& samples, int depth,
+                      const TreeOptions& options, PresortWorkspace& ws);
 
   std::vector<Node> nodes_;
   int depth_ = 0;

@@ -43,6 +43,9 @@ GoldenPowerModel::GoldenPowerModel(netlist::SynthesisModel synthesis,
 const std::vector<netlist::ComponentNetlist>& GoldenPowerModel::netlist_of(
     const HardwareConfig& cfg) const {
   const std::uint64_t key = config_key(cfg);
+  // std::map nodes are stable, so the returned reference stays valid after
+  // the lock is released even as other threads insert.
+  std::lock_guard lock(netlist_mu_);
   auto it = netlist_memo_.find(key);
   if (it == netlist_memo_.end()) {
     it = netlist_memo_.emplace(key, synthesis_.synthesize_all(cfg)).first;

@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <vector>
 
 #include "arch/events.hpp"
@@ -60,6 +61,9 @@ class GoldenPowerModel {
 
   /// The synthesized netlist of a configuration (memoised; Table III
   /// order).  Exposed because label collection reads netlist quantities.
+  /// Thread-safe: the memo is guarded by a mutex, and std::map never
+  /// invalidates the returned references, so parallel training may call
+  /// this concurrently.
   [[nodiscard]] const std::vector<netlist::ComponentNetlist>& netlist_of(
       const arch::HardwareConfig& cfg) const;
 
@@ -82,6 +86,7 @@ class GoldenPowerModel {
   GoldenActivityModel activity_;
   const techlib::TechLibrary& lib_;
   const techlib::SramMacroLibrary& macros_;
+  mutable std::mutex netlist_mu_;  ///< guards netlist_memo_
   mutable std::map<std::uint64_t, std::vector<netlist::ComponentNetlist>>
       netlist_memo_;
 };

@@ -7,7 +7,7 @@
 #include <utility>
 
 #include "arch/component.hpp"
-#include "serve/thread_pool.hpp"
+#include "util/thread_pool.hpp"
 #include "util/error.hpp"
 #include "workload/workload.hpp"
 
@@ -171,7 +171,7 @@ std::vector<BatchResponse> BatchEngine::run(
   // PerfSimulator — its phase-rate memo is not thread-safe to share.
   std::atomic<std::size_t> next{0};
   std::latch done(static_cast<std::ptrdiff_t>(workers));
-  ThreadPool pool(workers);
+  util::ThreadPool pool(workers);
   for (std::size_t w = 0; w < workers; ++w) {
     pool.submit([this, &requests, &responses, &next, &done] {
       sim::PerfSimulator sim;

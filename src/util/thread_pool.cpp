@@ -1,10 +1,10 @@
-#include "serve/thread_pool.hpp"
+#include "util/thread_pool.hpp"
 
 #include <utility>
 
 #include "util/error.hpp"
 
-namespace autopower::serve {
+namespace autopower::util {
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) threads = 1;
@@ -21,7 +21,7 @@ void ThreadPool::submit(std::function<void()> task) {
   {
     std::lock_guard lock(mu_);
     if (!accepting_) {
-      throw util::Error("ThreadPool::submit after shutdown");
+      throw Error("ThreadPool::submit after shutdown");
     }
     queue_.push_back(std::move(task));
   }
@@ -70,4 +70,4 @@ void ThreadPool::worker_loop() {
   }
 }
 
-}  // namespace autopower::serve
+}  // namespace autopower::util

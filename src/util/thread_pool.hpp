@@ -1,8 +1,9 @@
 // Fixed-size worker pool with a FIFO work queue and graceful shutdown.
 //
-// The serving layer's only thread-spawning primitive: BatchEngine fans
-// batch requests out over one of these, and `autopower evaluate --threads`
-// parallelises its held-out predict loop with one.  Semantics:
+// The library's only thread-spawning primitive: serve::BatchEngine fans
+// batch requests out over one of these, `AutoPowerModel::train` fans its
+// independent sub-model fits across one, and `autopower evaluate
+// --threads` parallelises its held-out predict loop with one.  Semantics:
 //
 //   * submit() enqueues a task; it throws once shutdown has begun.
 //   * shutdown() stops accepting new work, lets the workers DRAIN every
@@ -21,7 +22,7 @@
 #include <thread>
 #include <vector>
 
-namespace autopower::serve {
+namespace autopower::util {
 
 class ThreadPool {
  public:
@@ -58,4 +59,4 @@ class ThreadPool {
   bool accepting_ = true;     ///< false once shutdown() begins
 };
 
-}  // namespace autopower::serve
+}  // namespace autopower::util

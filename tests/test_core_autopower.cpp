@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
 #include <vector>
 
 #include "core/autopower.hpp"
@@ -149,6 +150,55 @@ TEST_F(AutoPowerTest, TracePredictionFollowsGolden) {
   EXPECT_LT(err.min_power_error, 25.0);
   // The predicted trace must track the golden trace's shape.
   EXPECT_GT(ml::pearson_r(trace.golden_total, predicted), 0.6);
+}
+
+TEST_F(AutoPowerTest, ParallelTrainArchiveByteIdentical) {
+  // The fits run on a worker pool but land in fixed per-component slots:
+  // scheduling must not leak into the trained model.  Byte-compare the
+  // archives against the fixture's serially-trained model.
+  std::ostringstream serial;
+  model_->save(serial);
+
+  for (const std::size_t threads : {2u, 4u}) {
+    AutoPowerModel parallel;
+    parallel.train(data_->contexts_of(*train_configs_), *golden_, threads);
+    std::ostringstream out;
+    parallel.save(out);
+    EXPECT_EQ(out.str(), serial.str()) << "threads=" << threads;
+  }
+}
+
+TEST_F(AutoPowerTest, BatchPredictionMatchesPerSample) {
+  std::vector<EvalContext> ctxs;
+  for (const auto* s : data_->samples_excluding(*train_configs_)) {
+    ctxs.push_back(s->ctx);
+    if (ctxs.size() == 10) break;
+  }
+  const auto batch = model_->predict_batch(ctxs);
+  ASSERT_EQ(batch.size(), ctxs.size());
+  for (std::size_t i = 0; i < ctxs.size(); ++i) {
+    const auto single = model_->predict(ctxs[i]);
+    ASSERT_EQ(batch[i].components.size(), single.components.size());
+    for (std::size_t c = 0; c < single.components.size(); ++c) {
+      EXPECT_EQ(batch[i].components[c].component,
+                single.components[c].component);
+      EXPECT_EQ(batch[i].components[c].groups.clock,
+                single.components[c].groups.clock);
+      EXPECT_EQ(batch[i].components[c].groups.sram,
+                single.components[c].groups.sram);
+      EXPECT_EQ(batch[i].components[c].groups.logic_register,
+                single.components[c].groups.logic_register);
+      EXPECT_EQ(batch[i].components[c].groups.logic_comb,
+                single.components[c].groups.logic_comb);
+    }
+    EXPECT_EQ(batch[i].total(), model_->predict_total(ctxs[i]));
+  }
+  // predict_trace is the batched path's main consumer.
+  const auto trace = model_->predict_trace(ctxs);
+  ASSERT_EQ(trace.size(), ctxs.size());
+  for (std::size_t i = 0; i < ctxs.size(); ++i) {
+    EXPECT_EQ(trace[i], batch[i].total());
+  }
 }
 
 TEST_F(AutoPowerTest, AccessorsAndErrors) {

@@ -3,9 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <sstream>
 
 #include "core/scaling_model.hpp"
 #include "netlist/synthesis.hpp"
+#include "util/archive.hpp"
 #include "util/error.hpp"
 
 namespace autopower::core {
@@ -164,6 +166,43 @@ TEST(ScalingModel, RejectsDegenerateObservations) {
   EXPECT_THROW(model.fit(params, obs), util::InvalidArgument);
   obs.push_back({cfg("C1"), 0, 8, 1});  // non-positive width
   EXPECT_THROW(model.fit(params, obs), util::InvalidArgument);
+}
+
+TEST(ScalingModel, LoadRejectsFittedModelWithUnfittedLaws) {
+  // An archive that claims `fitted` but carries default-constructed laws
+  // (k = 0) would silently predict 1x1x1 blocks everywhere.  fit() always
+  // produces positive finite coefficients, so load() must reject this.
+  std::stringstream buf;
+  {
+    util::ArchiveWriter w(buf);
+    w.write("scaling.fitted", true);
+    for (int law = 0; law < 3; ++law) {
+      w.write("law.k", 0.0);
+      w.write("law.err", 0.0);
+      w.write("law.params", std::span<const std::int64_t>{});
+    }
+  }
+  util::ArchiveReader r(buf);
+  ScalingPatternModel model;
+  EXPECT_THROW(model.load(r), util::InvalidArgument);
+
+  // A round-trip of a genuinely fitted model still loads.
+  ScalingPatternModel fitted;
+  const std::array params{HwParam::kFetchWidth};
+  const std::vector<BlockObservation> obs{{cfg("C1"), 4, 8, 1},
+                                          {cfg("C15"), 8, 8, 1}};
+  fitted.fit(params, obs);
+  std::stringstream good;
+  {
+    util::ArchiveWriter w(good);
+    fitted.save(w);
+  }
+  util::ArchiveReader r2(good);
+  ScalingPatternModel restored;
+  restored.load(r2);
+  EXPECT_TRUE(restored.fitted());
+  EXPECT_EQ(restored.predict(*cfg("C1")).width,
+            fitted.predict(*cfg("C1")).width);
 }
 
 // Property sweep: with C1+C15 as training corners, the SRAM positions of

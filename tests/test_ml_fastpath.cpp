@@ -1,0 +1,192 @@
+// Property tests for the fast training/inference paths.
+//
+// The presorted exact-greedy tree builder and the flattened batched GBT
+// inference are pure optimisations: they must reproduce the reference
+// implementations bit-for-bit.  These tests pin that contract on datasets
+// chosen to stress the tie-breaking paths — duplicate-heavy columns,
+// constant columns — across a grid of tree hyper-parameters, and also pin
+// the archive-validation fixes in RegressionTree::load.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "ml/gbt.hpp"
+#include "ml/tree.hpp"
+#include "util/archive.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace autopower::ml {
+namespace {
+
+// Duplicate-heavy and degenerate features: "dup" takes four distinct
+// values, "konst" is constant (never splittable), "coarse" has many ties.
+Dataset awkward_dataset(std::size_t n, std::uint64_t seed) {
+  Dataset data({"dup", "cont", "konst", "coarse"});
+  util::Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dup = std::floor(rng.next_range(0.0, 4.0));
+    const double cont = rng.next_range(-1.0, 1.0);
+    const double konst = 2.5;
+    const double coarse = std::floor(rng.next_range(0.0, 10.0)) / 10.0;
+    const double y = dup + (cont > 0.0 ? 2.0 : 0.0) + 3.0 * coarse +
+                     rng.next_range(-0.1, 0.1);
+    data.add_sample(std::array{dup, cont, konst, coarse}, y);
+  }
+  return data;
+}
+
+std::string tree_archive(const RegressionTree& tree) {
+  std::ostringstream os;
+  util::ArchiveWriter w(os);
+  tree.save(w);
+  return os.str();
+}
+
+std::string gbt_archive(const GBTRegressor& model) {
+  std::ostringstream os;
+  util::ArchiveWriter w(os);
+  model.save(w);
+  return os.str();
+}
+
+TEST(FastPath, PresortedTreeMatchesReferenceByteForByte) {
+  const TreeOptions grid[] = {
+      {.max_depth = 1, .lambda = 0.0},
+      {.max_depth = 3, .lambda = 1.0},
+      {.max_depth = 3, .lambda = 1.0, .gamma = 0.5},
+      {.max_depth = 4, .lambda = 0.5, .min_child_weight = 3.0},
+      {.max_depth = 5, .lambda = 1e-6},
+  };
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const auto data = awkward_dataset(seed % 2 == 0 ? 37 : 200, seed);
+    std::vector<double> grad(data.size());
+    const std::vector<double> hess(data.size(), 1.0);
+    for (std::size_t i = 0; i < data.size(); ++i) grad[i] = -data.target(i);
+
+    for (TreeOptions options : grid) {
+      options.reference_split_search = true;
+      RegressionTree reference;
+      reference.fit(data, grad, hess, options);
+
+      options.reference_split_search = false;
+      RegressionTree fast;
+      fast.fit(data, grad, hess, options);
+
+      EXPECT_EQ(tree_archive(fast), tree_archive(reference))
+          << "seed " << seed << " depth " << options.max_depth;
+    }
+  }
+}
+
+TEST(FastPath, GbtEnsemblesIdenticalUnderBothBuilders) {
+  const auto data = awkward_dataset(150, 11);
+  GbtOptions fast_opts{.num_rounds = 40, .learning_rate = 0.2};
+  GbtOptions ref_opts = fast_opts;
+  ref_opts.tree.reference_split_search = true;
+
+  GBTRegressor fast(fast_opts);
+  GBTRegressor reference(ref_opts);
+  fast.fit(data);
+  reference.fit(data);
+
+  // The builder flag is serialized nowhere; the trees must be the trees.
+  EXPECT_EQ(gbt_archive(fast), gbt_archive(reference));
+}
+
+TEST(FastPath, BatchedPredictAllBitIdenticalToPerSample) {
+  const auto data = awkward_dataset(173, 23);  // not a multiple of the block
+  GBTRegressor model(GbtOptions{.num_rounds = 30, .learning_rate = 0.15});
+  model.fit(data);
+
+  const auto batched = model.predict_all(data);
+  ASSERT_EQ(batched.size(), data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_EQ(batched[i], model.predict(data.features(i))) << "sample " << i;
+  }
+
+  // The flattened forest is rebuilt on load; it must match too.
+  std::stringstream buf;
+  util::ArchiveWriter w(buf);
+  model.save(w);
+  util::ArchiveReader r(buf);
+  GBTRegressor restored;
+  restored.load(r);
+  const auto batched2 = restored.predict_all(data);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_EQ(batched2[i], batched[i]);
+  }
+}
+
+TEST(FastPath, PredictRowsValidatesArity) {
+  const auto data = awkward_dataset(40, 3);
+  GBTRegressor model(GbtOptions{.num_rounds = 5});
+  model.fit(data);
+
+  const std::vector<double> rows(12, 0.5);
+  EXPECT_THROW((void)model.predict_rows(rows, 5), util::Error);  // 12 % 5
+  EXPECT_THROW((void)model.predict_rows(rows, 2), util::Error);  // arity < 4
+  EXPECT_THROW((void)model.predict_rows(rows, 0), util::Error);
+  EXPECT_NO_THROW((void)model.predict_rows(rows, 4));
+
+  GBTRegressor unfitted;
+  EXPECT_THROW((void)unfitted.predict_rows(rows, 4), util::NotFitted);
+}
+
+// --- RegressionTree::load archive validation --------------------------------
+
+std::string raw_tree_archive(const std::vector<std::int64_t>& structure,
+                             const std::vector<double>& values) {
+  std::ostringstream os;
+  util::ArchiveWriter w(os);
+  w.write("tree.depth", std::int64_t{1});
+  w.write("tree.structure", structure);
+  w.write("tree.values", values);
+  return os.str();
+}
+
+void expect_load_rejects(const std::string& archive) {
+  std::istringstream is(archive);
+  util::ArchiveReader r(is);
+  RegressionTree tree;
+  EXPECT_THROW(tree.load(r), util::Error);
+}
+
+TEST(FastPath, LoadRejectsNegativeChildIndicesOtherThanLeafMarker) {
+  // Node 0 splits with left = -5: passes a naive `< node_count` bound but
+  // would index out of bounds in predict().
+  expect_load_rejects(raw_tree_archive({0, -5, 2, -1, -1, -1, -1, -1, -1},
+                                       {0.5, 0.0, 0.0, 1.0, 0.0, 2.0}));
+  // Same for the right child.
+  expect_load_rejects(raw_tree_archive({0, 1, -2, -1, -1, -1, -1, -1, -1},
+                                       {0.5, 0.0, 0.0, 1.0, 0.0, 2.0}));
+  // And for a nonsense feature id below the leaf marker.
+  expect_load_rejects(raw_tree_archive({-3, 1, 2, -1, -1, -1, -1, -1, -1},
+                                       {0.5, 0.0, 0.0, 1.0, 0.0, 2.0}));
+}
+
+TEST(FastPath, LoadRejectsInteriorNodeWithLeafChild) {
+  // Node 0 claims to split on feature 0 but its right child is the leaf
+  // marker: predict() would walk to index -1.
+  expect_load_rejects(raw_tree_archive({0, 1, -1, -1, -1, -1},
+                                       {0.5, 0.0, 0.0, 1.0}));
+}
+
+TEST(FastPath, LoadAcceptsWellFormedArchive) {
+  const auto archive = raw_tree_archive({0, 1, 2, -1, -1, -1, -1, -1, -1},
+                                        {0.5, 0.0, 0.0, 1.0, 0.0, 2.0});
+  std::istringstream is(archive);
+  util::ArchiveReader r(is);
+  RegressionTree tree;
+  tree.load(r);
+  EXPECT_EQ(tree.node_count(), 3u);
+  EXPECT_EQ(tree.predict(std::array{0.0}), 1.0);
+  EXPECT_EQ(tree.predict(std::array{0.9}), 2.0);
+}
+
+}  // namespace
+}  // namespace autopower::ml

@@ -22,9 +22,9 @@
 #include "serve/eval_cache.hpp"
 #include "serve/jsonl.hpp"
 #include "serve/registry.hpp"
-#include "serve/thread_pool.hpp"
 #include "sim/perfsim.hpp"
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 #include "workload/workload.hpp"
 
 namespace autopower::serve {
@@ -73,11 +73,12 @@ class ServeTest : public ::testing::Test {
 
 std::shared_ptr<const core::AutoPowerModel>* ServeTest::model_ = nullptr;
 
-// --- ThreadPool --------------------------------------------------------------
+// --- ThreadPool (now hosted in util/, exercised here alongside its main
+// consumer) -------------------------------------------------------------------
 
 TEST(ThreadPoolTest, ExecutesEverySubmittedTask) {
   std::atomic<int> counter{0};
-  ThreadPool pool(4);
+  util::ThreadPool pool(4);
   EXPECT_EQ(pool.thread_count(), 4u);
   for (int i = 0; i < 200; ++i) {
     pool.submit([&counter] { counter.fetch_add(1); });
@@ -88,7 +89,7 @@ TEST(ThreadPoolTest, ExecutesEverySubmittedTask) {
 
 TEST(ThreadPoolTest, ShutdownDrainsPendingWork) {
   std::atomic<int> counter{0};
-  ThreadPool pool(2);
+  util::ThreadPool pool(2);
   for (int i = 0; i < 64; ++i) {
     pool.submit([&counter] {
       std::this_thread::sleep_for(std::chrono::milliseconds(1));
@@ -102,7 +103,7 @@ TEST(ThreadPoolTest, ShutdownDrainsPendingWork) {
 }
 
 TEST(ThreadPoolTest, SubmitAfterShutdownThrows) {
-  ThreadPool pool(1);
+  util::ThreadPool pool(1);
   pool.shutdown();
   EXPECT_THROW(pool.submit([] {}), util::Error);
   pool.shutdown();  // idempotent
@@ -110,7 +111,7 @@ TEST(ThreadPoolTest, SubmitAfterShutdownThrows) {
 
 TEST(ThreadPoolTest, ThrowingTaskDoesNotKillWorkers) {
   std::atomic<int> counter{0};
-  ThreadPool pool(1);
+  util::ThreadPool pool(1);
   pool.submit([] { throw std::runtime_error("request failed"); });
   pool.submit([&counter] { counter.fetch_add(1); });
   pool.wait_idle();

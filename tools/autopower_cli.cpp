@@ -3,6 +3,7 @@
 // Subcommands:
 //   list                                  show configurations and workloads
 //   train    --known C1,C15 --out m.ap    train and persist a model
+//            [--threads N]                parallel sub-model fitting
 //   predict  --model m.ap --config C8 --workload dhrystone [--per-component]
 //   evaluate --model m.ap --known C1,C15 [--threads N]
 //   trace    --model m.ap --config C3 --workload gemm [--csv out.csv]
@@ -28,7 +29,7 @@
 #include "serve/engine.hpp"
 #include "serve/jsonl.hpp"
 #include "serve/registry.hpp"
-#include "serve/thread_pool.hpp"
+#include "util/thread_pool.hpp"
 #include "util/error.hpp"
 #include "util/table.hpp"
 
@@ -145,7 +146,8 @@ int cmd_train(const ArgMap& flags) {
   const auto data = exp::ExperimentData::build(simulator, golden);
 
   core::AutoPowerModel model;
-  model.train(data.contexts_of(known), golden);
+  model.train(data.contexts_of(known), golden,
+              static_cast<std::size_t>(parse_threads(flags)));
   model.save_to_file(out_path);
   std::cout << "Trained on " << known.size()
             << " configurations; model written to " << out_path << "\n";
@@ -204,7 +206,7 @@ int cmd_evaluate(const ArgMap& flags) {
     result.actual.resize(held_out.size());
     result.predicted.resize(held_out.size());
     std::atomic<std::size_t> next{0};
-    serve::ThreadPool pool(static_cast<std::size_t>(threads));
+    util::ThreadPool pool(static_cast<std::size_t>(threads));
     for (std::size_t w = 0; w < pool.thread_count(); ++w) {
       pool.submit([&] {
         for (;;) {
@@ -301,7 +303,7 @@ int usage() {
   std::cerr <<
       "usage: autopower <command> [flags]\n"
       "  list\n"
-      "  train    --known C1,C15 --out model.ap\n"
+      "  train    --known C1,C15 --out model.ap [--threads N]\n"
       "  predict  --model model.ap --config C8 --workload dhrystone"
       " [--per-component]\n"
       "  evaluate --model model.ap --known C1,C15 [--threads N]\n"
@@ -321,7 +323,8 @@ struct Command {
 const std::map<std::string, Command>& commands() {
   static const std::map<std::string, Command> table = {
       {"list", {{}, [](const ArgMap&) { return cmd_list(); }}},
-      {"train", {{.valued = {"known", "out"}, .boolean = {}}, cmd_train}},
+      {"train",
+       {{.valued = {"known", "out", "threads"}, .boolean = {}}, cmd_train}},
       {"predict",
        {{.valued = {"model", "config", "workload"},
          .boolean = {"per-component"}},

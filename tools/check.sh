@@ -1,19 +1,47 @@
 #!/usr/bin/env bash
-# Race-checks the serving subsystem: builds the ThreadSanitizer preset and
-# runs the test_serve suite under it.  Run from anywhere; exits non-zero
-# on a build failure, test failure, or any TSan report.
+# Repo health check: builds the default preset, runs the two self-checking
+# throughput benches (training core + batch serving) and collects their
+# headline numbers into BENCH_train.json, then race-checks the threaded
+# subsystems under ThreadSanitizer.  Run from anywhere; exits non-zero on
+# any build failure, bench self-check failure, test failure, or TSan
+# report.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
+echo "== configure + build (default preset) =="
+cmake --preset default
+cmake --build --preset default -j "$(nproc)"
+
+echo "== bench_train_throughput (self-check: bit-identity + speedup bars) =="
+./build/bench/bench_train_throughput --json /tmp/autopower_bench_train.json
+
+echo "== bench_serve_throughput (self-check: bit-identity + speedup bar) =="
+./build/bench/bench_serve_throughput --json /tmp/autopower_bench_serve.json
+
+echo "== write BENCH_train.json =="
+{
+  printf '{\n  "train":\n'
+  sed 's/^/  /' /tmp/autopower_bench_train.json | sed '$s/$/,/'
+  printf '  "serve":\n'
+  sed 's/^/  /' /tmp/autopower_bench_serve.json
+  printf '}\n'
+} > BENCH_train.json
+echo "headline numbers in BENCH_train.json"
+
 echo "== configure (tsan preset) =="
 cmake --preset tsan
 
-echo "== build test_serve =="
-cmake --build --preset tsan --target test_serve -j "$(nproc)"
+echo "== build tsan targets =="
+cmake --build --preset tsan --target test_serve autopower_tests -j "$(nproc)"
 
 echo "== run test_serve under ThreadSanitizer =="
 # halt_on_error makes a race fail the run instead of just logging it.
 TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}" ./build-tsan/tests/test_serve
 
-echo "OK: test_serve is race-clean"
+echo "== run parallel-train tests under ThreadSanitizer =="
+TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}" \
+  ./build-tsan/tests/autopower_tests \
+  --gtest_filter='AutoPowerTest.ParallelTrainArchiveByteIdentical'
+
+echo "OK: benches pass their bars and the threaded paths are race-clean"
