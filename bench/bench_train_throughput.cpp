@@ -10,8 +10,9 @@
 //      single-threaded.
 //   3. Parallel sub-model fitting — AutoPowerModel::train at 4 threads vs
 //      1.  Archives must be byte-identical at any thread count; the
-//      wall-clock speedup bar applies only on multi-core hosts (on a
-//      single hardware thread the pool can only interleave).
+//      wall-clock speedup bar applies only when the host has at least as
+//      many hardware threads as pool workers (otherwise the pool can only
+//      interleave, so the speedup is reported but not enforced).
 //
 // The bench FAILS (exit 1) on any identity violation or missed bar.
 // `--json <path>` additionally writes the headline numbers for
@@ -192,8 +193,15 @@ int main(int argc, char** argv) {
     std::printf("FAIL: parallel training changed the trained model\n");
     ok = false;
   }
-  // The wall-clock bar only means something with real parallel hardware.
-  if (hw >= 2 && train_speedup < 1.2) {
+  // The wall-clock bar only means something when the host can actually run
+  // the 4 pool workers at once; on smaller machines the pool interleaves,
+  // so report the speedup but do not enforce it.
+  const bool train_bar_enforced = hw >= 4;
+  if (!train_bar_enforced) {
+    std::printf("note: %u hw thread(s) < 4 pool workers; 1.2x bar reported, "
+                "not enforced\n",
+                hw);
+  } else if (train_speedup < 1.2) {
     std::printf("FAIL: parallel training below the 1.2x bar\n");
     ok = false;
   }
@@ -213,11 +221,13 @@ int main(int argc, char** argv) {
           "  \"train_1thread_s\": %.6f,\n"
           "  \"train_4thread_s\": %.6f,\n"
           "  \"train_speedup\": %.3f,\n"
+          "  \"train_bar_enforced\": %s,\n"
           "  \"hardware_threads\": %u,\n"
           "  \"bit_identical\": %s\n"
           "}\n",
           ref_fit_s, fast_fit_s, fit_speedup, loop_s, batch_s,
-          predict_speedup, train1_s, train4_s, train_speedup, hw,
+          predict_speedup, train1_s, train4_s, train_speedup,
+          train_bar_enforced ? "true" : "false", hw,
           (fit_identical && predict_identical && archives_identical)
               ? "true"
               : "false");

@@ -56,6 +56,14 @@ std::string_view hw_param_name(HwParam p) noexcept {
   return kParamNames[static_cast<std::size_t>(p)];
 }
 
+HwParam hw_param_by_name(std::string_view name) {
+  for (std::size_t i = 0; i < kNumHwParams; ++i) {
+    if (kParamNames[i] == name) return kAllParams[i];
+  }
+  throw util::InvalidArgument("unknown hardware parameter: " +
+                              std::string(name));
+}
+
 std::vector<double> HardwareConfig::as_features() const {
   return features_for(all_hw_params());
 }

@@ -43,6 +43,10 @@ inline constexpr std::size_t kNumHwParams = 14;
 /// Human-readable parameter name matching the paper's nomenclature.
 [[nodiscard]] std::string_view hw_param_name(HwParam p) noexcept;
 
+/// Inverse of hw_param_name ("RobEntry" -> kRobEntry); throws
+/// util::InvalidArgument for unknown names.
+[[nodiscard]] HwParam hw_param_by_name(std::string_view name);
+
 /// A complete CPU configuration: a value per hardware parameter.
 class HardwareConfig {
  public:

@@ -51,6 +51,7 @@ BatchEngine::BatchEngine(std::shared_ptr<const core::AutoPowerModel> model,
     : model_(std::move(model)),
       options_(options),
       cache_(options.cache_shards),
+      structural_(std::make_shared<util::StructuralSimCache>()),
       response_shards_(options.cache_shards == 0 ? 1 : options.cache_shards) {
   AP_REQUIRE(model_ != nullptr, "BatchEngine: null model");
   if (options_.threads == 0) options_.threads = 1;
@@ -158,7 +159,7 @@ std::vector<BatchResponse> BatchEngine::run(
   const std::size_t workers =
       std::min(options_.threads, requests.size());
   if (workers <= 1) {
-    sim::PerfSimulator sim;
+    sim::PerfSimulator sim(sim::SimOptions{}, structural_);
     for (std::size_t i = 0; i < requests.size(); ++i) {
       responses[i] = handle(requests[i], i, sim);
     }
@@ -168,13 +169,15 @@ std::vector<BatchResponse> BatchEngine::run(
   // One long-lived task per worker; workers pull request indices off a
   // shared atomic counter and write into disjoint response slots, so the
   // output is in input order by construction.  Each worker owns a private
-  // PerfSimulator — its phase-rate memo is not thread-safe to share.
+  // PerfSimulator — its phase-rate memo is not thread-safe to share — but
+  // all of them share the engine's structural cache, so cache/TLB/branch
+  // measurements (for simulate AND simulate_trace) dedupe across workers.
   std::atomic<std::size_t> next{0};
   std::latch done(static_cast<std::ptrdiff_t>(workers));
   util::ThreadPool pool(workers);
   for (std::size_t w = 0; w < workers; ++w) {
     pool.submit([this, &requests, &responses, &next, &done] {
-      sim::PerfSimulator sim;
+      sim::PerfSimulator sim(sim::SimOptions{}, structural_);
       for (;;) {
         const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
         if (i >= requests.size()) break;

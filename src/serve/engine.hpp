@@ -1,13 +1,18 @@
 // Batch inference engine — fans a request list out across a thread pool.
 //
 // One engine wraps one immutable model snapshot (from serve::ModelRegistry
-// or any shared_ptr<const AutoPowerModel>) plus two sharded memo layers.
+// or any shared_ptr<const AutoPowerModel>) plus three sharded memo layers.
 // run() executes every request and returns responses IN INPUT ORDER; each
-// worker thread owns a private PerfSimulator (the simulator's internal
+// worker thread owns a private PerfSimulator (the simulator's instance
 // memo is not thread-safe) while the serve::EvalCache deduplicates
 // (config, workload) simulations and the response memo answers exact
 // repeat queries — (config, workload, mode) — without touching the model
-// at all.  Both layers persist across run() calls.
+// at all.  Underneath both, every worker simulator shares the engine's
+// util::StructuralSimCache, so the expensive cache/TLB/branch structural
+// measurements are computed once per distinct sub-key across ALL workers
+// and ALL modes — including kTrace, whose simulate_trace calls previously
+// redid the full structural work in every worker.  All layers persist
+// across run() calls.
 //
 // Determinism contract: the simulator, feature extraction, and the model
 // are all deterministic, so `run(reqs)` is bit-identical for any thread
@@ -30,6 +35,7 @@
 
 #include "core/autopower.hpp"
 #include "serve/eval_cache.hpp"
+#include "util/structural_cache.hpp"
 
 namespace autopower::serve {
 
@@ -91,6 +97,11 @@ class BatchEngine {
       std::span<const BatchRequest> requests);
 
   [[nodiscard]] const EvalCache& cache() const noexcept { return cache_; }
+  /// The structural sub-simulation cache shared by all worker simulators.
+  [[nodiscard]] const std::shared_ptr<util::StructuralSimCache>&
+  structural_cache() const noexcept {
+    return structural_;
+  }
   /// Hit/miss counters of the response memo (all zero when disabled).
   [[nodiscard]] EvalCache::Stats response_stats() const noexcept;
   [[nodiscard]] std::size_t threads() const noexcept {
@@ -112,6 +123,7 @@ class BatchEngine {
   std::shared_ptr<const core::AutoPowerModel> model_;
   EngineOptions options_;
   EvalCache cache_;
+  std::shared_ptr<util::StructuralSimCache> structural_;
   std::deque<ResponseShard> response_shards_;
   std::atomic<std::uint64_t> response_hits_{0};
   std::atomic<std::uint64_t> response_misses_{0};

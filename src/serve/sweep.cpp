@@ -1,0 +1,309 @@
+#include "serve/sweep.hpp"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <exception>
+#include <latch>
+#include <limits>
+#include <ostream>
+#include <utility>
+
+#include "arch/events.hpp"
+#include "serve/jsonl.hpp"
+#include "sim/perfsim.hpp"
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
+#include "workload/workload.hpp"
+
+namespace autopower::serve {
+
+std::string_view to_string(SweepMetric metric) noexcept {
+  switch (metric) {
+    case SweepMetric::kIpcPerWatt: return "ipc_per_watt";
+    case SweepMetric::kIpc: return "ipc";
+    case SweepMetric::kPower: return "power";
+  }
+  return "ipc_per_watt";
+}
+
+SweepMetric sweep_metric_from_string(std::string_view text) {
+  if (text == "ipc_per_watt") return SweepMetric::kIpcPerWatt;
+  if (text == "ipc") return SweepMetric::kIpc;
+  if (text == "power") return SweepMetric::kPower;
+  throw util::InvalidArgument("unknown sweep metric: " + std::string(text) +
+                              " (expected ipc_per_watt | ipc | power)");
+}
+
+namespace {
+
+std::vector<std::string_view> split(std::string_view text, char sep) {
+  std::vector<std::string_view> out;
+  while (!text.empty()) {
+    const std::size_t pos = text.find(sep);
+    out.push_back(text.substr(0, pos));
+    if (pos == std::string_view::npos) break;
+    text.remove_prefix(pos + 1);
+  }
+  return out;
+}
+
+int parse_int(std::string_view token) {
+  AP_REQUIRE(!token.empty(), "empty value in grid spec");
+  int value = 0;
+  for (char c : token) {
+    AP_REQUIRE(c >= '0' && c <= '9',
+               "grid values must be positive integers, got: " +
+                   std::string(token));
+    AP_REQUIRE(value < 100000000, "grid value out of range: " +
+                                      std::string(token));
+    value = value * 10 + (c - '0');
+  }
+  AP_REQUIRE(value >= 1, "grid values must be >= 1");
+  return value;
+}
+
+}  // namespace
+
+std::vector<SweepAxis> parse_grid(std::string_view spec) {
+  AP_REQUIRE(!spec.empty(), "empty grid spec");
+  std::vector<SweepAxis> axes;
+  for (std::string_view axis_text : split(spec, ';')) {
+    AP_REQUIRE(!axis_text.empty(), "empty axis in grid spec");
+    const std::size_t eq = axis_text.find('=');
+    AP_REQUIRE(eq != std::string_view::npos,
+               "grid axis needs Param=v1,v2,...: " + std::string(axis_text));
+    SweepAxis axis;
+    axis.param = arch::hw_param_by_name(axis_text.substr(0, eq));
+    for (const SweepAxis& existing : axes) {
+      AP_REQUIRE(existing.param != axis.param,
+                 "duplicate grid axis: " +
+                     std::string(arch::hw_param_name(axis.param)));
+    }
+    for (std::string_view token : split(axis_text.substr(eq + 1), ',')) {
+      axis.values.push_back(parse_int(token));
+    }
+    AP_REQUIRE(!axis.values.empty(), "grid axis has no values: " +
+                                         std::string(axis_text));
+    axes.push_back(std::move(axis));
+  }
+  return axes;
+}
+
+std::vector<arch::HardwareConfig> expand_grid(
+    const arch::HardwareConfig& base, std::span<const SweepAxis> axes) {
+  std::size_t total = 1;
+  for (const SweepAxis& axis : axes) {
+    AP_REQUIRE(!axis.values.empty(), "grid axis has no values");
+    AP_REQUIRE(total <= 1'000'000 / axis.values.size(),
+               "grid expands to more than 1e6 configurations");
+    total *= axis.values.size();
+  }
+
+  std::array<int, arch::kNumHwParams> base_values{};
+  for (arch::HwParam p : arch::all_hw_params()) {
+    base_values[static_cast<std::size_t>(p)] = base.value(p);
+  }
+
+  std::vector<arch::HardwareConfig> out;
+  out.reserve(total);
+  // Mixed-radix counter over the axes; the first axis varies slowest.
+  std::vector<std::size_t> index(axes.size(), 0);
+  for (std::size_t n = 0; n < total; ++n) {
+    auto values = base_values;
+    std::string name = base.name();
+    for (std::size_t a = 0; a < axes.size(); ++a) {
+      const int v = axes[a].values[index[a]];
+      values[static_cast<std::size_t>(axes[a].param)] = v;
+      name += '+';
+      name += arch::hw_param_name(axes[a].param);
+      name += '=';
+      name += std::to_string(v);
+    }
+    out.emplace_back(std::move(name), values);
+    for (std::size_t a = axes.size(); a-- > 0;) {
+      if (++index[a] < axes[a].values.size()) break;
+      index[a] = 0;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+SweepCell evaluate_cell(const core::AutoPowerModel& model,
+                        const sim::PerfSimulator& sim,
+                        const arch::HardwareConfig& cfg,
+                        const workload::WorkloadProfile& profile,
+                        const workload::ProgramFeatures& program) {
+  SweepCell cell;
+  cell.workload = profile.name;
+  try {
+    core::EvalContext ctx;
+    ctx.cfg = &cfg;
+    ctx.workload = profile.name;
+    ctx.program = program;
+    ctx.events = sim.simulate(cfg, profile);
+    cell.total_mw = model.predict_total(ctx);
+    cell.ipc = ctx.events.rate(arch::EventKind::kInstructions);
+    cell.ok = true;
+  } catch (const std::exception& e) {
+    cell.ok = false;
+    cell.error = e.what();
+  }
+  return cell;
+}
+
+/// Metric under which a row sorts; larger is always better (power is
+/// negated).  Rows with no successful cell sort last.
+double row_score(const SweepRow& row, SweepMetric metric) {
+  bool any_ok = false;
+  for (const SweepCell& cell : row.cells) any_ok |= cell.ok;
+  if (!any_ok) return -std::numeric_limits<double>::infinity();
+  switch (metric) {
+    case SweepMetric::kIpcPerWatt: return row.ipc_per_watt;
+    case SweepMetric::kIpc: return row.mean_ipc;
+    case SweepMetric::kPower: return -row.mean_total_mw;
+  }
+  return row.ipc_per_watt;
+}
+
+}  // namespace
+
+SweepReport run_sweep(const core::AutoPowerModel& model, const SweepSpec& spec,
+                      std::shared_ptr<util::StructuralSimCache> structural) {
+  AP_REQUIRE(!spec.workloads.empty(), "sweep needs at least one workload");
+  const arch::HardwareConfig& base = arch::boom_config(spec.base);
+  std::vector<arch::HardwareConfig> configs = expand_grid(base, spec.axes);
+
+  // Resolve workloads up front: an unknown name is a spec error (it would
+  // fail every cell), unlike a bad grid point which fails alone.
+  std::vector<const workload::WorkloadProfile*> profiles;
+  std::vector<workload::ProgramFeatures> programs;
+  profiles.reserve(spec.workloads.size());
+  for (const std::string& name : spec.workloads) {
+    profiles.push_back(&workload::workload_by_name(name));
+    programs.push_back(workload::program_features(*profiles.back()));
+  }
+
+  if (structural == nullptr) {
+    structural = std::make_shared<util::StructuralSimCache>();
+  }
+  const util::StructuralSimCache::Stats before = structural->stats();
+
+  const std::size_t n_workloads = spec.workloads.size();
+  const std::size_t total = configs.size() * n_workloads;
+  std::vector<SweepCell> cells(total);
+
+  const auto worker_loop = [&](std::atomic<std::size_t>& next) {
+    sim::PerfSimulator sim(sim::SimOptions{}, structural);
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= total) break;
+      cells[i] = evaluate_cell(model, sim, configs[i / n_workloads],
+                               *profiles[i % n_workloads],
+                               programs[i % n_workloads]);
+    }
+  };
+
+  const std::size_t workers =
+      std::min(spec.threads == 0 ? 1 : spec.threads, std::max<std::size_t>(
+                                                         total, 1));
+  std::atomic<std::size_t> next{0};
+  if (workers <= 1) {
+    worker_loop(next);
+  } else {
+    std::latch done(static_cast<std::ptrdiff_t>(workers));
+    util::ThreadPool pool(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      pool.submit([&worker_loop, &next, &done] {
+        worker_loop(next);
+        done.count_down();
+      });
+    }
+    done.wait();
+  }
+
+  SweepReport report;
+  report.configs = configs.size();
+  report.evaluations = total;
+  {
+    const util::StructuralSimCache::Stats after = structural->stats();
+    report.structural = {after.hits - before.hits,
+                         after.misses - before.misses};
+  }
+
+  report.rows.reserve(configs.size());
+  for (std::size_t c = 0; c < configs.size(); ++c) {
+    SweepRow row;
+    row.config = std::move(configs[c]);
+    row.cells.assign(cells.begin() + static_cast<std::ptrdiff_t>(
+                                         c * n_workloads),
+                     cells.begin() + static_cast<std::ptrdiff_t>(
+                                         (c + 1) * n_workloads));
+    double mw = 0.0, ipc = 0.0;
+    std::size_t ok = 0;
+    for (const SweepCell& cell : row.cells) {
+      if (!cell.ok) continue;
+      mw += cell.total_mw;
+      ipc += cell.ipc;
+      ++ok;
+    }
+    if (ok > 0) {
+      row.mean_total_mw = mw / static_cast<double>(ok);
+      row.mean_ipc = ipc / static_cast<double>(ok);
+      if (row.mean_total_mw > 0.0) {
+        row.ipc_per_watt = row.mean_ipc / (row.mean_total_mw / 1000.0);
+      }
+    }
+    report.rows.push_back(std::move(row));
+  }
+
+  // Rank best-first; stable sort keeps grid order as the deterministic
+  // tie-break.
+  std::stable_sort(report.rows.begin(), report.rows.end(),
+                   [&spec](const SweepRow& a, const SweepRow& b) {
+                     return row_score(a, spec.metric) >
+                            row_score(b, spec.metric);
+                   });
+  for (std::size_t i = 0; i < report.rows.size(); ++i) {
+    report.rows[i].rank = i + 1;
+  }
+  if (spec.top > 0 && report.rows.size() > spec.top) {
+    report.rows.resize(spec.top);
+  }
+  return report;
+}
+
+void write_sweep_report(std::ostream& out, const SweepReport& report) {
+  for (const SweepRow& row : report.rows) {
+    out << "{\"rank\":" << row.rank << ",\"config\":\""
+        << json_escape(row.config.name()) << "\",\"params\":{";
+    bool first = true;
+    for (arch::HwParam p : arch::all_hw_params()) {
+      if (!first) out << ',';
+      first = false;
+      out << '"' << arch::hw_param_name(p) << "\":" << row.config.value(p);
+    }
+    out << "},\"mean_total_mw\":" << json_number(row.mean_total_mw)
+        << ",\"mean_ipc\":" << json_number(row.mean_ipc)
+        << ",\"ipc_per_watt\":" << json_number(row.ipc_per_watt)
+        << ",\"cells\":[";
+    for (std::size_t i = 0; i < row.cells.size(); ++i) {
+      const SweepCell& cell = row.cells[i];
+      if (i > 0) out << ',';
+      out << "{\"workload\":\"" << json_escape(cell.workload)
+          << "\",\"ok\":" << (cell.ok ? "true" : "false");
+      if (cell.ok) {
+        out << ",\"total_mw\":" << json_number(cell.total_mw)
+            << ",\"ipc\":" << json_number(cell.ipc);
+      } else {
+        out << ",\"error\":\"" << json_escape(cell.error) << '"';
+      }
+      out << '}';
+    }
+    out << "]}\n";
+  }
+}
+
+}  // namespace autopower::serve

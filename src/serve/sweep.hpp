@@ -1,0 +1,120 @@
+// Parallel design-space sweep driver.
+//
+// The workload architecture-level power models exist for: expand a
+// config-grid spec (axis lists over Table II hardware parameters applied
+// to a base configuration), evaluate every (configuration, workload) cell
+// — performance simulation + power prediction — across a thread pool, and
+// rank the configurations into a JSONL report.
+//
+// Every worker's PerfSimulator shares ONE util::StructuralSimCache, so
+// neighbouring grid points (which differ only in a few parameters) reuse
+// each other's cache/TLB/branch structural measurements; on a grid that
+// varies ROB/width/queue parameters the whole sweep performs the
+// structural work of a single configuration.  Results are bit-identical
+// to evaluating each cell with a fresh, unshared simulator, for any
+// thread count (`bench_sim_throughput` enforces both properties).
+//
+// Grid spec syntax (CLI `--grid`): semicolon-separated axes, each
+// "Param=v1,v2,...", e.g. "RobEntry=64,96,128;FetchWidth=4,8".  Axis
+// order is report order; the first axis varies slowest.  A cell whose
+// configuration cannot be simulated (e.g. a non-power-of-two
+// ICacheFetchBytes) fails alone with its error message, like a bad batch
+// request.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "arch/params.hpp"
+#include "core/autopower.hpp"
+#include "util/structural_cache.hpp"
+
+namespace autopower::serve {
+
+/// One grid axis: the values a hardware parameter sweeps over.
+struct SweepAxis {
+  arch::HwParam param = arch::HwParam::kFetchWidth;
+  std::vector<int> values;
+};
+
+/// How the ranked report orders configurations.
+enum class SweepMetric {
+  kIpcPerWatt,  ///< mean IPC / mean watts, descending (the DSE default)
+  kIpc,         ///< mean IPC, descending
+  kPower,       ///< mean total mW, ascending
+};
+
+[[nodiscard]] std::string_view to_string(SweepMetric metric) noexcept;
+/// Parses "ipc_per_watt" | "ipc" | "power"; throws on anything else.
+[[nodiscard]] SweepMetric sweep_metric_from_string(std::string_view text);
+
+struct SweepSpec {
+  std::string base = "C8";                ///< Table II baseline config
+  std::vector<SweepAxis> axes;            ///< grid axes (may be empty)
+  std::vector<std::string> workloads;     ///< evaluation workloads
+  std::size_t threads = 1;
+  SweepMetric metric = SweepMetric::kIpcPerWatt;
+  std::size_t top = 0;                    ///< 0 = report every config
+};
+
+/// Parses the `--grid` spec ("RobEntry=64,96;FetchWidth=4,8").  Throws
+/// util::Error on unknown parameters, duplicate axes, empty or
+/// non-positive value lists, or malformed syntax.
+[[nodiscard]] std::vector<SweepAxis> parse_grid(std::string_view spec);
+
+/// Cartesian product of the axes applied to `base`.  Config names are
+/// deterministic: "<base>+Param=v+..." (base's own name for an empty
+/// grid).  The first axis varies slowest.
+[[nodiscard]] std::vector<arch::HardwareConfig> expand_grid(
+    const arch::HardwareConfig& base, std::span<const SweepAxis> axes);
+
+/// One (configuration, workload) evaluation.
+struct SweepCell {
+  std::string workload;
+  bool ok = false;
+  std::string error;      ///< set when !ok
+  double total_mw = 0.0;  ///< predicted average power
+  double ipc = 0.0;       ///< simulated instructions per cycle
+};
+
+/// One configuration's row of the ranked report.
+struct SweepRow {
+  arch::HardwareConfig config;
+  std::vector<SweepCell> cells;    ///< one per workload, spec order
+  double mean_total_mw = 0.0;      ///< over ok cells
+  double mean_ipc = 0.0;
+  double ipc_per_watt = 0.0;
+  std::size_t rank = 0;            ///< 1-based rank under the spec metric
+};
+
+struct SweepReport {
+  std::vector<SweepRow> rows;  ///< ranked best-first (truncated to top)
+  std::size_t configs = 0;     ///< grid size before truncation
+  std::size_t evaluations = 0;
+  util::StructuralSimCache::Stats structural;  ///< sub-memo hit/miss
+};
+
+/// Runs the sweep: expands the grid, fans (config x workload) cells over
+/// `spec.threads` workers sharing one structural cache (`structural` if
+/// given, else a fresh private one), and ranks the rows.  Deterministic:
+/// the report is bit-identical for any thread count and any pre-warmed
+/// cache state.  Throws util::Error for an unknown base config, unknown
+/// workloads, or an empty workload list.
+[[nodiscard]] SweepReport run_sweep(
+    const core::AutoPowerModel& model, const SweepSpec& spec,
+    std::shared_ptr<util::StructuralSimCache> structural = nullptr);
+
+/// Writes the report as JSONL, one ranked row per line:
+///   {"rank":1,"config":"C8+RobEntry=96","params":{...},
+///    "mean_total_mw":...,"mean_ipc":...,"ipc_per_watt":...,
+///    "cells":[{"workload":"dhrystone","ok":true,"total_mw":...,
+///              "ipc":...},...]}
+/// Numbers round-trip exactly (serve::json_number).
+void write_sweep_report(std::ostream& out, const SweepReport& report);
+
+}  // namespace autopower::serve

@@ -23,13 +23,14 @@ SetAssocCache::SetAssocCache(int sets, int ways, int line_bytes)
   AP_REQUIRE(is_pow2(line_bytes), "cache line size must be a power of two");
   AP_REQUIRE(ways >= 1, "cache needs at least one way");
   line_shift_ = log2i(line_bytes);
+  sets_shift_ = log2i(sets);
   ways_storage_.resize(static_cast<std::size_t>(sets_) * ways_);
 }
 
 bool SetAssocCache::access(std::uint64_t address) {
   const std::uint64_t line = address >> line_shift_;
   const auto set = static_cast<std::size_t>(line & (sets_ - 1));
-  const std::uint64_t tag = line >> log2i(sets_);
+  const std::uint64_t tag = line >> sets_shift_;
   Way* base = &ways_storage_[set * static_cast<std::size_t>(ways_)];
   ++stamp_;
 

@@ -42,6 +42,7 @@ class SetAssocCache {
   int ways_;
   int line_bytes_;
   int line_shift_;
+  int sets_shift_;  // log2(sets_), hoisted out of the access hot loop
   std::uint64_t stamp_ = 0;
   std::vector<Way> ways_storage_;  // sets_ * ways_, row-major by set
 };

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <cmath>
+#include <utility>
 
 #include "sim/branch.hpp"
 #include "sim/cache.hpp"
@@ -62,7 +63,23 @@ struct MemoryBehaviour {
   double bp_miss = 0.0;
 };
 
-MemoryBehaviour measure_memory(const HardwareConfig& cfg,
+using SubSim = util::StructuralSimCache::SubSim;
+
+// Each structural sub-simulation is memoised in its own StructuralSimCache
+// lane, keyed ONLY on what it reads (DESIGN.md "Structural-memo
+// decomposition" lists the mapping):
+//   icache: CacheWay, ICacheFetchBytes | icache_footprint_kb, phase seed
+//   dcache: CacheWay, MemFpIssueWidth  | dcache footprint/stride, seed
+//   itlb:   TlbEntry                   | icache_footprint_kb, seed
+//   dtlb:   TlbEntry                   | dcache footprint/stride, seed
+//   branch: BranchCount                | branch_entropy, icache footprint,
+//                                        seed
+// plus the sample count from SimOptions.  The phase-name-derived stream
+// seed is part of every key because it selects the synthetic reference
+// stream; two phases with equal profiles and names would replay the same
+// stream and may legitimately share an entry.
+MemoryBehaviour measure_memory(util::StructuralSimCache& cache,
+                               const HardwareConfig& cfg,
                                const WorkloadPhase& ph,
                                const SimOptions& opt) {
   MemoryBehaviour mb;
@@ -74,57 +91,95 @@ MemoryBehaviour measure_memory(const HardwareConfig& cfg,
                              util::hash_str("memsys");
 
   {  // I-cache: geometry matches the SRAM floorplan (1 KiB * IFB * Way).
-    SetAssocCache icache(/*sets=*/16 * ifb, /*ways=*/way, /*line_bytes=*/64);
-    StreamProfile s;
-    s.footprint_kb = ph.icache_footprint_kb;
-    s.stride_frac = 0.92;  // instruction fetch is mostly sequential
-    s.stride_bytes = 8 * ifb;
-    s.seed = util::hash_combine(seed, 1);
-    mb.icache_miss = measure_miss_rate(icache, s, opt.sample_accesses);
+    std::uint64_t key = util::hash_combine(seed, way);
+    key = util::hash_combine(key, static_cast<std::uint64_t>(ifb));
+    key = hash_double(key, ph.icache_footprint_kb);
+    key = util::hash_combine(key,
+                             static_cast<std::uint64_t>(opt.sample_accesses));
+    mb.icache_miss = cache.get_or_compute(SubSim::kICache, key, [&] {
+      SetAssocCache icache(/*sets=*/16 * ifb, /*ways=*/way,
+                           /*line_bytes=*/64);
+      StreamProfile s;
+      s.footprint_kb = ph.icache_footprint_kb;
+      s.stride_frac = 0.92;  // instruction fetch is mostly sequential
+      s.stride_bytes = 8 * ifb;
+      s.seed = util::hash_combine(seed, 1);
+      return measure_miss_rate(icache, s, opt.sample_accesses);
+    });
   }
   {  // D-cache: 2 KiB * Way * MemIssueWidth.
-    SetAssocCache dcache(/*sets=*/32 * mfw, /*ways=*/way, /*line_bytes=*/64);
-    StreamProfile s;
-    s.footprint_kb = ph.dcache_footprint_kb;
-    s.stride_frac = ph.dcache_stride_frac;
-    s.stride_bytes = 8;
-    s.seed = util::hash_combine(seed, 2);
-    mb.dcache_miss = measure_miss_rate(dcache, s, opt.sample_accesses);
+    std::uint64_t key = util::hash_combine(seed, way);
+    key = util::hash_combine(key, static_cast<std::uint64_t>(mfw));
+    key = hash_double(key, ph.dcache_footprint_kb);
+    key = hash_double(key, ph.dcache_stride_frac);
+    key = util::hash_combine(key,
+                             static_cast<std::uint64_t>(opt.sample_accesses));
+    mb.dcache_miss = cache.get_or_compute(SubSim::kDCache, key, [&] {
+      SetAssocCache dcache(/*sets=*/32 * mfw, /*ways=*/way,
+                           /*line_bytes=*/64);
+      StreamProfile s;
+      s.footprint_kb = ph.dcache_footprint_kb;
+      s.stride_frac = ph.dcache_stride_frac;
+      s.stride_bytes = 8;
+      s.seed = util::hash_combine(seed, 2);
+      return measure_miss_rate(dcache, s, opt.sample_accesses);
+    });
   }
   {  // I-TLB (fully associative over 4 KiB pages).
-    SetAssocCache itlb(/*sets=*/1, /*ways=*/tlb, /*line_bytes=*/4096);
-    StreamProfile s;
-    s.footprint_kb = ph.icache_footprint_kb;
-    s.stride_frac = 0.95;
-    s.stride_bytes = 64;
-    s.seed = util::hash_combine(seed, 3);
-    mb.itlb_miss = measure_miss_rate(itlb, s, opt.sample_accesses / 4);
+    std::uint64_t key = util::hash_combine(seed, tlb);
+    key = hash_double(key, ph.icache_footprint_kb);
+    key = util::hash_combine(key,
+                             static_cast<std::uint64_t>(opt.sample_accesses));
+    mb.itlb_miss = cache.get_or_compute(SubSim::kItlb, key, [&] {
+      SetAssocCache itlb(/*sets=*/1, /*ways=*/tlb, /*line_bytes=*/4096);
+      StreamProfile s;
+      s.footprint_kb = ph.icache_footprint_kb;
+      s.stride_frac = 0.95;
+      s.stride_bytes = 64;
+      s.seed = util::hash_combine(seed, 3);
+      return measure_miss_rate(itlb, s, opt.sample_accesses / 4);
+    });
   }
   {  // D-TLB.
-    SetAssocCache dtlb(/*sets=*/1, /*ways=*/tlb, /*line_bytes=*/4096);
-    StreamProfile s;
-    s.footprint_kb = ph.dcache_footprint_kb;
-    s.stride_frac = ph.dcache_stride_frac;
-    s.stride_bytes = 64;
-    s.seed = util::hash_combine(seed, 4);
-    mb.dtlb_miss = measure_miss_rate(dtlb, s, opt.sample_accesses / 4);
+    std::uint64_t key = util::hash_combine(seed, tlb);
+    key = hash_double(key, ph.dcache_footprint_kb);
+    key = hash_double(key, ph.dcache_stride_frac);
+    key = util::hash_combine(key,
+                             static_cast<std::uint64_t>(opt.sample_accesses));
+    mb.dtlb_miss = cache.get_or_compute(SubSim::kDtlb, key, [&] {
+      SetAssocCache dtlb(/*sets=*/1, /*ways=*/tlb, /*line_bytes=*/4096);
+      StreamProfile s;
+      s.footprint_kb = ph.dcache_footprint_kb;
+      s.stride_frac = ph.dcache_stride_frac;
+      s.stride_bytes = 64;
+      s.seed = util::hash_combine(seed, 4);
+      return measure_miss_rate(dtlb, s, opt.sample_accesses / 4);
+    });
   }
   {  // Branch predictor: table scales with BranchCount.
     const int bc = cfg.value(HwParam::kBranchCount);
-    BranchPredictorModel bp(next_pow2(64 * bc));
-    BranchStreamProfile s;
-    s.entropy = ph.branch_entropy;
-    s.static_branches =
-        16 + static_cast<int>(ph.icache_footprint_kb * 12.0);
-    s.seed = util::hash_combine(seed, 5);
-    mb.bp_miss = measure_mispredict_rate(bp, s, opt.sample_branches);
+    std::uint64_t key = util::hash_combine(seed, bc);
+    key = hash_double(key, ph.branch_entropy);
+    key = hash_double(key, ph.icache_footprint_kb);
+    key = util::hash_combine(key,
+                             static_cast<std::uint64_t>(opt.sample_branches));
+    mb.bp_miss = cache.get_or_compute(SubSim::kBranch, key, [&] {
+      BranchPredictorModel bp(next_pow2(64 * bc));
+      BranchStreamProfile s;
+      s.entropy = ph.branch_entropy;
+      s.static_branches =
+          16 + static_cast<int>(ph.icache_footprint_kb * 12.0);
+      s.seed = util::hash_combine(seed, 5);
+      return measure_mispredict_rate(bp, s, opt.sample_branches);
+    });
   }
   return mb;
 }
 
-PhaseRates compute_phase(const HardwareConfig& cfg, const WorkloadPhase& ph,
+PhaseRates compute_phase(util::StructuralSimCache& cache,
+                         const HardwareConfig& cfg, const WorkloadPhase& ph,
                          const SimOptions& opt) {
-  const MemoryBehaviour mb = measure_memory(cfg, ph, opt);
+  const MemoryBehaviour mb = measure_memory(cache, cfg, ph, opt);
 
   const double fw = cfg.value_d(HwParam::kFetchWidth);
   const double dw = cfg.value_d(HwParam::kDecodeWidth);
@@ -305,6 +360,19 @@ void accumulate(EventVector& acc, const EventVector& rates, double cycles,
 
 }  // namespace
 
+PerfSimulator::PerfSimulator() : PerfSimulator(SimOptions{}) {}
+
+PerfSimulator::PerfSimulator(SimOptions options)
+    : PerfSimulator(options, std::make_shared<util::StructuralSimCache>()) {}
+
+PerfSimulator::PerfSimulator(
+    SimOptions options, std::shared_ptr<util::StructuralSimCache> structural)
+    : options_(options), structural_(std::move(structural)) {
+  AP_REQUIRE(structural_ != nullptr,
+             "PerfSimulator needs a structural cache (pass none for a "
+             "private one)");
+}
+
 const PhaseRates& PerfSimulator::phase_rates(
     const HardwareConfig& cfg, const WorkloadProfile& profile,
     std::size_t phase_index) const {
@@ -314,7 +382,8 @@ const PhaseRates& PerfSimulator::phase_rates(
   const std::uint64_t key = phase_key(cfg, ph, options_);
   auto it = memo_.find(key);
   if (it == memo_.end()) {
-    it = memo_.emplace(key, compute_phase(cfg, ph, options_)).first;
+    it = memo_.emplace(key, compute_phase(*structural_, cfg, ph, options_))
+             .first;
   }
   return it->second;
 }

@@ -17,14 +17,33 @@
 // activity model (src/power) derives its labels from richer functions of
 // the same underlying behaviour, reproducing the gem5-vs-RTL gap the paper
 // identifies as a root cause of ML power-model error.
+//
+// Memoisation is two-layered.  The five expensive structural measurements
+// per phase (I/D-cache, I/D-TLB, branch predictor) are decoupled into a
+// util::StructuralSimCache, each keyed ONLY on the hardware parameters
+// that sub-simulation reads plus the phase's stream profile — so a sweep
+// varying ROB/width/queue parameters reuses every cache and branch
+// measurement across configurations.  The composed per-(config, phase)
+// PhaseRates are additionally memoised per simulator instance (the
+// composition is cheap arithmetic; the instance memo mostly serves
+// simulate_trace's window loop and phase_rates' reference return).
+//
+// Thread-safety: a PerfSimulator instance is NOT safe to share across
+// threads (the instance-level PhaseRates memo is an unguarded map), but
+// any number of instances may safely share one StructuralSimCache — that
+// is the supported way to reuse structural work across sweep/serve
+// workers.  Results are bit-identical to a fresh, unshared simulator in
+// all cases (every memoised value is a pure function of its key).
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <vector>
 
 #include "arch/events.hpp"
 #include "arch/params.hpp"
+#include "util/structural_cache.hpp"
 #include "workload/workload.hpp"
 
 namespace autopower::sim {
@@ -51,8 +70,13 @@ struct PhaseRates {
 /// The out-of-order CPU timing model.
 class PerfSimulator {
  public:
-  PerfSimulator() = default;
-  explicit PerfSimulator(SimOptions options) : options_(options) {}
+  /// A simulator with a private structural cache (standalone use).
+  PerfSimulator();
+  explicit PerfSimulator(SimOptions options);
+  /// A simulator sharing `structural` with other instances (sweep/serve
+  /// workers).  `structural` must not be null.
+  PerfSimulator(SimOptions options,
+                std::shared_ptr<util::StructuralSimCache> structural);
 
   /// Aggregate event counters for a whole workload run.
   [[nodiscard]] arch::EventVector simulate(
@@ -73,8 +97,16 @@ class PerfSimulator {
 
   [[nodiscard]] const SimOptions& options() const noexcept { return options_; }
 
+  /// The structural sub-simulation cache this instance reads and fills.
+  /// Pass it to another PerfSimulator's constructor to share measurements.
+  [[nodiscard]] const std::shared_ptr<util::StructuralSimCache>&
+  structural_cache() const noexcept {
+    return structural_;
+  }
+
  private:
   SimOptions options_;
+  std::shared_ptr<util::StructuralSimCache> structural_;
   mutable std::map<std::uint64_t, PhaseRates> memo_;
 };
 

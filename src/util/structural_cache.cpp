@@ -1,0 +1,60 @@
+#include "util/structural_cache.hpp"
+
+namespace autopower::util {
+
+StructuralSimCache::StructuralSimCache(std::size_t shards_per_sub) {
+  const std::size_t shards = shards_per_sub == 0 ? 1 : shards_per_sub;
+  for (Lane& lane : lanes_) {
+    lane.shards.resize(shards);
+  }
+}
+
+StructuralSimCache::Stats StructuralSimCache::stats() const noexcept {
+  Stats total;
+  for (const Lane& lane : lanes_) {
+    total.hits += lane.hits.load(std::memory_order_relaxed);
+    total.misses += lane.misses.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+StructuralSimCache::Stats StructuralSimCache::stats(SubSim sub) const noexcept {
+  const Lane& lane = lanes_[static_cast<std::size_t>(sub)];
+  return {lane.hits.load(std::memory_order_relaxed),
+          lane.misses.load(std::memory_order_relaxed)};
+}
+
+std::size_t StructuralSimCache::size() const {
+  std::size_t n = 0;
+  for (const Lane& lane : lanes_) {
+    for (const Shard& shard : lane.shards) {
+      std::shared_lock lock(shard.mu);
+      n += shard.map.size();
+    }
+  }
+  return n;
+}
+
+void StructuralSimCache::clear() {
+  for (Lane& lane : lanes_) {
+    for (Shard& shard : lane.shards) {
+      std::unique_lock lock(shard.mu);
+      shard.map.clear();
+    }
+    lane.hits.store(0, std::memory_order_relaxed);
+    lane.misses.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::string_view StructuralSimCache::sub_sim_name(SubSim sub) noexcept {
+  switch (sub) {
+    case SubSim::kICache: return "icache";
+    case SubSim::kDCache: return "dcache";
+    case SubSim::kItlb: return "itlb";
+    case SubSim::kDtlb: return "dtlb";
+    case SubSim::kBranch: return "branch";
+  }
+  return "unknown";
+}
+
+}  // namespace autopower::util

@@ -1,0 +1,124 @@
+// Sharded reader-writer memo bank for the performance simulator's
+// structural sub-simulations.
+//
+// The simulator's expensive work is five independent structural
+// measurements per (configuration, phase): I-cache, D-cache, I-TLB, D-TLB
+// and branch-predictor streams of thousands of synthetic references each.
+// Every one of them reads only a small subset of the hardware parameters,
+// so on a design-space sweep that varies ROB/width/queue parameters the
+// measurements are identical across configurations.  This cache stores
+// each sub-simulation's scalar result (a miss/mispredict rate) in its own
+// *lane*, keyed on a 64-bit hash of exactly the inputs that sub-simulation
+// reads — the decoupling that turns an O(configs) sweep cost into O(1)
+// per distinct structural sub-key.
+//
+// Thread-safety semantics (modeled on serve::EvalCache):
+//   * Every lane hashes keys onto independently-locked shards; lookups
+//     take a shared (reader) lock and inserts a unique (writer) lock, so
+//     concurrent sweep workers hitting warm entries never serialise.
+//   * On a miss the value is computed OUTSIDE any lock.  Two threads may
+//     transiently duplicate the same deterministic computation; the first
+//     insert wins and both observe one published value.  Because every
+//     sub-simulation is a pure function of its key's inputs, the race is
+//     benign and results stay bit-identical to an unshared run.
+//   * stats() counters are relaxed atomics — approximate under contention,
+//     exact once the workers have quiesced.
+//
+// The cache stores plain doubles and 64-bit keys only, so it lives in
+// src/util/ below the simulator; sim/perfsim.cpp owns the key schema
+// (which parameters feed which lane — documented in DESIGN.md).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <shared_mutex>
+#include <string_view>
+#include <unordered_map>
+
+namespace autopower::util {
+
+class StructuralSimCache {
+ public:
+  /// One lane per structural sub-simulation of the performance simulator.
+  enum class SubSim : std::size_t {
+    kICache = 0,
+    kDCache,
+    kItlb,
+    kDtlb,
+    kBranch,
+  };
+  static constexpr std::size_t kNumSubSims = 5;
+
+  /// `shards_per_sub` is clamped to at least 1.
+  explicit StructuralSimCache(std::size_t shards_per_sub = 8);
+
+  StructuralSimCache(const StructuralSimCache&) = delete;
+  StructuralSimCache& operator=(const StructuralSimCache&) = delete;
+
+  /// Returns the memoised value for `key` in lane `sub`, invoking
+  /// `compute` (outside all locks) on a miss.  `compute` must be a pure
+  /// function of the inputs hashed into `key`.
+  template <typename Fn>
+  double get_or_compute(SubSim sub, std::uint64_t key, Fn&& compute) {
+    Lane& lane = lanes_[static_cast<std::size_t>(sub)];
+    Shard& shard = lane.shards[key % lane.shards.size()];
+    {
+      std::shared_lock lock(shard.mu);
+      if (const auto it = shard.map.find(key); it != shard.map.end()) {
+        lane.hits.fetch_add(1, std::memory_order_relaxed);
+        return it->second;
+      }
+    }
+    lane.misses.fetch_add(1, std::memory_order_relaxed);
+    const double value = compute();
+    std::unique_lock lock(shard.mu);
+    // Lost insertion race: adopt the published value (bit-identical
+    // anyway — the computation is deterministic in the key's inputs).
+    return shard.map.emplace(key, value).first->second;
+  }
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    [[nodiscard]] double hit_rate() const noexcept {
+      const std::uint64_t total = hits + misses;
+      return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+    }
+  };
+
+  /// Aggregate counters across all lanes.
+  [[nodiscard]] Stats stats() const noexcept;
+  /// Counters of one lane.
+  [[nodiscard]] Stats stats(SubSim sub) const noexcept;
+
+  /// Number of memoised entries across all lanes and shards.
+  [[nodiscard]] std::size_t size() const;
+
+  /// Drops every entry and zeroes the counters.
+  void clear();
+
+  [[nodiscard]] std::size_t shards_per_sub() const noexcept {
+    return lanes_[0].shards.size();
+  }
+
+  [[nodiscard]] static std::string_view sub_sim_name(SubSim sub) noexcept;
+
+ private:
+  struct Shard {
+    mutable std::shared_mutex mu;
+    std::unordered_map<std::uint64_t, double> map;
+  };
+  struct Lane {
+    std::deque<Shard> shards;  // deque: Shard holds a mutex, must not move
+    std::atomic<std::uint64_t> hits{0};
+    std::atomic<std::uint64_t> misses{0};
+  };
+
+  std::array<Lane, kNumSubSims> lanes_;
+};
+
+}  // namespace autopower::util

@@ -1,7 +1,9 @@
 // Tests for the batch serving subsystem (src/serve/): thread-pool
 // lifecycle and graceful shutdown, model registry snapshots, eval-cache
 // hit/miss behaviour and cross-thread consistency, batch-engine
-// determinism against the serial predict loop, and the JSONL wire format.
+// determinism against the serial predict loop, the design-space sweep
+// driver (grid parsing/expansion, ranking, thread-count invariance,
+// shared structural memo), and the JSONL wire format.
 //
 // This suite is built as its own binary so tools/check.sh can run it
 // under the ThreadSanitizer preset in isolation.
@@ -22,8 +24,10 @@
 #include "serve/eval_cache.hpp"
 #include "serve/jsonl.hpp"
 #include "serve/registry.hpp"
+#include "serve/sweep.hpp"
 #include "sim/perfsim.hpp"
 #include "util/error.hpp"
+#include "util/structural_cache.hpp"
 #include "util/thread_pool.hpp"
 #include "workload/workload.hpp"
 
@@ -350,6 +354,200 @@ TEST_F(EngineTest, EmptyBatchAndNullModel) {
   BatchEngine engine(model(), {.threads = 2});
   EXPECT_TRUE(engine.run({}).empty());
   EXPECT_THROW(BatchEngine(nullptr, {}), util::Error);
+}
+
+TEST_F(EngineTest, TraceModeSharesStructuralCacheAcrossWorkers) {
+  // C11 and C12 share every structural parameter (branch count, issue
+  // width, cache ways, TLB entries, fetch bytes) and differ only in window
+  // parameters, so the second config's trace can only avoid re-running the
+  // structural simulations through the engine's shared StructuralSimCache
+  // — each worker's private instance memo keys on the whole config.
+  std::vector<BatchRequest> requests;
+  for (const char* w : {"median", "qsort", "towers", "vvadd"}) {
+    requests.push_back({"C11", w, PredictMode::kTrace});
+    requests.push_back({"C12", w, PredictMode::kTrace});
+  }
+  BatchEngine parallel_engine(model(), {.threads = 8,
+                                        .memoize_responses = false});
+  const auto parallel = parallel_engine.run(requests);
+  EXPECT_GT(parallel_engine.structural_cache()->stats().hits, 0u);
+
+  BatchEngine serial_engine(model(), {.threads = 1,
+                                      .memoize_responses = false});
+  const auto serial = serial_engine.run(requests);
+  ASSERT_EQ(parallel.size(), serial.size());
+  for (std::size_t i = 0; i < parallel.size(); ++i) {
+    ASSERT_TRUE(parallel[i].ok) << parallel[i].error;
+    ASSERT_EQ(parallel[i].trace_mw.size(), serial[i].trace_mw.size());
+    for (std::size_t t = 0; t < parallel[i].trace_mw.size(); ++t) {
+      EXPECT_EQ(parallel[i].trace_mw[t], serial[i].trace_mw[t]);
+    }
+  }
+}
+
+// --- Design-space sweep ------------------------------------------------------
+
+TEST(SweepGridTest, ParseGridReadsAxesInOrder) {
+  const auto axes = parse_grid("RobEntry=64,96,128;FetchWidth=4,8");
+  ASSERT_EQ(axes.size(), 2u);
+  EXPECT_EQ(axes[0].param, arch::HwParam::kRobEntry);
+  EXPECT_EQ(axes[0].values, (std::vector<int>{64, 96, 128}));
+  EXPECT_EQ(axes[1].param, arch::HwParam::kFetchWidth);
+  EXPECT_EQ(axes[1].values, (std::vector<int>{4, 8}));
+}
+
+TEST(SweepGridTest, ParseGridRejectsMalformedSpecs) {
+  EXPECT_THROW((void)parse_grid(""), util::Error);
+  EXPECT_THROW((void)parse_grid("RobEntry"), util::Error);          // no '='
+  EXPECT_THROW((void)parse_grid("NoSuchParam=1"), util::Error);
+  EXPECT_THROW((void)parse_grid("RobEntry=64;RobEntry=96"),
+               util::Error);                                        // duplicate
+  EXPECT_THROW((void)parse_grid("RobEntry="), util::Error);         // no values
+  EXPECT_THROW((void)parse_grid("RobEntry=64,-2"), util::Error);
+  EXPECT_THROW((void)parse_grid("RobEntry=sixty"), util::Error);
+  EXPECT_THROW((void)parse_grid("RobEntry=0"), util::Error);        // < 1
+}
+
+TEST(SweepGridTest, ExpandGridEnumeratesCartesianProduct) {
+  const auto& base = arch::boom_config("C8");
+  const auto axes = parse_grid("RobEntry=64,96;MshrEntry=2,4,8");
+  const auto configs = expand_grid(base, axes);
+  ASSERT_EQ(configs.size(), 6u);
+  // First axis slowest, so the first three share RobEntry=64.
+  EXPECT_EQ(configs[0].name(), base.name() + "+RobEntry=64+MshrEntry=2");
+  EXPECT_EQ(configs[1].value(arch::HwParam::kMshrEntry), 4);
+  EXPECT_EQ(configs[3].value(arch::HwParam::kRobEntry), 96);
+  for (const auto& cfg : configs) {
+    // Off-axis parameters are inherited from the base untouched.
+    EXPECT_EQ(cfg.value(arch::HwParam::kFetchWidth),
+              base.value(arch::HwParam::kFetchWidth));
+    EXPECT_EQ(cfg.value(arch::HwParam::kCacheWay),
+              base.value(arch::HwParam::kCacheWay));
+  }
+  // No axes: the grid is just the base configuration.
+  EXPECT_EQ(expand_grid(base, {}).size(), 1u);
+}
+
+class SweepTest : public ServeTest {};
+
+TEST_F(SweepTest, RanksRowsByMetricAndAggregatesCells) {
+  SweepSpec spec;
+  spec.base = "C8";
+  spec.axes = parse_grid("RobEntry=64,96,128");
+  spec.workloads = {"dhrystone", "qsort"};
+  const auto report = run_sweep(*model(), spec);
+  ASSERT_EQ(report.rows.size(), 3u);
+  EXPECT_EQ(report.configs, 3u);
+  EXPECT_EQ(report.evaluations, 6u);
+  for (std::size_t i = 0; i < report.rows.size(); ++i) {
+    const auto& row = report.rows[i];
+    EXPECT_EQ(row.rank, i + 1);
+    ASSERT_EQ(row.cells.size(), 2u);
+    for (const auto& cell : row.cells) {
+      ASSERT_TRUE(cell.ok) << cell.error;
+      EXPECT_GT(cell.total_mw, 0.0);
+      EXPECT_GT(cell.ipc, 0.0);
+    }
+    EXPECT_EQ(row.mean_total_mw,
+              (row.cells[0].total_mw + row.cells[1].total_mw) / 2.0);
+    if (i > 0) {
+      EXPECT_GE(report.rows[i - 1].ipc_per_watt, row.ipc_per_watt);
+    }
+  }
+  // The sweep reuses every structural measurement after the first config.
+  EXPECT_EQ(report.structural.misses, 10u);  // 2 workloads x 5 sub-sims
+  EXPECT_EQ(report.structural.hits, 20u);
+}
+
+TEST_F(SweepTest, ThreadCountDoesNotChangeReport) {
+  SweepSpec spec;
+  spec.base = "C4";
+  spec.axes = parse_grid("RobEntry=64,96;FetchBufferEntry=16,32;"
+                         "LdqStqEntry=16,24");
+  spec.workloads = {"dhrystone", "towers"};
+
+  spec.threads = 1;
+  const auto serial = run_sweep(*model(), spec);
+  spec.threads = 8;
+  const auto parallel = run_sweep(*model(), spec);
+
+  ASSERT_EQ(serial.rows.size(), parallel.rows.size());
+  for (std::size_t i = 0; i < serial.rows.size(); ++i) {
+    EXPECT_EQ(serial.rows[i].config, parallel.rows[i].config);
+    EXPECT_EQ(serial.rows[i].mean_total_mw, parallel.rows[i].mean_total_mw);
+    EXPECT_EQ(serial.rows[i].ipc_per_watt, parallel.rows[i].ipc_per_watt);
+  }
+  // The serialised reports are byte-identical.
+  std::ostringstream a, b;
+  write_sweep_report(a, serial);
+  write_sweep_report(b, parallel);
+  EXPECT_EQ(a.str(), b.str());
+}
+
+TEST_F(SweepTest, BadGridPointFailsAloneAndRanksLast) {
+  SweepSpec spec;
+  spec.base = "C8";
+  // ICacheFetchBytes=3 breaks the power-of-two cache-set constraint for
+  // that one configuration; the other grid points must be unaffected.
+  spec.axes = parse_grid("ICacheFetchBytes=2,3,4");
+  spec.workloads = {"dhrystone"};
+  const auto report = run_sweep(*model(), spec);
+  ASSERT_EQ(report.rows.size(), 3u);
+  std::size_t failed = 0;
+  for (const auto& row : report.rows) {
+    for (const auto& cell : row.cells) {
+      if (!cell.ok) {
+        ++failed;
+        EXPECT_FALSE(cell.error.empty());
+      }
+    }
+  }
+  EXPECT_EQ(failed, 1u);
+  // The all-failed row carries no score and sorts last.
+  const auto& last = report.rows.back();
+  EXPECT_FALSE(last.cells[0].ok);
+  EXPECT_EQ(last.config.value(arch::HwParam::kICacheFetchBytes), 3);
+
+  // The metric and top knobs survive the round trip through strings.
+  EXPECT_EQ(sweep_metric_from_string("power"), SweepMetric::kPower);
+  EXPECT_THROW((void)sweep_metric_from_string("bogus"), util::Error);
+  spec.top = 1;
+  spec.metric = SweepMetric::kPower;
+  EXPECT_EQ(run_sweep(*model(), spec).rows.size(), 1u);
+}
+
+TEST_F(SweepTest, ConcurrentSweepsShareOneStructuralCache) {
+  // Two sweeps over overlapping grids run concurrently against ONE shared
+  // structural cache — the arrangement tools/check.sh exercises under
+  // ThreadSanitizer.  Each sweep itself is multi-threaded, so cache fills
+  // race with lookups both within and across the sweeps.
+  auto shared = std::make_shared<util::StructuralSimCache>();
+  SweepSpec spec;
+  spec.base = "C8";
+  spec.axes = parse_grid("RobEntry=64,96,128;MshrEntry=2,4");
+  spec.workloads = {"dhrystone", "qsort"};
+  spec.threads = 4;
+
+  SweepReport first, second;
+  std::thread a([&] { first = run_sweep(*model(), spec, shared); });
+  std::thread b([&] { second = run_sweep(*model(), spec, shared); });
+  a.join();
+  b.join();
+
+  std::ostringstream sa, sb;
+  write_sweep_report(sa, first);
+  write_sweep_report(sb, second);
+  EXPECT_EQ(sa.str(), sb.str());
+  // Every simulate() makes exactly 5 structural lookups (one per sub-sim),
+  // and the grid varies only non-structural parameters, so the 2 sweeps
+  // x 12 evaluations make 120 lookups over 10 distinct keys.  Racing
+  // first-fills may turn some hits into benign duplicate misses, but never
+  // more than one miss per key per worker thread (8 workers total).
+  const auto stats = shared->stats();
+  EXPECT_EQ(stats.hits + stats.misses, 120u);
+  EXPECT_GE(stats.misses, 10u);
+  EXPECT_LE(stats.misses, 80u);
+  EXPECT_EQ(shared->size(), 10u);
 }
 
 // --- JSONL -------------------------------------------------------------------

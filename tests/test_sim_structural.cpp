@@ -1,0 +1,197 @@
+// Tests for the decoupled structural memoisation of the performance
+// simulator: StructuralSimCache semantics, bit-identity of memoized /
+// shared-memo / fresh-simulator runs, and the cross-configuration reuse
+// the decomposition exists for (sweeps over window parameters must not
+// re-run any cache or branch sub-simulation).
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "sim/perfsim.hpp"
+#include "util/rng.hpp"
+#include "util/structural_cache.hpp"
+
+namespace autopower::sim {
+namespace {
+
+using arch::HwParam;
+using util::StructuralSimCache;
+using SubSim = StructuralSimCache::SubSim;
+
+const workload::WorkloadProfile& wl(const char* name) {
+  return workload::workload_by_name(name);
+}
+
+void expect_identical(const arch::EventVector& a, const arch::EventVector& b,
+                      const char* what) {
+  for (std::size_t i = 0; i < arch::kNumEvents; ++i) {
+    const auto k = static_cast<arch::EventKind>(i);
+    ASSERT_EQ(a[k], b[k]) << what << ": " << arch::event_name(k);
+  }
+}
+
+void expect_identical(const std::vector<arch::EventVector>& a,
+                      const std::vector<arch::EventVector>& b,
+                      const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (std::size_t w = 0; w < a.size(); ++w) {
+    expect_identical(a[w], b[w], what);
+  }
+}
+
+/// A random configuration whose every parameter value is drawn from that
+/// parameter's pool of Table II values — so structural constraints (e.g.
+/// power-of-two cache sets) hold by construction.
+arch::HardwareConfig random_config(util::Rng& rng, int id) {
+  const auto& space = arch::boom_design_space();
+  std::array<int, arch::kNumHwParams> values{};
+  for (arch::HwParam p : arch::all_hw_params()) {
+    const auto& donor = space[rng.next_below(space.size())];
+    values[static_cast<std::size_t>(p)] = donor.value(p);
+  }
+  return arch::HardwareConfig("rand" + std::to_string(id), values);
+}
+
+arch::HardwareConfig with_param(const arch::HardwareConfig& base,
+                                HwParam param, int value) {
+  std::array<int, arch::kNumHwParams> values{};
+  for (arch::HwParam p : arch::all_hw_params()) {
+    values[static_cast<std::size_t>(p)] = base.value(p);
+  }
+  values[static_cast<std::size_t>(param)] = value;
+  return arch::HardwareConfig(base.name() + "'", values);
+}
+
+TEST(StructuralSimCache, ComputesOnceThenHits) {
+  StructuralSimCache cache;
+  int calls = 0;
+  const auto compute = [&] {
+    ++calls;
+    return 0.25;
+  };
+  EXPECT_EQ(cache.get_or_compute(SubSim::kICache, 42, compute), 0.25);
+  EXPECT_EQ(cache.get_or_compute(SubSim::kICache, 42, compute), 0.25);
+  EXPECT_EQ(calls, 1);
+  const auto stats = cache.stats(SubSim::kICache);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+}
+
+TEST(StructuralSimCache, LanesAreIndependent) {
+  StructuralSimCache cache;
+  // The same key means different things in different lanes.
+  EXPECT_EQ(cache.get_or_compute(SubSim::kICache, 7, [] { return 1.0; }), 1.0);
+  EXPECT_EQ(cache.get_or_compute(SubSim::kBranch, 7, [] { return 2.0; }), 2.0);
+  EXPECT_EQ(cache.get_or_compute(SubSim::kBranch, 7, [] { return 3.0; }), 2.0);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats(SubSim::kICache).misses, 1u);
+  EXPECT_EQ(cache.stats(SubSim::kBranch).misses, 1u);
+  EXPECT_EQ(cache.stats(SubSim::kBranch).hits, 1u);
+}
+
+TEST(StructuralSimCache, ClearResetsEntriesAndStats) {
+  StructuralSimCache cache;
+  for (std::uint64_t k = 0; k < 16; ++k) {
+    cache.get_or_compute(SubSim::kDtlb, k, [k] { return double(k); });
+  }
+  EXPECT_EQ(cache.size(), 16u);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().misses, 0u);
+  // Entries really are gone: the value is recomputed.
+  EXPECT_EQ(cache.get_or_compute(SubSim::kDtlb, 3, [] { return -1.0; }), -1.0);
+}
+
+// Property: for randomized configurations, a simulator that shares a
+// pre-warmed structural cache produces results bit-identical to a fresh
+// un-memoized simulator — for both entry points.
+TEST(StructuralMemoProperty, SharedWarmedMatchesFreshSimulator) {
+  util::Rng rng(0xC0FFEE);
+  auto shared = std::make_shared<StructuralSimCache>();
+  for (int i = 0; i < 12; ++i) {
+    const auto cfg = random_config(rng, i);
+    const auto& w = wl(i % 2 == 0 ? "qsort" : "towers");
+
+    PerfSimulator fresh;  // private cache, nothing memoised
+    PerfSimulator warmer(SimOptions{}, shared);
+    (void)warmer.simulate(cfg, w);  // warm the shared cache
+    PerfSimulator warmed(SimOptions{}, shared);
+
+    expect_identical(fresh.simulate(cfg, w), warmed.simulate(cfg, w),
+                     cfg.name().c_str());
+    expect_identical(fresh.simulate_trace(cfg, w),
+                     warmed.simulate_trace(cfg, w), cfg.name().c_str());
+    // Re-running on the same instance (instance memo hit) is stable too.
+    expect_identical(warmed.simulate(cfg, w), fresh.simulate(cfg, w),
+                     cfg.name().c_str());
+  }
+  // The warmed runs actually exercised the shared cache.
+  EXPECT_GT(shared->stats().hits, 0u);
+}
+
+// The reuse the decomposition exists for: changing only window parameters
+// (ROB, fetch buffer, issue width, ...) must not re-run ANY structural
+// sub-simulation.
+TEST(StructuralMemoProperty, WindowParamsReuseAllStructuralWork) {
+  auto shared = std::make_shared<StructuralSimCache>();
+  const auto& base = arch::boom_config("C8");
+  const auto& w = wl("dhrystone");
+  {
+    PerfSimulator sim(SimOptions{}, shared);
+    (void)sim.simulate(base, w);
+  }
+  const auto warm = shared->stats();
+  EXPECT_GT(warm.misses, 0u);
+
+  for (const auto& [param, value] :
+       std::vector<std::pair<HwParam, int>>{{HwParam::kRobEntry, 64},
+                                            {HwParam::kFetchBufferEntry, 40},
+                                            {HwParam::kLdqStqEntry, 36},
+                                            {HwParam::kIntIssueWidth, 2},
+                                            {HwParam::kMshrEntry, 8}}) {
+    PerfSimulator sim(SimOptions{}, shared);
+    (void)sim.simulate(with_param(base, param, value), w);
+    EXPECT_EQ(shared->stats().misses, warm.misses)
+        << "changing " << arch::hw_param_name(param)
+        << " re-ran a structural sub-simulation";
+  }
+  EXPECT_GT(shared->stats().hits, warm.hits);
+}
+
+// Changing a structural parameter invalidates exactly the lanes that read
+// it: CacheWay feeds the I- and D-cache simulations, while the TLBs and
+// the branch predictor never look at it.
+TEST(StructuralMemoProperty, CacheWayMissesOnlyCacheLanes) {
+  auto shared = std::make_shared<StructuralSimCache>();
+  const auto& base = arch::boom_config("C8");
+  const auto& w = wl("dhrystone");
+  {
+    PerfSimulator sim(SimOptions{}, shared);
+    (void)sim.simulate(base, w);
+  }
+  const auto icache0 = shared->stats(SubSim::kICache);
+  const auto dcache0 = shared->stats(SubSim::kDCache);
+  const auto itlb0 = shared->stats(SubSim::kItlb);
+  const auto dtlb0 = shared->stats(SubSim::kDtlb);
+  const auto branch0 = shared->stats(SubSim::kBranch);
+
+  const int other_way = base.value(HwParam::kCacheWay) == 4 ? 8 : 4;
+  PerfSimulator sim(SimOptions{}, shared);
+  (void)sim.simulate(with_param(base, HwParam::kCacheWay, other_way), w);
+
+  EXPECT_EQ(shared->stats(SubSim::kICache).misses, icache0.misses + 1);
+  EXPECT_EQ(shared->stats(SubSim::kDCache).misses, dcache0.misses + 1);
+  EXPECT_EQ(shared->stats(SubSim::kItlb).misses, itlb0.misses);
+  EXPECT_EQ(shared->stats(SubSim::kDtlb).misses, dtlb0.misses);
+  EXPECT_EQ(shared->stats(SubSim::kBranch).misses, branch0.misses);
+  EXPECT_EQ(shared->stats(SubSim::kItlb).hits, itlb0.hits + 1);
+  EXPECT_EQ(shared->stats(SubSim::kDtlb).hits, dtlb0.hits + 1);
+  EXPECT_EQ(shared->stats(SubSim::kBranch).hits, branch0.hits + 1);
+}
+
+}  // namespace
+}  // namespace autopower::sim

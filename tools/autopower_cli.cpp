@@ -9,6 +9,11 @@
 //   trace    --model m.ap --config C3 --workload gemm [--csv out.csv]
 //   batch    --model m.ap --requests reqs.jsonl [--out results.jsonl]
 //            [--threads N]                concurrent JSONL batch inference
+//   sweep    --model m.ap --grid "RobEntry=64,96;FetchWidth=4,8"
+//            --workloads dhrystone,qsort [--base C8] [--rank ipc_per_watt]
+//            [--top K] [--out sweep.jsonl] [--threads N]
+//                                          parallel design-space sweep with
+//                                          a ranked JSONL report
 //
 // The CLI drives exactly the same public API the examples use; a model
 // trained here can be reloaded by any program linking the library.
@@ -29,6 +34,7 @@
 #include "serve/engine.hpp"
 #include "serve/jsonl.hpp"
 #include "serve/registry.hpp"
+#include "serve/sweep.hpp"
 #include "util/thread_pool.hpp"
 #include "util/error.hpp"
 #include "util/table.hpp"
@@ -265,6 +271,68 @@ int cmd_batch(const ArgMap& flags) {
   return 0;
 }
 
+int cmd_sweep(const ArgMap& flags) {
+  core::AutoPowerModel model;
+  model.load_from_file(require_flag(flags, "model"));
+
+  serve::SweepSpec spec;
+  if (const auto it = flags.find("base"); it != flags.end()) {
+    spec.base = it->second;
+  }
+  spec.axes = serve::parse_grid(require_flag(flags, "grid"));
+  spec.workloads = split_csv(require_flag(flags, "workloads"));
+  spec.threads = static_cast<std::size_t>(parse_threads(flags));
+  if (flags.count("threads") == 0) {
+    spec.threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  if (const auto it = flags.find("rank"); it != flags.end()) {
+    spec.metric = serve::sweep_metric_from_string(it->second);
+  }
+  if (const auto it = flags.find("top"); it != flags.end()) {
+    int top = 0;
+    try {
+      top = std::stoi(it->second);
+    } catch (const std::exception&) {
+      throw util::InvalidArgument("--top wants an integer, got: " +
+                                  it->second);
+    }
+    AP_REQUIRE(top >= 1, "--top must be >= 1");
+    spec.top = static_cast<std::size_t>(top);
+  }
+
+  const auto report = serve::run_sweep(model, spec);
+
+  std::ostream* out = &std::cout;
+  std::ofstream file;
+  if (const auto it = flags.find("out"); it != flags.end()) {
+    file.open(it->second);
+    AP_REQUIRE(file.good(), "cannot open output file: " + it->second);
+    out = &file;
+  }
+  serve::write_sweep_report(*out, report);
+
+  std::size_t failed = 0;
+  for (const auto& row : report.rows) {
+    for (const auto& cell : row.cells) {
+      if (!cell.ok) ++failed;
+    }
+  }
+  std::cerr << report.configs << " configurations x " << spec.workloads.size()
+            << " workloads = " << report.evaluations << " evaluations ("
+            << failed << " failed; " << spec.threads
+            << " threads; ranked by " << serve::to_string(spec.metric)
+            << "; structural memo " << report.structural.hits << "/"
+            << report.structural.misses << " hit/miss)\n";
+  if (!report.rows.empty()) {
+    const auto& best = report.rows.front();
+    std::cerr << "best: " << best.config.name() << " ("
+              << util::fmt(best.mean_total_mw) << " mW, IPC "
+              << util::fmt(best.mean_ipc) << ", "
+              << util::fmt(best.ipc_per_watt) << " IPC/W)\n";
+  }
+  return 0;
+}
+
 int cmd_trace(const ArgMap& flags) {
   core::AutoPowerModel model;
   model.load_from_file(require_flag(flags, "model"));
@@ -310,7 +378,11 @@ int usage() {
       "  trace    --model model.ap --config C3 --workload gemm"
       " [--csv out.csv]\n"
       "  batch    --model model.ap --requests reqs.jsonl"
-      " [--out results.jsonl] [--threads N]\n";
+      " [--out results.jsonl] [--threads N]\n"
+      "  sweep    --model model.ap --grid \"RobEntry=64,96;FetchWidth=4,8\""
+      " --workloads dhrystone,qsort\n"
+      "           [--base C8] [--rank ipc_per_watt|ipc|power] [--top K]"
+      " [--out sweep.jsonl] [--threads N]\n";
   return 2;
 }
 
@@ -338,6 +410,11 @@ const std::map<std::string, Command>& commands() {
       {"batch",
        {{.valued = {"model", "requests", "out", "threads"}, .boolean = {}},
         cmd_batch}},
+      {"sweep",
+       {{.valued = {"model", "grid", "workloads", "base", "rank", "top",
+                    "out", "threads"},
+         .boolean = {}},
+        cmd_sweep}},
   };
   return table;
 }

@@ -1,10 +1,10 @@
 #!/usr/bin/env bash
-# Repo health check: builds the default preset, runs the two self-checking
-# throughput benches (training core + batch serving) and collects their
-# headline numbers into BENCH_train.json, then race-checks the threaded
-# subsystems under ThreadSanitizer.  Run from anywhere; exits non-zero on
-# any build failure, bench self-check failure, test failure, or TSan
-# report.
+# Repo health check: builds the default preset, runs the self-checking
+# throughput benches (training core + batch serving + structural-memo
+# sweep) and collects their headline numbers into BENCH_train.json and
+# BENCH_sim.json, then race-checks the threaded subsystems under
+# ThreadSanitizer.  Run from anywhere; exits non-zero on any build
+# failure, bench self-check failure, test failure, or TSan report.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -29,6 +29,10 @@ echo "== write BENCH_train.json =="
 } > BENCH_train.json
 echo "headline numbers in BENCH_train.json"
 
+echo "== bench_sim_throughput (self-check: bit-identity + sweep speedup bars) =="
+./build/bench/bench_sim_throughput --json BENCH_sim.json
+echo "headline numbers in BENCH_sim.json"
+
 echo "== configure (tsan preset) =="
 cmake --preset tsan
 
@@ -37,7 +41,14 @@ cmake --build --preset tsan --target test_serve autopower_tests -j "$(nproc)"
 
 echo "== run test_serve under ThreadSanitizer =="
 # halt_on_error makes a race fail the run instead of just logging it.
+# The suite includes the shared-structural-memo sweep tests, so this run
+# race-checks concurrent StructuralSimCache fills and lookups too.
 TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}" ./build-tsan/tests/test_serve
+
+echo "== run shared-memo sweep path under ThreadSanitizer (explicit) =="
+TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}" \
+  ./build-tsan/tests/test_serve \
+  --gtest_filter='SweepTest.ConcurrentSweepsShareOneStructuralCache:SweepTest.ThreadCountDoesNotChangeReport:EngineTest.TraceModeSharesStructuralCacheAcrossWorkers'
 
 echo "== run parallel-train tests under ThreadSanitizer =="
 TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}" \
