@@ -1,0 +1,143 @@
+// Metrics overhead: the util::MetricsRegistry instrumentation must be
+// effectively free.  The same 200-request batch-serving run (the hottest
+// instrumented path: per-request ScopedTimer, queue-wait observation,
+// memo counters, structural-lane export) is timed with the registry's
+// process-wide switch off and on, best-of-N each way, on fresh engines so
+// both modes do identical cold-cache work.
+//
+// The bench FAILS (exit 1) if the enabled run is more than 5% slower than
+// the disabled baseline, or if any enabled-run response is not
+// bit-identical to the disabled baseline — instrumentation may cost
+// nanoseconds, never correctness.  `--json <path>` writes the headline
+// numbers for tools/check.sh to collect.
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/autopower.hpp"
+#include "exp/dataset.hpp"
+#include "power/golden.hpp"
+#include "serve/engine.hpp"
+#include "sim/perfsim.hpp"
+#include "util/metrics.hpp"
+
+using namespace autopower;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// One cold-cache engine run; returns elapsed seconds and the responses.
+double run_batch(const std::shared_ptr<core::AutoPowerModel>& model,
+                 const std::vector<serve::BatchRequest>& requests,
+                 std::vector<serve::BatchResponse>& responses) {
+  serve::BatchEngine engine(model, {.threads = 4});
+  const auto start = std::chrono::steady_clock::now();
+  responses = engine.run(requests);
+  return seconds_since(start);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) json_path = argv[i + 1];
+  }
+
+  sim::PerfSimulator sim;
+  power::GoldenPowerModel golden;
+  const auto data = exp::ExperimentData::build(sim, golden);
+  const auto known = exp::ExperimentData::training_configs(2);
+  auto model = std::make_shared<core::AutoPowerModel>();
+  model->train(data.contexts_of(known), golden);
+
+  const std::vector<std::string> configs = {"C2", "C3", "C4",  "C6",  "C7",
+                                            "C9", "C11", "C12", "C13", "C14"};
+  const std::vector<std::string> workloads = {"dhrystone", "qsort", "towers",
+                                              "spmv"};
+  constexpr std::size_t kRequests = 200;
+  std::vector<serve::BatchRequest> requests;
+  requests.reserve(kRequests);
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    requests.push_back({configs[i % configs.size()],
+                        workloads[(i / configs.size()) % workloads.size()],
+                        serve::PredictMode::kTotal});
+  }
+
+  // Warm-up run (enabled) so lazy instrument registration, thread-pool
+  // startup, and workload tables are paid before either timed mode.
+  std::vector<serve::BatchResponse> scratch;
+  run_batch(model, requests, scratch);
+
+  constexpr int kReps = 5;
+  std::vector<serve::BatchResponse> baseline;
+  std::vector<serve::BatchResponse> instrumented;
+
+  util::MetricsRegistry::set_enabled(false);
+  double off_s = 1e300;
+  for (int rep = 0; rep < kReps; ++rep) {
+    std::vector<serve::BatchResponse> responses;
+    const double s = run_batch(model, requests, responses);
+    if (s < off_s) off_s = s;
+    if (rep == 0) baseline = std::move(responses);
+  }
+
+  util::MetricsRegistry::set_enabled(true);
+  double on_s = 1e300;
+  for (int rep = 0; rep < kReps; ++rep) {
+    std::vector<serve::BatchResponse> responses;
+    const double s = run_batch(model, requests, responses);
+    if (s < on_s) on_s = s;
+    if (rep == 0) instrumented = std::move(responses);
+  }
+
+  bool identical = baseline.size() == instrumented.size();
+  for (std::size_t i = 0; identical && i < baseline.size(); ++i) {
+    identical = baseline[i].ok && instrumented[i].ok &&
+                baseline[i].total_mw == instrumented[i].total_mw;
+  }
+
+  const double overhead_pct = (on_s / off_s - 1.0) * 100.0;
+  std::printf("metrics off (best of %d) : %7.1f req/s  (%.4f s)\n", kReps,
+              kRequests / off_s, off_s);
+  std::printf("metrics on  (best of %d) : %7.1f req/s  (%.4f s)\n", kReps,
+              kRequests / on_s, on_s);
+  std::printf("overhead                 : %+.2f%% (bar: 5.00%%)\n",
+              overhead_pct);
+  std::printf("bit-identical responses  : %s\n", identical ? "yes" : "NO");
+
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f != nullptr) {
+      std::fprintf(f,
+                   "{\n"
+                   "  \"off_req_per_s\": %.1f,\n"
+                   "  \"on_req_per_s\": %.1f,\n"
+                   "  \"overhead_pct\": %.3f,\n"
+                   "  \"bit_identical\": %s\n"
+                   "}\n",
+                   kRequests / off_s, kRequests / on_s, overhead_pct,
+                   identical ? "true" : "false");
+      std::fclose(f);
+    }
+  }
+  if (!identical) {
+    std::printf("FAIL: instrumentation changed the responses\n");
+    return 1;
+  }
+  if (overhead_pct > 5.0) {
+    std::printf("FAIL: above the 5%% overhead bar\n");
+    return 1;
+  }
+  std::printf("PASS\n");
+  return 0;
+}

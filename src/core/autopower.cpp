@@ -6,14 +6,40 @@
 
 #include "util/archive.hpp"
 #include "util/error.hpp"
+#include "util/metrics.hpp"
 #include "util/thread_pool.hpp"
 
 namespace autopower::core {
+
+namespace {
+
+// Per-group sub-model fit timings plus the whole train() wall time;
+// one histogram observation per sub-model fit (22 per group per train).
+struct TrainMetrics {
+  util::Histogram& train_ns;
+  util::Histogram& clock_fit_ns;
+  util::Histogram& sram_fit_ns;
+  util::Histogram& logic_fit_ns;
+  util::Counter& submodel_fits;
+};
+
+TrainMetrics& train_metrics() {
+  auto& r = util::MetricsRegistry::global();
+  static TrainMetrics m{r.histogram("core.train.train_ns"),
+                        r.histogram("core.train.clock_fit_ns"),
+                        r.histogram("core.train.sram_fit_ns"),
+                        r.histogram("core.train.logic_fit_ns"),
+                        r.counter("core.train.submodel_fits")};
+  return m;
+}
+
+}  // namespace
 
 void AutoPowerModel::train(std::span<const EvalContext> samples,
                            const power::GoldenPowerModel& golden,
                            std::size_t threads) {
   AP_REQUIRE(!samples.empty(), "AutoPower needs training samples");
+  util::ScopedTimer train_timer(train_metrics().train_ns);
   // Reset every slot up front (serially — cheap) so the fit tasks below
   // only ever touch their own component's models.
   for (arch::ComponentKind c : arch::all_components()) {
@@ -26,9 +52,19 @@ void AutoPowerModel::train(std::span<const EvalContext> samples,
   if (threads <= 1) {
     for (arch::ComponentKind c : arch::all_components()) {
       const auto i = static_cast<std::size_t>(c);
-      clock_[i].train(c, samples, golden);
-      sram_[i].train(c, samples, golden);
-      logic_[i].train(c, samples, golden);
+      {
+        util::ScopedTimer t(train_metrics().clock_fit_ns);
+        clock_[i].train(c, samples, golden);
+      }
+      {
+        util::ScopedTimer t(train_metrics().sram_fit_ns);
+        sram_[i].train(c, samples, golden);
+      }
+      {
+        util::ScopedTimer t(train_metrics().logic_fit_ns);
+        logic_[i].train(c, samples, golden);
+      }
+      train_metrics().submodel_fits.add(3);
     }
     trained_ = true;
     return;
@@ -53,13 +89,25 @@ void AutoPowerModel::train(std::span<const EvalContext> samples,
   for (arch::ComponentKind c : arch::all_components()) {
     const auto i = static_cast<std::size_t>(c);
     pool.submit([&, c, i] {
-      guarded([&] { clock_[i].train(c, samples, golden); });
+      guarded([&] {
+        util::ScopedTimer t(train_metrics().clock_fit_ns);
+        clock_[i].train(c, samples, golden);
+      });
+      train_metrics().submodel_fits.inc();
     });
     pool.submit([&, c, i] {
-      guarded([&] { sram_[i].train(c, samples, golden); });
+      guarded([&] {
+        util::ScopedTimer t(train_metrics().sram_fit_ns);
+        sram_[i].train(c, samples, golden);
+      });
+      train_metrics().submodel_fits.inc();
     });
     pool.submit([&, c, i] {
-      guarded([&] { logic_[i].train(c, samples, golden); });
+      guarded([&] {
+        util::ScopedTimer t(train_metrics().logic_fit_ns);
+        logic_[i].train(c, samples, golden);
+      });
+      train_metrics().submodel_fits.inc();
     });
   }
   pool.wait_idle();

@@ -4,11 +4,37 @@
 #include <cmath>
 
 #include "util/error.hpp"
+#include "util/metrics.hpp"
 
 namespace autopower::ml {
 
+namespace {
+
+// Process-wide instruments, looked up once (thread-safe static init);
+// recording through the references is lock-free.  rows/sec is derived
+// from the snapshot: rows / (sum of the matching _ns histogram / 1e9).
+struct GbtMetrics {
+  util::Histogram& fit_ns;
+  util::Counter& fit_rows;
+  util::Histogram& predict_ns;
+  util::Counter& predict_rows;
+};
+
+GbtMetrics& gbt_metrics() {
+  auto& r = util::MetricsRegistry::global();
+  static GbtMetrics m{r.histogram("ml.gbt.fit_ns"),
+                      r.counter("ml.gbt.fit_rows"),
+                      r.histogram("ml.gbt.predict_ns"),
+                      r.counter("ml.gbt.predict_rows")};
+  return m;
+}
+
+}  // namespace
+
 void GBTRegressor::fit(const Dataset& data) {
   AP_REQUIRE(!data.empty(), "cannot fit GBT on empty dataset");
+  util::ScopedTimer fit_timer(gbt_metrics().fit_ns);
+  gbt_metrics().fit_rows.add(data.size());
   trees_.clear();
 
   const std::size_t n = data.size();
@@ -142,6 +168,8 @@ std::vector<double> GBTRegressor::predict_rows(
              "feature arity mismatch in GBT predict_rows");
 
   const std::size_t count = rows.size() / num_features;
+  util::ScopedTimer predict_timer(gbt_metrics().predict_ns);
+  gbt_metrics().predict_rows.add(count);
   std::vector<double> out(count, base_score_);
 
   // Tree-major over blocks of samples, level-synchronous within a tree:

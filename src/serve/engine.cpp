@@ -1,6 +1,7 @@
 #include "serve/engine.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <exception>
 #include <functional>
 #include <latch>
@@ -52,7 +53,20 @@ BatchEngine::BatchEngine(std::shared_ptr<const core::AutoPowerModel> model,
       options_(options),
       cache_(options.cache_shards),
       structural_(std::make_shared<util::StructuralSimCache>()),
-      response_shards_(options.cache_shards == 0 ? 1 : options.cache_shards) {
+      response_shards_(options.cache_shards == 0 ? 1 : options.cache_shards),
+      metrics_{util::MetricsRegistry::global().counter(
+                   "serve.batch.requests"),
+               util::MetricsRegistry::global().counter("serve.batch.failed"),
+               util::MetricsRegistry::global().counter(
+                   "serve.batch.response_memo.hits"),
+               util::MetricsRegistry::global().counter(
+                   "serve.batch.response_memo.misses"),
+               util::MetricsRegistry::global().histogram(
+                   "serve.batch.request_latency_ns"),
+               util::MetricsRegistry::global().histogram(
+                   "serve.batch.queue_wait_ns"),
+               util::MetricsRegistry::global().histogram(
+                   "serve.batch.batch_size")} {
   AP_REQUIRE(model_ != nullptr, "BatchEngine: null model");
   if (options_.threads == 0) options_.threads = 1;
 }
@@ -79,22 +93,32 @@ BatchResponse BatchEngine::handle(const BatchRequest& request,
     std::lock_guard lock(shard.mu);
     if (const auto it = shard.map.find(key); it != shard.map.end()) {
       response_hits_.fetch_add(1, std::memory_order_relaxed);
+      metrics_.memo_hits.inc();
       BatchResponse resp = *it->second;  // memoised with index == 0
       resp.index = index;
       return resp;
     }
   }
-  response_misses_.fetch_add(1, std::memory_order_relaxed);
 
   // Compute outside the lock; on a racing miss the first insert wins and
   // both copies are bit-identical anyway (everything is deterministic).
   auto computed = std::make_shared<const BatchResponse>(compute(request, sim));
   BatchResponse resp;
+  bool won_insert = false;
   {
     std::lock_guard lock(shard.mu);
     const auto [it, inserted] = shard.map.emplace(key, std::move(computed));
-    (void)inserted;
+    won_insert = inserted;
     resp = *it->second;
+  }
+  // Only the winning insert is a miss; a lost race adopted the published
+  // response and counts as a hit (see response_stats doc).
+  if (won_insert) {
+    response_misses_.fetch_add(1, std::memory_order_relaxed);
+    metrics_.memo_misses.inc();
+  } else {
+    response_hits_.fetch_add(1, std::memory_order_relaxed);
+    metrics_.memo_hits.inc();
   }
   resp.index = index;
   return resp;
@@ -156,13 +180,19 @@ std::vector<BatchResponse> BatchEngine::run(
   std::vector<BatchResponse> responses(requests.size());
   if (requests.empty()) return responses;
 
+  metrics_.batch_size.observe(requests.size());
+  metrics_.requests.add(requests.size());
+  const auto run_start = std::chrono::steady_clock::now();
+
   const std::size_t workers =
       std::min(options_.threads, requests.size());
   if (workers <= 1) {
     sim::PerfSimulator sim(sim::SimOptions{}, structural_);
     for (std::size_t i = 0; i < requests.size(); ++i) {
+      util::ScopedTimer timer(metrics_.request_latency_ns);
       responses[i] = handle(requests[i], i, sim);
     }
+    finish_run(responses);
     return responses;
   }
 
@@ -176,18 +206,38 @@ std::vector<BatchResponse> BatchEngine::run(
   std::latch done(static_cast<std::ptrdiff_t>(workers));
   util::ThreadPool pool(workers);
   for (std::size_t w = 0; w < workers; ++w) {
-    pool.submit([this, &requests, &responses, &next, &done] {
+    pool.submit([this, &requests, &responses, &next, &done, run_start] {
       sim::PerfSimulator sim(sim::SimOptions{}, structural_);
       for (;;) {
         const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
         if (i >= requests.size()) break;
+        // Queue wait: how long this request sat in the batch before a
+        // worker picked it up (requests are all "enqueued" at run start).
+        if (util::MetricsRegistry::enabled()) {
+          metrics_.queue_wait_ns.observe(static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - run_start)
+                  .count()));
+        }
+        util::ScopedTimer timer(metrics_.request_latency_ns);
         responses[i] = handle(requests[i], i, sim);
       }
       done.count_down();
     });
   }
   done.wait();
+  finish_run(responses);
   return responses;
+}
+
+void BatchEngine::finish_run(std::span<const BatchResponse> responses) {
+  if (!util::MetricsRegistry::enabled()) return;
+  std::uint64_t failed = 0;
+  for (const BatchResponse& r : responses) {
+    if (!r.ok) ++failed;
+  }
+  if (failed > 0) metrics_.failed.add(failed);
+  structural_->export_metrics(util::MetricsRegistry::global());
 }
 
 }  // namespace autopower::serve

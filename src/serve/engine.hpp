@@ -35,6 +35,7 @@
 
 #include "core/autopower.hpp"
 #include "serve/eval_cache.hpp"
+#include "util/metrics.hpp"
 #include "util/structural_cache.hpp"
 
 namespace autopower::serve {
@@ -103,6 +104,9 @@ class BatchEngine {
     return structural_;
   }
   /// Hit/miss counters of the response memo (all zero when disabled).
+  /// Same corrected semantics as EvalCache::Stats: a miss is counted
+  /// only by the winning insert, a lost cold-key race counts a hit, so
+  /// after run() returns `misses == memoised responses` exactly.
   [[nodiscard]] EvalCache::Stats response_stats() const noexcept;
   [[nodiscard]] std::size_t threads() const noexcept {
     return options_.threads;
@@ -119,6 +123,9 @@ class BatchEngine {
                                      const sim::PerfSimulator& sim);
   [[nodiscard]] BatchResponse compute(const BatchRequest& request,
                                       const sim::PerfSimulator& sim);
+  /// Post-run bookkeeping: failed-request count and the structural-cache
+  /// gauge export (no-op while metrics are disabled).
+  void finish_run(std::span<const BatchResponse> responses);
 
   std::shared_ptr<const core::AutoPowerModel> model_;
   EngineOptions options_;
@@ -127,6 +134,20 @@ class BatchEngine {
   std::deque<ResponseShard> response_shards_;
   std::atomic<std::uint64_t> response_hits_{0};
   std::atomic<std::uint64_t> response_misses_{0};
+
+  // Process-wide instruments (util/metrics), looked up once at
+  // construction; recording is lock-free and a no-op while the registry
+  // is disabled.  See DESIGN.md "Metrics inventory" for the names.
+  struct Instruments {
+    util::Counter& requests;
+    util::Counter& failed;
+    util::Counter& memo_hits;
+    util::Counter& memo_misses;
+    util::Histogram& request_latency_ns;
+    util::Histogram& queue_wait_ns;
+    util::Histogram& batch_size;
+  };
+  Instruments metrics_;
 };
 
 }  // namespace autopower::serve

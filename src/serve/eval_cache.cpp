@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "arch/params.hpp"
+#include "util/metrics.hpp"
 #include "workload/workload.hpp"
 
 namespace autopower::serve {
@@ -19,6 +20,20 @@ std::string cache_key(const std::string& config, const std::string& workload) {
   key += '\x1f';
   key += workload;
   return key;
+}
+
+// Process-wide mirrors of the per-instance counters (see Stats doc).
+// Looked up once; recording through the references is lock-free.
+struct CacheMetrics {
+  util::Counter& hits;
+  util::Counter& misses;
+};
+
+CacheMetrics& cache_metrics() {
+  static CacheMetrics m{
+      util::MetricsRegistry::global().counter("serve.eval_cache.hits"),
+      util::MetricsRegistry::global().counter("serve.eval_cache.misses")};
+  return m;
 }
 
 }  // namespace
@@ -40,10 +55,10 @@ std::shared_ptr<const core::EvalContext> EvalCache::get_or_compute(
     std::lock_guard lock(shard.mu);
     if (const auto it = shard.map.find(key); it != shard.map.end()) {
       hits_.fetch_add(1, std::memory_order_relaxed);
+      cache_metrics().hits.inc();
       return it->second;
     }
   }
-  misses_.fetch_add(1, std::memory_order_relaxed);
 
   // Compute outside the lock with the caller's simulator.
   auto ctx = std::make_shared<core::EvalContext>();
@@ -55,7 +70,15 @@ std::shared_ptr<const core::EvalContext> EvalCache::get_or_compute(
 
   std::lock_guard lock(shard.mu);
   const auto [it, inserted] = shard.map.emplace(key, std::move(ctx));
-  (void)inserted;  // lost the race: adopt the published value
+  // Only the winning insert is a miss; a lost race adopts the published
+  // context and counts as a hit (see Stats doc in the header).
+  if (inserted) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    cache_metrics().misses.inc();
+  } else {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    cache_metrics().hits.inc();
+  }
   return it->second;
 }
 

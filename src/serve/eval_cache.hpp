@@ -43,6 +43,14 @@ class EvalCache {
       const std::string& config, const std::string& workload,
       const sim::PerfSimulator& sim);
 
+  /// Relaxed counters: approximate while callers are running, exact once
+  /// they have quiesced.  A miss is counted only by the winning insert,
+  /// so `misses == contexts created` and `hits + misses == successful
+  /// lookups`; a thread that loses a cold-key race counts a hit (it
+  /// adopts the published context, even though it transiently redid the
+  /// simulation).  Lookups that throw (unknown names) count neither.
+  /// Every increment is mirrored into the process-wide MetricsRegistry
+  /// as "serve.eval_cache.hits" / ".misses".
   struct Stats {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;

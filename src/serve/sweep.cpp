@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <exception>
 #include <latch>
 #include <limits>
@@ -13,6 +14,8 @@
 #include "serve/jsonl.hpp"
 #include "sim/perfsim.hpp"
 #include "util/error.hpp"
+#include "util/metrics.hpp"
+#include "util/parse.hpp"
 #include "util/thread_pool.hpp"
 #include "workload/workload.hpp"
 
@@ -48,21 +51,6 @@ std::vector<std::string_view> split(std::string_view text, char sep) {
   return out;
 }
 
-int parse_int(std::string_view token) {
-  AP_REQUIRE(!token.empty(), "empty value in grid spec");
-  int value = 0;
-  for (char c : token) {
-    AP_REQUIRE(c >= '0' && c <= '9',
-               "grid values must be positive integers, got: " +
-                   std::string(token));
-    AP_REQUIRE(value < 100000000, "grid value out of range: " +
-                                      std::string(token));
-    value = value * 10 + (c - '0');
-  }
-  AP_REQUIRE(value >= 1, "grid values must be >= 1");
-  return value;
-}
-
 }  // namespace
 
 std::vector<SweepAxis> parse_grid(std::string_view spec) {
@@ -81,7 +69,8 @@ std::vector<SweepAxis> parse_grid(std::string_view spec) {
                      std::string(arch::hw_param_name(axis.param)));
     }
     for (std::string_view token : split(axis_text.substr(eq + 1), ',')) {
-      axis.values.push_back(parse_int(token));
+      axis.values.push_back(
+          util::parse_int(token, "grid value", 1, 99999999));
     }
     AP_REQUIRE(!axis.values.empty(), "grid axis has no values: " +
                                          std::string(axis_text));
@@ -195,14 +184,27 @@ SweepReport run_sweep(const core::AutoPowerModel& model, const SweepSpec& spec,
   const std::size_t total = configs.size() * n_workloads;
   std::vector<SweepCell> cells(total);
 
+  // Process-wide instruments; the cells counter is what the CLI's
+  // --progress monitor polls while the sweep runs.
+  auto& registry = util::MetricsRegistry::global();
+  auto& m_cells = registry.counter("serve.sweep.cells");
+  auto& m_failed = registry.counter("serve.sweep.cells_failed");
+  auto& m_cell_latency = registry.histogram("serve.sweep.cell_latency_ns");
+  const auto sweep_start = std::chrono::steady_clock::now();
+
   const auto worker_loop = [&](std::atomic<std::size_t>& next) {
     sim::PerfSimulator sim(sim::SimOptions{}, structural);
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= total) break;
-      cells[i] = evaluate_cell(model, sim, configs[i / n_workloads],
-                               *profiles[i % n_workloads],
-                               programs[i % n_workloads]);
+      {
+        util::ScopedTimer timer(m_cell_latency);
+        cells[i] = evaluate_cell(model, sim, configs[i / n_workloads],
+                                 *profiles[i % n_workloads],
+                                 programs[i % n_workloads]);
+      }
+      m_cells.inc();
+      if (!cells[i].ok) m_failed.inc();
     }
   };
 
@@ -231,6 +233,15 @@ SweepReport run_sweep(const core::AutoPowerModel& model, const SweepSpec& spec,
     const util::StructuralSimCache::Stats after = structural->stats();
     report.structural = {after.hits - before.hits,
                          after.misses - before.misses};
+  }
+  if (util::MetricsRegistry::enabled()) {
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      sweep_start)
+            .count();
+    registry.gauge("serve.sweep.cells_per_sec")
+        .set(elapsed > 0.0 ? static_cast<double>(total) / elapsed : 0.0);
+    structural->export_metrics(registry);
   }
 
   report.rows.reserve(configs.size());

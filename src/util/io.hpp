@@ -1,0 +1,30 @@
+// Output-stream hardening for report writers.
+//
+// A stream can accept buffered writes long after the underlying target
+// has failed (full disk, closed pipe, read-only file): operator<< keeps
+// "succeeding" and the process exits 0 with a silently truncated report.
+// Every writer of a user-requested output file must flush and re-check
+// the stream after its final write; this helper centralises that check.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace autopower::util {
+
+/// Flushes `out` and throws util::Error naming `what` if the stream is in
+/// a failed state afterwards (disk full, closed pipe, unwritable target —
+/// any earlier write failure also latches failbit/badbit and is caught
+/// here).
+inline void flush_and_check(std::ostream& out, const std::string& what) {
+  out.flush();
+  if (!out.good()) {
+    throw Error("write failed for " + what +
+                ": output stream is in a failed state after flush "
+                "(disk full, closed pipe, or unwritable target?)");
+  }
+}
+
+}  // namespace autopower::util

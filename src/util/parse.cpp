@@ -1,0 +1,33 @@
+#include "util/parse.hpp"
+
+#include <charconv>
+
+#include "util/error.hpp"
+
+namespace autopower::util {
+
+int parse_int(std::string_view text, const std::string& what, int min,
+              int max) {
+  int value = 0;
+  const char* const first = text.data();
+  const char* const last = first + text.size();
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  // from_chars already rejects leading whitespace and '+'; requiring the
+  // full token to be consumed rejects trailing garbage ("4x", "4 ").
+  if (ec == std::errc::result_out_of_range) {
+    throw InvalidArgument(what + " is out of range for an integer: " +
+                          std::string(text));
+  }
+  if (ec != std::errc{} || ptr != last || text.empty()) {
+    throw InvalidArgument(what + " wants an integer, got: " +
+                          std::string(text));
+  }
+  if (value < min || value > max) {
+    throw InvalidArgument(what + " must be in [" + std::to_string(min) +
+                          ", " + std::to_string(max) + "], got: " +
+                          std::string(text));
+  }
+  return value;
+}
+
+}  // namespace autopower::util

@@ -1,0 +1,25 @@
+// Strict integer parsing for user-facing flags and specs.
+//
+// std::stoi silently accepts trailing garbage ("4x" parses as 4) and its
+// family is inconsistent about leading whitespace and '+'.  parse_int is
+// built on full-consume std::from_chars instead: the whole token must be
+// a plain base-10 integer (optional leading '-' only), inside the given
+// bounds.  Every integer the CLI or a spec string accepts goes through
+// here so the rejection rules are uniform.
+#pragma once
+
+#include <limits>
+#include <string>
+#include <string_view>
+
+namespace autopower::util {
+
+/// Parses `text` as a base-10 integer in [min, max].  Throws
+/// util::InvalidArgument — naming `what` (e.g. "--threads") — when the
+/// token is empty, has leading/trailing garbage (including whitespace and
+/// a leading '+'), does not fit in an int, or is out of bounds.
+[[nodiscard]] int parse_int(std::string_view text, const std::string& what,
+                            int min = std::numeric_limits<int>::min(),
+                            int max = std::numeric_limits<int>::max());
+
+}  // namespace autopower::util

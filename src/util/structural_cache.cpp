@@ -1,5 +1,9 @@
 #include "util/structural_cache.hpp"
 
+#include <string>
+
+#include "util/metrics.hpp"
+
 namespace autopower::util {
 
 StructuralSimCache::StructuralSimCache(std::size_t shards_per_sub) {
@@ -44,6 +48,19 @@ void StructuralSimCache::clear() {
     lane.hits.store(0, std::memory_order_relaxed);
     lane.misses.store(0, std::memory_order_relaxed);
   }
+}
+
+void StructuralSimCache::export_metrics(MetricsRegistry& registry) const {
+  for (std::size_t i = 0; i < kNumSubSims; ++i) {
+    const auto sub = static_cast<SubSim>(i);
+    const Stats lane = stats(sub);
+    const std::string prefix =
+        "sim.structural." + std::string(sub_sim_name(sub));
+    registry.gauge(prefix + ".hits").set(static_cast<double>(lane.hits));
+    registry.gauge(prefix + ".misses").set(static_cast<double>(lane.misses));
+  }
+  registry.gauge("sim.structural.entries")
+      .set(static_cast<double>(size()));
 }
 
 std::string_view StructuralSimCache::sub_sim_name(SubSim sub) noexcept {

@@ -21,8 +21,13 @@
 //     insert wins and both observe one published value.  Because every
 //     sub-simulation is a pure function of its key's inputs, the race is
 //     benign and results stay bit-identical to an unshared run.
-//   * stats() counters are relaxed atomics — approximate under contention,
-//     exact once the workers have quiesced.
+//   * stats() counters are relaxed atomics — approximate while workers
+//     are still running, exact once they have quiesced.  A miss is
+//     counted only by the WINNING insert, so after quiescing
+//     `misses == entries created` (== size() if clear() wasn't called)
+//     and `hits + misses == lookups`; a thread that loses the cold-key
+//     race counts a hit, because it adopts the published value even
+//     though it transiently redid the computation.
 //
 // The cache stores plain doubles and 64-bit keys only, so it lives in
 // src/util/ below the simulator; sim/perfsim.cpp owns the key schema
@@ -40,6 +45,8 @@
 #include <unordered_map>
 
 namespace autopower::util {
+
+class MetricsRegistry;
 
 class StructuralSimCache {
  public:
@@ -73,12 +80,16 @@ class StructuralSimCache {
         return it->second;
       }
     }
-    lane.misses.fetch_add(1, std::memory_order_relaxed);
     const double value = compute();
     std::unique_lock lock(shard.mu);
-    // Lost insertion race: adopt the published value (bit-identical
-    // anyway — the computation is deterministic in the key's inputs).
-    return shard.map.emplace(key, value).first->second;
+    const auto [it, inserted] = shard.map.emplace(key, value);
+    // Only the winning insert counts the miss; a lost race adopts the
+    // published value (bit-identical anyway — the computation is
+    // deterministic in the key's inputs) and counts as a hit, keeping
+    // `misses == entries created` exact after the workers quiesce.
+    (inserted ? lane.misses : lane.hits)
+        .fetch_add(1, std::memory_order_relaxed);
+    return it->second;
   }
 
   struct Stats {
@@ -94,6 +105,12 @@ class StructuralSimCache {
   [[nodiscard]] Stats stats() const noexcept;
   /// Counters of one lane.
   [[nodiscard]] Stats stats(SubSim sub) const noexcept;
+
+  /// Publishes a per-lane hit/miss snapshot (plus the total entry count)
+  /// into `registry` as gauges named "sim.structural.<lane>.hits" /
+  /// ".misses" and "sim.structural.entries".  Last writer wins; the
+  /// serve and sweep layers call this after each run.
+  void export_metrics(MetricsRegistry& registry) const;
 
   /// Number of memoised entries across all lanes and shards.
   [[nodiscard]] std::size_t size() const;

@@ -11,14 +11,22 @@
 //            [--threads N]                concurrent JSONL batch inference
 //   sweep    --model m.ap --grid "RobEntry=64,96;FetchWidth=4,8"
 //            --workloads dhrystone,qsort [--base C8] [--rank ipc_per_watt]
-//            [--top K] [--out sweep.jsonl] [--threads N]
+//            [--top K] [--out sweep.jsonl] [--threads N] [--progress]
 //                                          parallel design-space sweep with
 //                                          a ranked JSONL report
+//
+// Observability: `--stats <path>` (train, evaluate, batch, sweep) writes
+// one JSON snapshot of the process-wide util::MetricsRegistry after the
+// command finishes — request latency, queue wait, cache hit rates,
+// per-sub-model fit timings, structural-memo lane counters (field
+// glossary in README "Observability").  `sweep --progress` additionally
+// prints a periodic cells-done line to stderr while the sweep runs.
 //
 // The CLI drives exactly the same public API the examples use; a model
 // trained here can be reloaded by any program linking the library.
 
 #include <atomic>
+#include <chrono>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -35,6 +43,9 @@
 #include "serve/jsonl.hpp"
 #include "serve/registry.hpp"
 #include "serve/sweep.hpp"
+#include "util/io.hpp"
+#include "util/metrics.hpp"
+#include "util/parse.hpp"
 #include "util/thread_pool.hpp"
 #include "util/error.hpp"
 #include "util/table.hpp"
@@ -75,18 +86,31 @@ ArgMap parse_flags(int argc, char** argv, int first, const FlagSpec& spec) {
   return flags;
 }
 
+/// Every integer flag routes through util::parse_int (full-consume
+/// std::from_chars): trailing garbage ("--threads 4x"), overflow, leading
+/// '+' and whitespace are all rejected instead of silently truncated.
+int parse_int_flag(const ArgMap& flags, const std::string& key, int fallback,
+                   int min) {
+  const auto it = flags.find(key);
+  if (it == flags.end()) return fallback;
+  return util::parse_int(it->second, "--" + key, min);
+}
+
 int parse_threads(const ArgMap& flags) {
-  const auto it = flags.find("threads");
-  if (it == flags.end()) return 1;
-  int threads = 0;
-  try {
-    threads = std::stoi(it->second);
-  } catch (const std::exception&) {
-    throw util::InvalidArgument("--threads wants an integer, got: " +
-                                it->second);
-  }
-  AP_REQUIRE(threads >= 1, "--threads must be >= 1");
-  return threads;
+  return parse_int_flag(flags, "threads", 1, 1);
+}
+
+/// --stats <path>: one JSON snapshot of the process-wide registry,
+/// written after the command's work (and any export_metrics calls) is
+/// done.  The write itself is checked like any other report stream.
+void write_stats_snapshot(const ArgMap& flags) {
+  const auto it = flags.find("stats");
+  if (it == flags.end()) return;
+  std::ofstream out(it->second);
+  AP_REQUIRE(out.good(), "cannot open stats file: " + it->second);
+  out << util::MetricsRegistry::global().to_json() << '\n';
+  util::flush_and_check(out, "stats snapshot " + it->second);
+  std::cerr << "metrics snapshot written to " << it->second << "\n";
 }
 
 std::string require_flag(const ArgMap& flags, const std::string& key) {
@@ -157,6 +181,9 @@ int cmd_train(const ArgMap& flags) {
   model.save_to_file(out_path);
   std::cout << "Trained on " << known.size()
             << " configurations; model written to " << out_path << "\n";
+  simulator.structural_cache()->export_metrics(
+      util::MetricsRegistry::global());
+  write_stats_snapshot(flags);
   return 0;
 }
 
@@ -229,6 +256,9 @@ int cmd_evaluate(const ArgMap& flags) {
   std::cout << "Held-out accuracy (excluding ";
   for (const auto& k : known) std::cout << k << ' ';
   std::cout << "): " << result.accuracy.to_string() << "\n";
+  simulator.structural_cache()->export_metrics(
+      util::MetricsRegistry::global());
+  write_stats_snapshot(flags);
   return 0;
 }
 
@@ -256,6 +286,10 @@ int cmd_batch(const ArgMap& flags) {
     std::ofstream out(it->second);
     AP_REQUIRE(out.good(), "cannot open output file: " + it->second);
     serve::write_responses(out, responses);
+    // A full disk or closed pipe can swallow buffered writes without any
+    // operator<< reporting it; re-check after the final flush so a
+    // truncated report exits non-zero instead of silently "succeeding".
+    util::flush_and_check(out, "batch report " + it->second);
     std::size_t failed = 0;
     for (const auto& r : responses) {
       if (!r.ok) ++failed;
@@ -267,7 +301,9 @@ int cmd_batch(const ArgMap& flags) {
               << " misses)\n";
   } else {
     serve::write_responses(std::cout, responses);
+    util::flush_and_check(std::cout, "batch report (stdout)");
   }
+  write_stats_snapshot(flags);
   return 0;
 }
 
@@ -288,19 +324,41 @@ int cmd_sweep(const ArgMap& flags) {
   if (const auto it = flags.find("rank"); it != flags.end()) {
     spec.metric = serve::sweep_metric_from_string(it->second);
   }
-  if (const auto it = flags.find("top"); it != flags.end()) {
-    int top = 0;
-    try {
-      top = std::stoi(it->second);
-    } catch (const std::exception&) {
-      throw util::InvalidArgument("--top wants an integer, got: " +
-                                  it->second);
-    }
-    AP_REQUIRE(top >= 1, "--top must be >= 1");
-    spec.top = static_cast<std::size_t>(top);
+  spec.top = static_cast<std::size_t>(parse_int_flag(flags, "top", 0, 1));
+
+  // --progress: a monitor thread polls the process-wide sweep-cells
+  // counter and reports to stderr while the workers run.  The expected
+  // cell count is the grid size times the workload count.
+  std::size_t expected_cells = spec.workloads.size();
+  for (const auto& axis : spec.axes) expected_cells *= axis.values.size();
+  std::atomic<bool> sweep_done{false};
+  std::thread monitor;
+  if (flags.count("progress") > 0) {
+    auto& cells = util::MetricsRegistry::global().counter(
+        "serve.sweep.cells");
+    const auto start_cells = cells.value();
+    monitor = std::thread([&sweep_done, &cells, start_cells,
+                           expected_cells] {
+      int ticks = 0;
+      while (!sweep_done.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        if (++ticks % 10 != 0) continue;  // report every ~1 s
+        std::cerr << "sweep progress: " << (cells.value() - start_cells)
+                  << "/" << expected_cells << " cells\n";
+      }
+    });
   }
 
-  const auto report = serve::run_sweep(model, spec);
+  serve::SweepReport report;
+  try {
+    report = serve::run_sweep(model, spec);
+  } catch (...) {
+    sweep_done.store(true, std::memory_order_relaxed);
+    if (monitor.joinable()) monitor.join();
+    throw;
+  }
+  sweep_done.store(true, std::memory_order_relaxed);
+  if (monitor.joinable()) monitor.join();
 
   std::ostream* out = &std::cout;
   std::ofstream file;
@@ -310,6 +368,11 @@ int cmd_sweep(const ArgMap& flags) {
     out = &file;
   }
   serve::write_sweep_report(*out, report);
+  // Catch silently-truncated reports (full disk, closed pipe) and exit
+  // non-zero; operator<< alone never reports buffered-write failures.
+  util::flush_and_check(*out, out == &file
+                                  ? "sweep report " + flags.at("out")
+                                  : "sweep report (stdout)");
 
   std::size_t failed = 0;
   for (const auto& row : report.rows) {
@@ -330,6 +393,7 @@ int cmd_sweep(const ArgMap& flags) {
               << util::fmt(best.mean_ipc) << ", "
               << util::fmt(best.ipc_per_watt) << " IPC/W)\n";
   }
+  write_stats_snapshot(flags);
   return 0;
 }
 
@@ -362,6 +426,7 @@ int cmd_trace(const ArgMap& flags) {
           << predicted[i] << '\n';
       cycle += trace.windows[i].events.cycles();
     }
+    util::flush_and_check(csv, "trace csv " + it->second);
     std::cout << "trace written to " << it->second << "\n";
   }
   return 0;
@@ -371,18 +436,21 @@ int usage() {
   std::cerr <<
       "usage: autopower <command> [flags]\n"
       "  list\n"
-      "  train    --known C1,C15 --out model.ap [--threads N]\n"
+      "  train    --known C1,C15 --out model.ap [--threads N]"
+      " [--stats stats.json]\n"
       "  predict  --model model.ap --config C8 --workload dhrystone"
       " [--per-component]\n"
-      "  evaluate --model model.ap --known C1,C15 [--threads N]\n"
+      "  evaluate --model model.ap --known C1,C15 [--threads N]"
+      " [--stats stats.json]\n"
       "  trace    --model model.ap --config C3 --workload gemm"
       " [--csv out.csv]\n"
       "  batch    --model model.ap --requests reqs.jsonl"
-      " [--out results.jsonl] [--threads N]\n"
+      " [--out results.jsonl] [--threads N] [--stats stats.json]\n"
       "  sweep    --model model.ap --grid \"RobEntry=64,96;FetchWidth=4,8\""
       " --workloads dhrystone,qsort\n"
       "           [--base C8] [--rank ipc_per_watt|ipc|power] [--top K]"
-      " [--out sweep.jsonl] [--threads N]\n";
+      " [--out sweep.jsonl] [--threads N] [--progress]"
+      " [--stats stats.json]\n";
   return 2;
 }
 
@@ -396,24 +464,26 @@ const std::map<std::string, Command>& commands() {
   static const std::map<std::string, Command> table = {
       {"list", {{}, [](const ArgMap&) { return cmd_list(); }}},
       {"train",
-       {{.valued = {"known", "out", "threads"}, .boolean = {}}, cmd_train}},
+       {{.valued = {"known", "out", "threads", "stats"}, .boolean = {}},
+        cmd_train}},
       {"predict",
        {{.valued = {"model", "config", "workload"},
          .boolean = {"per-component"}},
         cmd_predict}},
       {"evaluate",
-       {{.valued = {"model", "known", "threads"}, .boolean = {}},
+       {{.valued = {"model", "known", "threads", "stats"}, .boolean = {}},
         cmd_evaluate}},
       {"trace",
        {{.valued = {"model", "config", "workload", "csv"}, .boolean = {}},
         cmd_trace}},
       {"batch",
-       {{.valued = {"model", "requests", "out", "threads"}, .boolean = {}},
+       {{.valued = {"model", "requests", "out", "threads", "stats"},
+         .boolean = {}},
         cmd_batch}},
       {"sweep",
        {{.valued = {"model", "grid", "workloads", "base", "rank", "top",
-                    "out", "threads"},
-         .boolean = {}},
+                    "out", "threads", "stats"},
+         .boolean = {"progress"}},
         cmd_sweep}},
   };
   return table;

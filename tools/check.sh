@@ -33,6 +33,22 @@ echo "== bench_sim_throughput (self-check: bit-identity + sweep speedup bars) ==
 ./build/bench/bench_sim_throughput --json BENCH_sim.json
 echo "headline numbers in BENCH_sim.json"
 
+echo "== bench_metrics_overhead (self-check: <=5% overhead + bit-identity) =="
+./build/bench/bench_metrics_overhead --json BENCH_metrics.json
+echo "headline numbers in BENCH_metrics.json"
+
+echo "== sweep smoke run with a --stats snapshot =="
+smoke_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir"' EXIT
+./build/tools/autopower train --known C1,C15 --out "$smoke_dir/model.ap" \
+  --threads 2
+./build/tools/autopower sweep --model "$smoke_dir/model.ap" \
+  --grid "RobEntry=64,96" --workloads dhrystone,qsort --threads 2 \
+  --out "$smoke_dir/sweep.jsonl" --stats STATS_sweep.json
+python3 -c "import json; json.load(open('STATS_sweep.json'))" \
+  || { echo "STATS_sweep.json is not valid JSON"; exit 1; }
+echo "metrics snapshot archived in STATS_sweep.json"
+
 echo "== configure (tsan preset) =="
 cmake --preset tsan
 
@@ -54,5 +70,10 @@ echo "== run parallel-train tests under ThreadSanitizer =="
 TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}" \
   ./build-tsan/tests/autopower_tests \
   --gtest_filter='AutoPowerTest.ParallelTrainArchiveByteIdentical'
+
+echo "== run metrics-registry tests under ThreadSanitizer =="
+TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}" \
+  ./build-tsan/tests/autopower_tests \
+  --gtest_filter='MetricsRegistryTest.*'
 
 echo "OK: benches pass their bars and the threaded paths are race-clean"
