@@ -4,10 +4,10 @@
 #include <chrono>
 #include <exception>
 #include <functional>
-#include <latch>
 #include <utility>
 
 #include "arch/component.hpp"
+#include "util/fault.hpp"
 #include "util/thread_pool.hpp"
 #include "util/error.hpp"
 #include "workload/workload.hpp"
@@ -79,6 +79,9 @@ EvalCache::Stats BatchEngine::response_stats() const noexcept {
 BatchResponse BatchEngine::handle(const BatchRequest& request,
                                   std::size_t index,
                                   const sim::PerfSimulator& sim) {
+  // Outside compute()'s try block: an injected failure here exercises the
+  // worker-loop error isolation, not the per-request error reporting.
+  AUTOPOWER_FAULT_POINT("serve.engine.handle");
   if (!options_.memoize_responses || request.mode == PredictMode::kTrace) {
     BatchResponse resp = compute(request, sim);
     resp.index = index;
@@ -103,6 +106,18 @@ BatchResponse BatchEngine::handle(const BatchRequest& request,
   // Compute outside the lock; on a racing miss the first insert wins and
   // both copies are bit-identical anyway (everything is deterministic).
   auto computed = std::make_shared<const BatchResponse>(compute(request, sim));
+  if (!computed->ok) {
+    // Never memoise a failed response: compute() folds transient faults
+    // (allocation / injected failures) into ok == false, and publishing
+    // one would poison the memo — every future identical request would
+    // be served the stale error even after the fault clears.  Failures
+    // for deterministic reasons (unknown config) recompute cheaply.
+    response_misses_.fetch_add(1, std::memory_order_relaxed);
+    metrics_.memo_misses.inc();
+    BatchResponse resp = *computed;
+    resp.index = index;
+    return resp;
+  }
   BatchResponse resp;
   bool won_insert = false;
   {
@@ -202,11 +217,29 @@ std::vector<BatchResponse> BatchEngine::run(
   // PerfSimulator — its phase-rate memo is not thread-safe to share — but
   // all of them share the engine's structural cache, so cache/TLB/branch
   // measurements (for simulate AND simulate_trace) dedupe across workers.
+  //
+  // Completion is pool.wait_idle(), not a latch counted down inside the
+  // tasks: a task that dies before reaching its count-down (an exception
+  // escaping handle(), or the pool failing to launch the task at all)
+  // would strand a latch forever, turning one lost worker into a hung
+  // batch.  wait_idle() is maintained by the pool itself and therefore
+  // survives any task failure; requests a dead worker would have claimed
+  // are still drained by its siblings off the shared counter.
+  // Prefill every slot as a clean "not processed" failure: if a worker
+  // task is lost before claiming any index (launch failure), the batch
+  // still returns well-formed error responses instead of empty ones.
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    responses[i].index = i;
+    responses[i].config = requests[i].config;
+    responses[i].workload = requests[i].workload;
+    responses[i].mode = requests[i].mode;
+    responses[i].ok = false;
+    responses[i].error = "request not processed (worker lost)";
+  }
   std::atomic<std::size_t> next{0};
-  std::latch done(static_cast<std::ptrdiff_t>(workers));
   util::ThreadPool pool(workers);
   for (std::size_t w = 0; w < workers; ++w) {
-    pool.submit([this, &requests, &responses, &next, &done, run_start] {
+    pool.submit([this, &requests, &responses, &next, run_start] {
       sim::PerfSimulator sim(sim::SimOptions{}, structural_);
       for (;;) {
         const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
@@ -220,12 +253,26 @@ std::vector<BatchResponse> BatchEngine::run(
                   .count()));
         }
         util::ScopedTimer timer(metrics_.request_latency_ns);
-        responses[i] = handle(requests[i], i, sim);
+        // A request whose failure escapes handle() (it only catches
+        // inside compute()) must fail alone, exactly like a bad request:
+        // its slot gets an error response and the worker moves on to the
+        // next index instead of taking its remaining share of the batch
+        // down with it.
+        try {
+          responses[i] = handle(requests[i], i, sim);
+        } catch (const std::exception& e) {
+          responses[i] = BatchResponse{};
+          responses[i].index = i;
+          responses[i].config = requests[i].config;
+          responses[i].workload = requests[i].workload;
+          responses[i].mode = requests[i].mode;
+          responses[i].ok = false;
+          responses[i].error = e.what();
+        }
       }
-      done.count_down();
     });
   }
-  done.wait();
+  pool.wait_idle();
   finish_run(responses);
   return responses;
 }

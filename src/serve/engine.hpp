@@ -106,7 +106,12 @@ class BatchEngine {
   /// Hit/miss counters of the response memo (all zero when disabled).
   /// Same corrected semantics as EvalCache::Stats: a miss is counted
   /// only by the winning insert, a lost cold-key race counts a hit, so
-  /// after run() returns `misses == memoised responses` exactly.
+  /// after run() returns `misses == memoised responses` exactly — as
+  /// long as every request succeeded.  Failed responses are NEVER
+  /// memoised (a transient fault must not poison the memo) and each
+  /// failed compute counts one miss, so in general
+  /// `misses == memoised responses + failed computes` and
+  /// `hits + misses == memoised-path lookups` stays exact.
   [[nodiscard]] EvalCache::Stats response_stats() const noexcept;
   [[nodiscard]] std::size_t threads() const noexcept {
     return options_.threads;

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "arch/params.hpp"
+#include "util/fault.hpp"
 #include "util/metrics.hpp"
 #include "workload/workload.hpp"
 
@@ -60,13 +61,21 @@ std::shared_ptr<const core::EvalContext> EvalCache::get_or_compute(
     }
   }
 
-  // Compute outside the lock with the caller's simulator.
+  // Compute outside the lock with the caller's simulator.  The fill is
+  // strictly insert-after-successful-compute: if anything below throws —
+  // the lookup, the simulation, an (injected) allocation failure — the
+  // half-built context dies with this frame and the map is untouched, so
+  // a failed fill can never publish a partially-constructed entry.
+  AUTOPOWER_FAULT_POINT("serve.eval_cache.compute");
   auto ctx = std::make_shared<core::EvalContext>();
   ctx->cfg = &arch::boom_config(config);  // static storage; pointer stable
   ctx->workload = workload;
   const auto& profile = workload::workload_by_name(workload);
   ctx->program = workload::program_features(profile);
   ctx->events = sim.simulate(*ctx->cfg, profile);
+  // The insert's own allocation failing (strong guarantee of emplace)
+  // likewise leaves the map without the key.
+  AUTOPOWER_FAULT_POINT("serve.eval_cache.insert");
 
   std::lock_guard lock(shard.mu);
   const auto [it, inserted] = shard.map.emplace(key, std::move(ctx));

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "util/error.hpp"
+#include "util/fault.hpp"
 
 namespace autopower::serve {
 
@@ -369,6 +370,9 @@ std::vector<BatchRequest> read_requests(std::istream& in) {
     const auto first = line.find_first_not_of(" \t\r");
     if (first == std::string::npos) continue;  // blank line
     try {
+      // Stands in for the request source dying mid-read (I/O error on a
+      // spooled file, truncated pipe): surfaces as a line-numbered error.
+      AUTOPOWER_FAULT_POINT("serve.jsonl.read_line");
       requests.push_back(request_from_jsonl(line));
     } catch (const util::Error& e) {
       throw util::Error("line " + std::to_string(line_no) + ": " + e.what());
@@ -380,6 +384,9 @@ std::vector<BatchRequest> read_requests(std::istream& in) {
 void write_responses(std::ostream& out,
                      std::span<const BatchResponse> responses) {
   for (const auto& response : responses) {
+    // Stream-flavoured fault: latches badbit like a full disk would, so
+    // the caller's flush_and_check path is what reports the torn report.
+    AUTOPOWER_FAULT_STREAM("serve.jsonl.write_response", out);
     out << response_to_jsonl(response) << '\n';
   }
 }

@@ -5,7 +5,6 @@
 #include <atomic>
 #include <chrono>
 #include <exception>
-#include <latch>
 #include <limits>
 #include <ostream>
 #include <utility>
@@ -14,6 +13,7 @@
 #include "serve/jsonl.hpp"
 #include "sim/perfsim.hpp"
 #include "util/error.hpp"
+#include "util/fault.hpp"
 #include "util/metrics.hpp"
 #include "util/parse.hpp"
 #include "util/thread_pool.hpp"
@@ -183,6 +183,12 @@ SweepReport run_sweep(const core::AutoPowerModel& model, const SweepSpec& spec,
   const std::size_t n_workloads = spec.workloads.size();
   const std::size_t total = configs.size() * n_workloads;
   std::vector<SweepCell> cells(total);
+  // Prefill: a cell abandoned by a lost worker (task launch failure)
+  // reports a clean per-cell error instead of an empty one.
+  for (std::size_t i = 0; i < total; ++i) {
+    cells[i].workload = spec.workloads[i % n_workloads];
+    cells[i].error = "cell not evaluated (worker lost)";
+  }
 
   // Process-wide instruments; the cells counter is what the CLI's
   // --progress monitor polls while the sweep runs.
@@ -215,15 +221,15 @@ SweepReport run_sweep(const core::AutoPowerModel& model, const SweepSpec& spec,
   if (workers <= 1) {
     worker_loop(next);
   } else {
-    std::latch done(static_cast<std::ptrdiff_t>(workers));
+    // wait_idle(), not an in-task latch: a worker task lost to an
+    // exception (or never launched) must not strand the sweep forever —
+    // the pool's own idle barrier survives task failures, and siblings
+    // drain the remaining cells off the shared counter.
     util::ThreadPool pool(workers);
     for (std::size_t w = 0; w < workers; ++w) {
-      pool.submit([&worker_loop, &next, &done] {
-        worker_loop(next);
-        done.count_down();
-      });
+      pool.submit([&worker_loop, &next] { worker_loop(next); });
     }
-    done.wait();
+    pool.wait_idle();
   }
 
   SweepReport report;
@@ -288,6 +294,9 @@ SweepReport run_sweep(const core::AutoPowerModel& model, const SweepSpec& spec,
 
 void write_sweep_report(std::ostream& out, const SweepReport& report) {
   for (const SweepRow& row : report.rows) {
+    // Stream-flavoured fault: latches badbit like a full disk, caught by
+    // the caller's flush_and_check — a torn report must exit non-zero.
+    AUTOPOWER_FAULT_STREAM("serve.report.write_row", out);
     out << "{\"rank\":" << row.rank << ",\"config\":\""
         << json_escape(row.config.name()) << "\",\"params\":{";
     bool first = true;

@@ -1,0 +1,80 @@
+// Random-input generators for the property/differential tests.
+//
+// Every generator draws from a caller-owned Pcg32, so one test case's
+// inputs come from one seeded stream (proptest.hpp).  Generated values
+// stay inside the ranges the production code is specified for:
+//
+//   * hardware configurations mix per-axis values observed across the
+//     BOOM design space (paper Table II), so any generated point is a
+//     plausible core the simulator can execute — while covering far more
+//     of the 14-dimensional grid than the 15 canonical C1..C15 points;
+//   * workload profiles keep instruction-mix fractions summing below 1
+//     and footprints/entropies in their documented [0, 1] / kB ranges;
+//   * datasets deliberately include duplicate-valued and constant
+//     feature columns to stress split-finding tie handling;
+//   * request batches mix valid config/workload/mode names with (when
+//     asked) unknown names and malformed lines for the error paths.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "arch/params.hpp"
+#include "ml/dataset.hpp"
+#include "ml/gbt.hpp"
+#include "serve/engine.hpp"
+#include "sim/perfsim.hpp"
+#include "testcore/proptest.hpp"
+#include "workload/workload.hpp"
+
+namespace autopower::testcore {
+
+/// A configuration whose value on each axis is drawn from the values
+/// that axis takes across boom_design_space().  Named "Gxxxxxxxx" from a
+/// hash of its values (PerfSimulator keys structural memo entries on the
+/// values, not the name).
+[[nodiscard]] arch::HardwareConfig random_hardware_config(Pcg32& rng);
+
+/// One phase with mix fractions scaled to sum below 0.85 (remainder is
+/// ALU work) and footprints in simulator-supported ranges.
+[[nodiscard]] workload::WorkloadPhase random_workload_phase(Pcg32& rng,
+                                                           int index);
+
+/// 1..4 phases, 20k..120k dynamic instructions.
+[[nodiscard]] workload::WorkloadProfile random_workload_profile(Pcg32& rng);
+
+struct DatasetShape {
+  int min_rows = 4;
+  int max_rows = 48;
+  int min_features = 2;
+  int max_features = 6;
+};
+
+/// Random regression dataset.  Each column independently picks a style:
+/// continuous uniform, small discrete value pool (duplicates/ties), or
+/// constant.  Targets mix a linear signal with noise.
+[[nodiscard]] ml::Dataset random_dataset(Pcg32& rng,
+                                         const DatasetShape& shape = {});
+
+/// Small (test-speed) GBT hyper-parameters: 2..10 rounds, depth 1..4,
+/// varied lambda/gamma/min_child_weight/learning-rate.
+[[nodiscard]] ml::GbtOptions random_gbt_options(Pcg32& rng);
+
+/// Reduced-cost simulator options (sample counts in the hundreds, small
+/// phase repeats) so hundreds of property cases stay fast under ASan.
+[[nodiscard]] sim::SimOptions small_sim_options(Pcg32& rng);
+
+/// 1..max_size requests over the canonical C1..C15 / known-workload
+/// names and all three modes.  With include_invalid, some requests get
+/// unknown config or workload names (exercising the per-request error
+/// path without aborting the batch).
+[[nodiscard]] std::vector<serve::BatchRequest> random_request_batch(
+    Pcg32& rng, std::size_t max_size, bool include_invalid);
+
+/// Serialises requests as JSONL text, randomly omitting the optional
+/// "mode" key when it is "total" and varying inter-line whitespace.
+[[nodiscard]] std::string requests_to_jsonl(
+    const std::vector<serve::BatchRequest>& requests, Pcg32& rng);
+
+}  // namespace autopower::testcore

@@ -1,0 +1,121 @@
+#include "testcore/proptest.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/parse.hpp"
+#include "util/rng.hpp"
+
+namespace autopower::testcore {
+
+namespace {
+
+std::optional<std::uint64_t> g_seed_override;
+std::optional<int> g_cases_override;
+
+std::optional<std::uint64_t> env_u64(const char* name) {
+  const char* text = std::getenv(name);
+  if (text == nullptr || *text == '\0') return std::nullopt;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0') {
+    throw util::Error(std::string(name) + " is not a number: " + text);
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+}  // namespace
+
+void set_seed_override(std::optional<std::uint64_t> seed) {
+  g_seed_override = seed;
+}
+
+void set_cases_override(std::optional<int> cases) { g_cases_override = cases; }
+
+std::uint64_t resolve_seed(const PropOptions& options) {
+  if (g_seed_override) return *g_seed_override;
+  if (const auto env = env_u64("AUTOPOWER_PROPTEST_SEED")) return *env;
+  if (options.seed != 0) return options.seed;
+  return util::hash_str(options.name);
+}
+
+int resolve_cases(const PropOptions& options) {
+  if (g_cases_override) return *g_cases_override;
+  if (const auto env = env_u64("AUTOPOWER_PROPTEST_CASES")) {
+    return static_cast<int>(*env);
+  }
+  return options.cases;
+}
+
+std::uint64_t case_seed(std::uint64_t base_seed, int case_index) {
+  return util::hash_combine(base_seed,
+                            static_cast<std::uint64_t>(case_index));
+}
+
+void apply_cli_flags(int* argc, char** argv) {
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const std::string_view arg(argv[i]);
+    std::string_view value;
+    const auto take = [&](std::string_view flag) -> bool {
+      if (arg == flag) {
+        if (i + 1 >= *argc) {
+          throw util::Error(std::string(flag) + " needs a value");
+        }
+        value = argv[++i];
+        return true;
+      }
+      const std::string prefix = std::string(flag) + "=";
+      if (arg.substr(0, prefix.size()) == prefix) {
+        value = arg.substr(prefix.size());
+        return true;
+      }
+      return false;
+    };
+    if (take("--seed")) {
+      char* end = nullptr;
+      const std::string text(value);
+      const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+      if (end == text.c_str() || *end != '\0') {
+        throw util::Error("--seed is not a number: " + text);
+      }
+      set_seed_override(static_cast<std::uint64_t>(v));
+    } else if (take("--cases")) {
+      set_cases_override(util::parse_int(value, "--cases", 1));
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+  argv[out] = nullptr;
+}
+
+namespace detail {
+
+std::string failure_report(const std::string& name, std::uint64_t base_seed,
+                           int case_index, const std::string& message,
+                           const std::string& described_input,
+                           int shrink_steps) {
+  std::ostringstream out;
+  out << "property '" << name << "' failed at case " << case_index
+      << " (base seed " << base_seed << ")\n"
+      << "  " << message << "\n"
+      << "  input";
+  if (shrink_steps > 0) out << " (after " << shrink_steps << " shrink steps)";
+  out << ": " << described_input << "\n"
+      << "  reproduce: AUTOPOWER_PROPTEST_SEED=" << base_seed
+      << " AUTOPOWER_PROPTEST_CASES=" << (case_index + 1)
+      << " <test binary>";
+  return out.str();
+}
+
+void echo_failure(const std::string& report) {
+  std::fprintf(stderr, "[proptest] %s\n", report.c_str());
+  std::fflush(stderr);
+}
+
+}  // namespace detail
+
+}  // namespace autopower::testcore

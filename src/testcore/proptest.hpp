@@ -1,0 +1,219 @@
+// In-repo property-based testing core.
+//
+// A property is a (generator, check) pair run over many pseudo-random
+// cases.  Every case is deterministic: case i draws its inputs from a
+// PCG32 stream seeded with hash_combine(base_seed, i), so a failure is
+// reproduced exactly by re-running with the same base seed — which the
+// failure report prints, together with the environment line to paste:
+//
+//   AUTOPOWER_PROPTEST_SEED=<base_seed> ./test_differential
+//
+// Seed/case-count resolution (highest priority first):
+//   1. set_seed_override / set_cases_override (the test binaries' --seed
+//      and --cases flags),
+//   2. AUTOPOWER_PROPTEST_SEED / AUTOPOWER_PROPTEST_CASES environment,
+//   3. the per-property defaults (seed derived from the property name).
+//
+// When a case fails and the property supplies a shrinker, the runner
+// greedily walks shrink candidates (bounded by max_shrink_evals check
+// evaluations) and reports the smallest still-failing input it found.
+//
+// testcore deliberately does not depend on gtest: run_property returns a
+// PropResult and the test asserts `ASSERT_TRUE(r.passed) << r.report`.
+// The report is also echoed to stderr so the reproducing seed survives
+// any output capture.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace autopower::testcore {
+
+/// PCG-XSH-RR 32-bit generator (Melissa O'Neill's PCG family): 64-bit
+/// state, 32-bit output, excellent statistical quality for its size and
+/// cheap to seed per test case.
+class Pcg32 {
+ public:
+  explicit Pcg32(std::uint64_t seed,
+                 std::uint64_t stream = 0xda3e39cb94b95bdbULL) noexcept {
+    inc_ = (stream << 1u) | 1u;
+    state_ = 0u;
+    (void)next_u32();
+    state_ += seed;
+    (void)next_u32();
+  }
+
+  std::uint32_t next_u32() noexcept {
+    const std::uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    const auto xorshifted =
+        static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+    const auto rot = static_cast<std::uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+  }
+
+  std::uint64_t next_u64() noexcept {
+    const std::uint64_t hi = next_u32();
+    return (hi << 32) | next_u32();
+  }
+
+  /// Uniform in [0, n); returns 0 when n == 0.
+  std::uint64_t next_below(std::uint64_t n) noexcept {
+    return n == 0 ? 0 : next_u64() % n;
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive); requires lo <= hi.
+  int next_int(int lo, int hi) noexcept {
+    return lo + static_cast<int>(next_below(
+                    static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double next_unit() noexcept {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double next_range(double lo, double hi) noexcept {
+    return lo + (hi - lo) * next_unit();
+  }
+
+  bool next_bool(double p = 0.5) noexcept { return next_unit() < p; }
+
+  /// Uniform index into a container of `size` elements.
+  std::size_t index(std::size_t size) noexcept {
+    return static_cast<std::size_t>(next_below(size));
+  }
+
+ private:
+  std::uint64_t state_;
+  std::uint64_t inc_;
+};
+
+/// Per-property knobs.  `seed == 0` derives a default from the name, so
+/// distinct properties explore distinct streams by default.
+struct PropOptions {
+  std::string name;
+  int cases = 200;
+  std::uint64_t seed = 0;
+  int max_shrink_evals = 200;
+};
+
+/// Outcome of run_property.  On failure `report` names the property,
+/// failing case index, base seed, input description and the exact
+/// environment line that reproduces the run.
+struct PropResult {
+  bool passed = true;
+  int cases_run = 0;
+  std::uint64_t base_seed = 0;
+  std::string report;
+};
+
+/// Process-wide overrides set by the test binaries' --seed / --cases
+/// flags; pass std::nullopt to clear.
+void set_seed_override(std::optional<std::uint64_t> seed);
+void set_cases_override(std::optional<int> cases);
+
+/// Final (overrides > environment > default) seed / case-count for one
+/// property run.  Exposed for the runner and for tests of the resolution
+/// order itself.
+[[nodiscard]] std::uint64_t resolve_seed(const PropOptions& options);
+[[nodiscard]] int resolve_cases(const PropOptions& options);
+
+/// Derives case i's generator seed from the run's base seed.
+[[nodiscard]] std::uint64_t case_seed(std::uint64_t base_seed, int case_index);
+
+/// Parses --seed=N / --seed N / --cases=N / --cases N out of argv
+/// (consuming them) and installs the overrides.  Test binaries call this
+/// from main() after InitGoogleTest.  Throws util::Error on a malformed
+/// value.
+void apply_cli_flags(int* argc, char** argv);
+
+namespace detail {
+[[nodiscard]] std::string failure_report(
+    const std::string& name, std::uint64_t base_seed, int case_index,
+    const std::string& message, const std::string& described_input,
+    int shrink_steps);
+void echo_failure(const std::string& report);
+}  // namespace detail
+
+/// Runs `check` over `resolve_cases(options)` generated inputs.  `check`
+/// returns std::nullopt on success or a failure message; any exception it
+/// (or `generate`) throws also fails the case with e.what().  `describe`
+/// renders the failing input for the report (optional).  `shrink` maps a
+/// failing input to simpler candidates to try (optional); the runner
+/// greedily descends while candidates keep failing.
+template <typename T>
+PropResult run_property(
+    const PropOptions& options, const std::function<T(Pcg32&)>& generate,
+    const std::function<std::optional<std::string>(const T&)>& check,
+    const std::function<std::string(const T&)>& describe = nullptr,
+    const std::function<std::vector<T>(const T&)>& shrink = nullptr) {
+  PropResult result;
+  result.base_seed = resolve_seed(options);
+  const int cases = resolve_cases(options);
+
+  const auto checked = [&check](const T& input) -> std::optional<std::string> {
+    try {
+      return check(input);
+    } catch (const std::exception& e) {
+      return std::string("unexpected exception: ") + e.what();
+    } catch (...) {
+      return std::string("unexpected non-std exception");
+    }
+  };
+
+  for (int i = 0; i < cases; ++i) {
+    Pcg32 rng(case_seed(result.base_seed, i));
+    T input;
+    try {
+      input = generate(rng);
+    } catch (const std::exception& e) {
+      result.passed = false;
+      result.report = detail::failure_report(
+          options.name, result.base_seed, i,
+          std::string("generator threw: ") + e.what(), "<no input>", 0);
+      detail::echo_failure(result.report);
+      return result;
+    }
+    ++result.cases_run;
+    auto failure = checked(input);
+    if (!failure) continue;
+
+    // Greedy shrink: keep replacing the failing input with the first
+    // still-failing candidate, bounded by max_shrink_evals evaluations.
+    int shrink_steps = 0;
+    if (shrink) {
+      int evals = 0;
+      bool made_progress = true;
+      while (made_progress && evals < options.max_shrink_evals) {
+        made_progress = false;
+        for (const T& candidate : shrink(input)) {
+          if (evals >= options.max_shrink_evals) break;
+          ++evals;
+          if (auto f = checked(candidate)) {
+            input = candidate;
+            failure = std::move(f);
+            ++shrink_steps;
+            made_progress = true;
+            break;
+          }
+        }
+      }
+    }
+
+    result.passed = false;
+    result.report = detail::failure_report(
+        options.name, result.base_seed, i, *failure,
+        describe ? describe(input) : std::string("<input not described>"),
+        shrink_steps);
+    detail::echo_failure(result.report);
+    return result;
+  }
+  return result;
+}
+
+}  // namespace autopower::testcore

@@ -6,6 +6,7 @@
 #include <ostream>
 
 #include "util/error.hpp"
+#include "util/fault.hpp"
 
 namespace autopower::util {
 
@@ -31,6 +32,9 @@ void ArchiveWriter::begin(std::string_view tag) {
   AP_REQUIRE(!tag.empty() &&
                  tag.find_first_of(" \t\n") == std::string_view::npos,
              "archive tag must be a single token");
+  // Every archived field funnels through here; the fault point stands in
+  // for the target stream dying mid-save (full disk, closed pipe).
+  AUTOPOWER_FAULT_POINT("util.archive.write");
   out_ << tag;
 }
 
@@ -74,6 +78,10 @@ void ArchiveWriter::write(std::string_view tag,
 }
 
 void ArchiveReader::expect(std::string_view tag) {
+  // Stands in for the source stream dying mid-load (I/O error, torn
+  // file); every field read starts with its tag, so this covers all of
+  // them.
+  AUTOPOWER_FAULT_POINT("util.archive.read");
   std::string seen;
   AP_REQUIRE(static_cast<bool>(in_ >> seen),
              "archive: unexpected end of stream, wanted tag " +

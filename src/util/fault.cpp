@@ -1,0 +1,196 @@
+#include "util/fault.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <ostream>
+
+#include "util/parse.hpp"
+#include "util/rng.hpp"
+
+namespace autopower::util::fault {
+
+namespace {
+
+struct Site {
+  bool armed = false;
+  Trigger trigger;
+  std::uint64_t hits = 0;      ///< evaluations since process start
+  std::uint64_t arm_hits = 0;  ///< evaluations since the current arming
+};
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, Site, std::less<>> sites;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry;  // leaked: usable during exit
+  return *r;
+}
+
+// Fast path: fault points are on hot paths (cache fills, per-line IO),
+// so when nothing is armed they must cost one relaxed load, not a lock.
+std::atomic<int> g_armed_count{0};
+
+std::once_flag g_env_once;
+
+Site& site_entry_locked(Registry& r, std::string_view site) {
+  const auto it = r.sites.find(site);
+  if (it != r.sites.end()) return it->second;
+  return r.sites.emplace(std::string(site), Site{}).first->second;
+}
+
+bool trigger_fires(const Trigger& t, std::uint64_t arm_hit) {
+  switch (t.kind) {
+    case Trigger::Kind::kCountdown:
+      return arm_hit == t.n;
+    case Trigger::Kind::kEveryNth:
+      return arm_hit % t.n == 0;
+    case Trigger::Kind::kProbability:
+      return hash_unit(hash_combine(t.seed, arm_hit)) < t.p;
+  }
+  return false;
+}
+
+Trigger parse_trigger(std::string_view spec) {
+  const auto colon = spec.find(':');
+  const std::string_view kind = spec.substr(0, colon);
+  std::string_view rest =
+      colon == std::string_view::npos ? std::string_view{} : spec.substr(
+                                                                 colon + 1);
+  if (kind == "countdown" || kind == "every") {
+    const int n = parse_int(rest, "fault trigger count", 1);
+    return kind == "countdown"
+               ? Trigger::countdown(static_cast<std::uint64_t>(n))
+               : Trigger::every_nth(static_cast<std::uint64_t>(n));
+  }
+  if (kind == "prob") {
+    const auto colon2 = rest.find(':');
+    const std::string p_text(rest.substr(0, colon2));
+    char* end = nullptr;
+    const double p = std::strtod(p_text.c_str(), &end);
+    if (end == p_text.c_str() || *end != '\0' || p < 0.0 || p > 1.0) {
+      throw Error("bad fault probability: " + p_text);
+    }
+    std::uint64_t seed = 0;
+    if (colon2 != std::string_view::npos) {
+      seed = static_cast<std::uint64_t>(
+          parse_int(rest.substr(colon2 + 1), "fault seed", 0));
+    }
+    return Trigger::probability(p, seed);
+  }
+  throw Error("unknown fault trigger kind: " + std::string(kind) +
+              " (expected countdown | every | prob)");
+}
+
+void ensure_env_parsed() {
+  std::call_once(g_env_once, [] {
+    const char* spec = std::getenv("AUTOPOWER_FAULT");
+    if (spec != nullptr && *spec != '\0') {
+      arm_from_env();
+    }
+  });
+}
+
+}  // namespace
+
+void arm(std::string_view site, const Trigger& trigger) {
+  Registry& r = registry();
+  std::lock_guard lock(r.mu);
+  Site& s = site_entry_locked(r, site);
+  if (!s.armed) g_armed_count.fetch_add(1, std::memory_order_relaxed);
+  s.armed = true;
+  s.trigger = trigger;
+  s.arm_hits = 0;
+}
+
+void disarm(std::string_view site) {
+  Registry& r = registry();
+  std::lock_guard lock(r.mu);
+  const auto it = r.sites.find(site);
+  if (it != r.sites.end() && it->second.armed) {
+    it->second.armed = false;
+    g_armed_count.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void disarm_all() {
+  Registry& r = registry();
+  std::lock_guard lock(r.mu);
+  for (auto& [name, s] : r.sites) {
+    if (s.armed) {
+      s.armed = false;
+      g_armed_count.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+bool should_fail(std::string_view site) {
+  ensure_env_parsed();
+  if (g_armed_count.load(std::memory_order_relaxed) == 0) {
+    // Nothing armed anywhere: skip the lock AND the per-site hit
+    // bookkeeping.  sites_seen() is only meaningful in fault tests,
+    // which always arm something first.
+    return false;
+  }
+  Registry& r = registry();
+  std::lock_guard lock(r.mu);
+  Site& s = site_entry_locked(r, site);
+  ++s.hits;
+  if (!s.armed) return false;
+  ++s.arm_hits;
+  return trigger_fires(s.trigger, s.arm_hits);
+}
+
+void inject(std::string_view site) {
+  if (should_fail(site)) {
+    throw FaultInjected("injected fault at " + std::string(site));
+  }
+}
+
+void inject_stream(std::string_view site, std::ostream& out) {
+  if (should_fail(site)) {
+    out.setstate(std::ios::badbit);
+  }
+}
+
+std::uint64_t hit_count(std::string_view site) {
+  Registry& r = registry();
+  std::lock_guard lock(r.mu);
+  const auto it = r.sites.find(site);
+  return it == r.sites.end() ? 0 : it->second.hits;
+}
+
+std::vector<std::string> sites_seen() {
+  Registry& r = registry();
+  std::lock_guard lock(r.mu);
+  std::vector<std::string> out;
+  out.reserve(r.sites.size());
+  for (const auto& [name, s] : r.sites) {
+    if (s.hits > 0) out.push_back(name);
+  }
+  return out;
+}
+
+void arm_from_env() {
+  const char* spec = std::getenv("AUTOPOWER_FAULT");
+  if (spec == nullptr || *spec == '\0') return;
+  std::string_view text(spec);
+  while (!text.empty()) {
+    const auto semi = text.find(';');
+    const std::string_view entry = text.substr(0, semi);
+    text = semi == std::string_view::npos ? std::string_view{}
+                                          : text.substr(semi + 1);
+    if (entry.empty()) continue;
+    const auto eq = entry.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      throw Error("bad AUTOPOWER_FAULT entry (want site=kind:arg): " +
+                  std::string(entry));
+    }
+    arm(entry.substr(0, eq), parse_trigger(entry.substr(eq + 1)));
+  }
+}
+
+}  // namespace autopower::util::fault

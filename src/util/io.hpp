@@ -11,6 +11,7 @@
 #include <string>
 
 #include "util/error.hpp"
+#include "util/fault.hpp"
 
 namespace autopower::util {
 
@@ -19,6 +20,9 @@ namespace autopower::util {
 /// any earlier write failure also latches failbit/badbit and is caught
 /// here).
 inline void flush_and_check(std::ostream& out, const std::string& what) {
+  // Stands in for the final flush hitting a full disk: latches badbit so
+  // the real detection path below fires.
+  AUTOPOWER_FAULT_STREAM("util.io.flush", out);
   out.flush();
   if (!out.good()) {
     throw Error("write failed for " + what +

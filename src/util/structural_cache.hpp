@@ -44,6 +44,8 @@
 #include <string_view>
 #include <unordered_map>
 
+#include "util/fault.hpp"
+
 namespace autopower::util {
 
 class MetricsRegistry;
@@ -80,7 +82,12 @@ class StructuralSimCache {
         return it->second;
       }
     }
+    // Insert-after-successful-compute: a throwing filler (or a failing
+    // insert allocation — emplace gives the strong guarantee) propagates
+    // without touching the map, so no lane can hold a partial entry.
+    AUTOPOWER_FAULT_POINT("util.structural_cache.fill");
     const double value = compute();
+    AUTOPOWER_FAULT_POINT("util.structural_cache.insert");
     std::unique_lock lock(shard.mu);
     const auto [it, inserted] = shard.map.emplace(key, value);
     // Only the winning insert counts the miss; a lost race adopts the

@@ -1,8 +1,10 @@
 #include "util/thread_pool.hpp"
 
+#include <exception>
 #include <utility>
 
 #include "util/error.hpp"
+#include "util/fault.hpp"
 
 namespace autopower::util {
 
@@ -18,6 +20,8 @@ ThreadPool::~ThreadPool() { shutdown(); }
 
 void ThreadPool::submit(std::function<void()> task) {
   AP_ASSERT_MSG(task != nullptr, "ThreadPool::submit: empty task");
+  // Stands in for the queue allocation failing under memory pressure.
+  AUTOPOWER_FAULT_POINT("util.thread_pool.submit");
   {
     std::lock_guard lock(mu_);
     if (!accepting_) {
@@ -26,6 +30,11 @@ void ThreadPool::submit(std::function<void()> task) {
     queue_.push_back(std::move(task));
   }
   work_cv_.notify_one();
+}
+
+ThreadPool::TaskFailures ThreadPool::task_failures() const {
+  std::lock_guard lock(mu_);
+  return failures_;
 }
 
 void ThreadPool::wait_idle() {
@@ -56,15 +65,31 @@ void ThreadPool::worker_loop() {
       queue_.pop_front();
       ++active_;
     }
-    // A throwing task must not take the worker (and the process) down;
-    // request-level errors are reported through BatchResponse instead.
+    // A throwing task must not take the worker (and the process) down —
+    // sibling tasks, including those queued behind it during a graceful
+    // shutdown drain, must still run.  The failure is recorded so callers
+    // for whom a lost task is fatal can detect it via task_failures().
+    std::string error;
+    bool failed = false;
     try {
+      AUTOPOWER_FAULT_POINT("util.thread_pool.run_task");
       task();
+    } catch (const std::exception& e) {
+      failed = true;
+      error = e.what();
     } catch (...) {
+      failed = true;
+      error = "unknown exception";
     }
     {
       std::lock_guard lock(mu_);
       --active_;
+      if (failed) {
+        ++failures_.count;
+        if (failures_.first_error.empty()) {
+          failures_.first_error = std::move(error);
+        }
+      }
     }
     idle_cv_.notify_all();
   }

@@ -10,15 +10,22 @@
 //     task already queued, then joins them (graceful, not abortive).
 //   * wait_idle() blocks until the queue is empty and no task is running —
 //     a completion barrier for callers that keep the pool alive.
+//   * A throwing task never takes a worker down: the worker records the
+//     failure (task_failures()) and keeps draining, so sibling tasks —
+//     including those still queued during a graceful shutdown drain —
+//     always run.  Callers that must not lose work check task_failures()
+//     after wait_idle()/shutdown() and surface the first error.
 //
 // The destructor calls shutdown(), so pending work always completes.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -43,6 +50,16 @@ class ThreadPool {
   /// call more than once.
   void shutdown();
 
+  /// Exceptions escaped by tasks so far.  `first_error` is the what() of
+  /// the earliest one (empty while count == 0).  Stable after
+  /// wait_idle()/shutdown(); callers that treat a lost task as fatal
+  /// check this and rethrow.
+  struct TaskFailures {
+    std::uint64_t count = 0;
+    std::string first_error;
+  };
+  [[nodiscard]] TaskFailures task_failures() const;
+
   [[nodiscard]] std::size_t thread_count() const noexcept {
     return workers_.size();
   }
@@ -50,11 +67,12 @@ class ThreadPool {
  private:
   void worker_loop();
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable work_cv_;  ///< signalled when work arrives / stops
   std::condition_variable idle_cv_;  ///< signalled when the pool may be idle
   std::deque<std::function<void()>> queue_;
   std::vector<std::thread> workers_;
+  TaskFailures failures_;
   std::size_t active_ = 0;    ///< tasks currently executing
   bool accepting_ = true;     ///< false once shutdown() begins
 };

@@ -1,0 +1,638 @@
+// Fault-injection coverage: every registered fault site must surface an
+// injected failure as a clean error — a thrown util::Error (exit 1 at
+// the CLI), a failed-but-complete batch response, or a latched stream
+// state the flush check catches.  Never a crash, hang, torn report, or
+// poisoned cache.
+//
+// Two flavours:
+//   * in-process: arm a site with util::fault::ScopedFault, drive the
+//     real code path, assert the failure mode AND the recovery (disarm,
+//     retry, verify caches were not left with partial entries);
+//   * subprocess: arm via AUTOPOWER_FAULT=... in the CLI's environment
+//     and assert the process exits with code 1 (a real exit, not a
+//     signal) — proving the end-to-end error path from fault point to
+//     process exit code.
+//
+// The canonical site list lives in DESIGN.md ("fault-site registry");
+// FaultSiteRegistryMatchesDesign below cross-checks that every site this
+// suite exercised is one of the documented ones.  Accepts --seed=N (the
+// shared proptest flag) for symmetry with test_differential.
+
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "arch/params.hpp"
+#include "core/autopower.hpp"
+#include "ml/gbt.hpp"
+#include "power/golden.hpp"
+#include "serve/engine.hpp"
+#include "serve/eval_cache.hpp"
+#include "serve/jsonl.hpp"
+#include "serve/sweep.hpp"
+#include "sim/perfsim.hpp"
+#include "testcore/generators.hpp"
+#include "testcore/proptest.hpp"
+#include "util/archive.hpp"
+#include "util/error.hpp"
+#include "util/fault.hpp"
+#include "util/io.hpp"
+#include "util/structural_cache.hpp"
+#include "util/thread_pool.hpp"
+#include "workload/workload.hpp"
+
+#ifndef AUTOPOWER_CLI_PATH
+#define AUTOPOWER_CLI_PATH "autopower"
+#endif
+
+namespace autopower {
+namespace {
+
+namespace fault = util::fault;
+
+// ---------------------------------------------------------------------
+// Shared fixtures and helpers.
+
+core::AutoPowerOptions tiny_options() {
+  core::AutoPowerOptions opt;
+  opt.clock.gbt.num_rounds = 3;
+  opt.clock.gbt.tree.max_depth = 2;
+  opt.sram.gbt.num_rounds = 3;
+  opt.sram.gbt.tree.max_depth = 2;
+  opt.logic.gbt.num_rounds = 3;
+  opt.logic.gbt.tree.max_depth = 2;
+  return opt;
+}
+
+std::shared_ptr<const core::AutoPowerModel> tiny_model() {
+  static const auto* model = [] {
+    sim::SimOptions opt;
+    opt.sample_accesses = 400;
+    opt.sample_branches = 400;
+    sim::PerfSimulator sim(opt);
+    const power::GoldenPowerModel golden;
+    std::vector<core::EvalContext> ctxs;
+    for (const char* cfg_name : {"C1", "C15"}) {
+      const auto& cfg = arch::boom_config(cfg_name);
+      for (const char* wl_name : {"dhrystone", "qsort"}) {
+        const auto& wl = workload::workload_by_name(wl_name);
+        core::EvalContext ctx;
+        ctx.cfg = &cfg;
+        ctx.workload = wl.name;
+        ctx.program = workload::program_features(wl);
+        ctx.events = sim.simulate(cfg, wl);
+        ctxs.push_back(std::move(ctx));
+      }
+    }
+    auto m = std::make_shared<core::AutoPowerModel>(tiny_options());
+    m->train(ctxs, golden, 1);
+    return new std::shared_ptr<const core::AutoPowerModel>(std::move(m));
+  }();
+  return *model;
+}
+
+std::vector<serve::BatchRequest> valid_requests(std::size_t n) {
+  std::vector<serve::BatchRequest> reqs;
+  const char* configs[] = {"C2", "C5", "C9", "C13"};
+  const char* workloads[] = {"dhrystone", "qsort", "median", "towers"};
+  for (std::size_t i = 0; i < n; ++i) {
+    reqs.push_back({configs[i % 4], workloads[(i / 4 + i) % 4],
+                    serve::PredictMode::kTotal});
+  }
+  return reqs;
+}
+
+/// Runs the CLI with AUTOPOWER_FAULT set; returns the raw wait() status
+/// and captures combined stdout+stderr.
+int run_cli_with_fault(const std::string& fault_spec,
+                       const std::string& args, std::string* output) {
+  std::string cmd = "AUTOPOWER_FAULT='" + fault_spec + "' '" +
+                    AUTOPOWER_CLI_PATH "' " + args + " 2>&1";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  EXPECT_NE(pipe, nullptr);
+  if (pipe == nullptr) return -1;
+  std::string text;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = fread(buf, 1, sizeof buf, pipe)) > 0) text.append(buf, n);
+  if (output != nullptr) *output = std::move(text);
+  return pclose(pipe);
+}
+
+/// Asserts the status is a clean exit with code 1 (error path, not a
+/// crash/signal, not a silent success).
+void expect_clean_error_exit(int status, const std::string& output) {
+  ASSERT_TRUE(WIFEXITED(status))
+      << "CLI died on a signal instead of exiting cleanly; output:\n"
+      << output;
+  EXPECT_EQ(WEXITSTATUS(status), 1) << "output:\n" << output;
+}
+
+class FaultCliTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dir_ = new std::filesystem::path(
+        std::filesystem::temp_directory_path() /
+        ("autopower_fault_test_" + std::to_string(::getpid())));
+    std::filesystem::create_directories(*dir_);
+    // A real model file written by the unfaulted CLI, reused by every
+    // subprocess case.
+    std::string output;
+    const int status = run_cli_with_fault(
+        "", "train --known C1,C15 --out '" + model_path() + "'", &output);
+    ASSERT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0) << output;
+    std::ofstream reqs(requests_path());
+    reqs << R"({"config": "C3", "workload": "dhrystone"})" << "\n"
+         << R"({"config": "C7", "workload": "qsort", "mode": "total"})"
+         << "\n";
+  }
+  static void TearDownTestSuite() {
+    std::error_code ec;
+    std::filesystem::remove_all(*dir_, ec);
+    delete dir_;
+    dir_ = nullptr;
+  }
+
+  static std::string model_path() { return (*dir_ / "model.ap").string(); }
+  static std::string requests_path() {
+    return (*dir_ / "requests.jsonl").string();
+  }
+  static std::string out_path(const char* name) {
+    return (*dir_ / name).string();
+  }
+
+  static std::filesystem::path* dir_;
+};
+
+std::filesystem::path* FaultCliTest::dir_ = nullptr;
+
+// ---------------------------------------------------------------------
+// util.thread_pool.submit / util.thread_pool.run_task
+
+TEST(FaultThreadPool, SubmitFaultThrowsAndPoolSurvives) {
+  util::ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  const auto task = [&ran] { ran.fetch_add(1); };
+  {
+    fault::ScopedFault armed("util.thread_pool.submit",
+                             fault::Trigger::countdown(2));
+    pool.submit(task);
+    EXPECT_THROW(pool.submit(task), fault::FaultInjected);
+    pool.submit(task);  // pool still accepts work after the failure
+  }
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), 2);
+  EXPECT_EQ(pool.task_failures().count, 0u);
+  EXPECT_GT(fault::hit_count("util.thread_pool.submit"), 0u);
+}
+
+TEST(FaultThreadPool, LostTaskNeverHangsDrainAndSiblingsComplete) {
+  util::ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  {
+    fault::ScopedFault armed("util.thread_pool.run_task",
+                             fault::Trigger::countdown(2));
+    for (int i = 0; i < 6; ++i) {
+      pool.submit([&ran] { ran.fetch_add(1); });
+    }
+    pool.wait_idle();  // the regression: this must return, not hang
+  }
+  EXPECT_EQ(ran.load(), 5);  // exactly the faulted task is lost
+  const auto failures = pool.task_failures();
+  EXPECT_EQ(failures.count, 1u);
+  EXPECT_NE(failures.first_error.find("injected fault"), std::string::npos)
+      << failures.first_error;
+  // The pool keeps draining and accepting after the failure.
+  pool.submit([&ran] { ran.fetch_add(1); });
+  pool.shutdown();
+  EXPECT_EQ(ran.load(), 6);
+}
+
+// ---------------------------------------------------------------------
+// serve.engine.handle
+
+TEST(FaultEngine, ThreadedBatchFailsOneRequestCleanly) {
+  serve::BatchEngine engine(tiny_model(),
+                            {.threads = 3, .memoize_responses = false});
+  const auto requests = valid_requests(6);
+  std::vector<serve::BatchResponse> responses;
+  {
+    fault::ScopedFault armed("serve.engine.handle",
+                             fault::Trigger::countdown(1));
+    responses = engine.run(requests);  // must return, not hang or throw
+  }
+  ASSERT_EQ(responses.size(), requests.size());
+  std::size_t failed = 0;
+  for (const auto& r : responses) {
+    if (!r.ok) {
+      ++failed;
+      EXPECT_NE(r.error.find("injected fault"), std::string::npos)
+          << r.error;
+    } else {
+      EXPECT_GT(r.total_mw, 0.0);
+    }
+  }
+  EXPECT_EQ(failed, 1u);
+  // Recovery: the same batch succeeds completely once disarmed.
+  for (const auto& r : engine.run(requests)) {
+    EXPECT_TRUE(r.ok) << r.error;
+  }
+}
+
+TEST(FaultEngine, SerialBatchPropagatesThrowCleanly) {
+  serve::BatchEngine engine(tiny_model(), {.threads = 1});
+  const auto requests = valid_requests(2);
+  {
+    fault::ScopedFault armed("serve.engine.handle",
+                             fault::Trigger::countdown(1));
+    EXPECT_THROW((void)engine.run(requests), fault::FaultInjected);
+  }
+  for (const auto& r : engine.run(requests)) {
+    EXPECT_TRUE(r.ok) << r.error;
+  }
+}
+
+TEST(FaultEngine, FailedResponseIsNeverMemoized) {
+  // A transient fault must not poison the response memo: the failed
+  // response is returned but NOT cached, so the retry recomputes.
+  serve::BatchEngine engine(tiny_model(),
+                            {.threads = 1, .memoize_responses = true});
+  const std::vector<serve::BatchRequest> one = {
+      {"C4", "dhrystone", serve::PredictMode::kTotal}};
+  {
+    // Fault below handle()'s memo layer: compute() folds the eval-cache
+    // failure into an ok == false response, which then reaches the
+    // memoisation decision.
+    fault::ScopedFault armed("serve.eval_cache.compute",
+                             fault::Trigger::countdown(1));
+    const auto first = engine.run(one);
+    ASSERT_EQ(first.size(), 1u);
+    EXPECT_FALSE(first[0].ok);
+    EXPECT_NE(first[0].error.find("injected fault"), std::string::npos);
+  }
+  const auto stats_after_failure = engine.response_stats();
+  EXPECT_EQ(stats_after_failure.hits, 0u);
+  EXPECT_EQ(stats_after_failure.misses, 1u);  // failed compute counts a miss
+  // Disarmed retry must recompute and succeed — a poisoned memo would
+  // replay the failure forever.
+  const auto second = engine.run(one);
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_TRUE(second[0].ok) << second[0].error;
+  // And the success IS memoised: a third run answers from the memo.
+  const auto third = engine.run(one);
+  EXPECT_TRUE(third[0].ok);
+  EXPECT_EQ(third[0].total_mw, second[0].total_mw);
+  EXPECT_EQ(engine.response_stats().hits, 1u);
+}
+
+// ---------------------------------------------------------------------
+// serve.eval_cache.compute / serve.eval_cache.insert (satellite: the
+// first-insert-wins fill must never publish a partial entry)
+
+TEST(FaultEvalCache, ThrowingComputeLeavesNoPartialEntry) {
+  serve::EvalCache cache(4);
+  const sim::PerfSimulator sim;
+  {
+    fault::ScopedFault armed("serve.eval_cache.compute",
+                             fault::Trigger::countdown(1));
+    EXPECT_THROW((void)cache.get_or_compute("C3", "dhrystone", sim),
+                 fault::FaultInjected);
+  }
+  EXPECT_EQ(cache.size(), 0u);  // nothing published
+  // Recovery: the same key computes fine afterwards and is cached.
+  const auto ctx = cache.get_or_compute("C3", "dhrystone", sim);
+  ASSERT_NE(ctx, nullptr);
+  EXPECT_EQ(cache.size(), 1u);
+  const auto again = cache.get_or_compute("C3", "dhrystone", sim);
+  EXPECT_EQ(ctx.get(), again.get());  // served from cache
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(FaultEvalCache, ThrowingInsertLeavesNoPartialEntry) {
+  serve::EvalCache cache(4);
+  const sim::PerfSimulator sim;
+  {
+    fault::ScopedFault armed("serve.eval_cache.insert",
+                             fault::Trigger::countdown(1));
+    EXPECT_THROW((void)cache.get_or_compute("C5", "qsort", sim),
+                 fault::FaultInjected);
+  }
+  EXPECT_EQ(cache.size(), 0u);
+  const auto ctx = cache.get_or_compute("C5", "qsort", sim);
+  ASSERT_NE(ctx, nullptr);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+// ---------------------------------------------------------------------
+// util.structural_cache.fill / util.structural_cache.insert
+
+TEST(FaultStructuralCache, ThrowingFillLeavesNoPartialEntry) {
+  util::StructuralSimCache cache(2);
+  const auto compute = [] { return 1.5; };
+  {
+    fault::ScopedFault armed("util.structural_cache.fill",
+                             fault::Trigger::countdown(1));
+    EXPECT_THROW((void)cache.get_or_compute(
+                     util::StructuralSimCache::SubSim::kICache, 42, compute),
+                 fault::FaultInjected);
+  }
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.get_or_compute(util::StructuralSimCache::SubSim::kICache,
+                                 42, compute),
+            1.5);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(FaultStructuralCache, ThrowingInsertLeavesNoPartialEntry) {
+  util::StructuralSimCache cache(2);
+  const auto compute = [] { return 2.5; };
+  {
+    fault::ScopedFault armed("util.structural_cache.insert",
+                             fault::Trigger::countdown(1));
+    EXPECT_THROW((void)cache.get_or_compute(
+                     util::StructuralSimCache::SubSim::kBranch, 7, compute),
+                 fault::FaultInjected);
+  }
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.get_or_compute(util::StructuralSimCache::SubSim::kBranch,
+                                 7, compute),
+            2.5);
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);  // only the successful insert counted
+}
+
+// ---------------------------------------------------------------------
+// serve.jsonl.read_line / serve.jsonl.write_response
+
+TEST(FaultJsonl, ReadFaultSurfacesWithLineNumber) {
+  std::istringstream in(
+      "{\"config\": \"C1\", \"workload\": \"dhrystone\"}\n"
+      "{\"config\": \"C2\", \"workload\": \"qsort\"}\n"
+      "{\"config\": \"C3\", \"workload\": \"median\"}\n");
+  fault::ScopedFault armed("serve.jsonl.read_line",
+                           fault::Trigger::countdown(2));
+  try {
+    (void)serve::read_requests(in);
+    FAIL() << "expected util::Error";
+  } catch (const util::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("injected fault"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(FaultJsonl, WriteFaultLatchesStreamForFlushCheck) {
+  std::vector<serve::BatchResponse> responses(2);
+  responses[0].index = 0;
+  responses[0].config = "C1";
+  responses[0].workload = "dhrystone";
+  responses[0].ok = true;
+  responses[0].total_mw = 10.0;
+  responses[1] = responses[0];
+  responses[1].index = 1;
+  std::ostringstream out;
+  fault::ScopedFault armed("serve.jsonl.write_response",
+                           fault::Trigger::countdown(2));
+  serve::write_responses(out, responses);  // must not throw or crash
+  EXPECT_TRUE(out.bad());  // latched exactly like a full disk
+  EXPECT_THROW(util::flush_and_check(out, "responses"), util::Error);
+}
+
+// ---------------------------------------------------------------------
+// serve.report.write_row
+
+TEST(FaultSweepReport, RowWriteFaultLatchesStream) {
+  serve::SweepSpec spec;
+  spec.base = "C8";
+  spec.workloads = {"dhrystone"};
+  const auto report = serve::run_sweep(*tiny_model(), spec);
+  std::ostringstream out;
+  fault::ScopedFault armed("serve.report.write_row",
+                           fault::Trigger::countdown(1));
+  serve::write_sweep_report(out, report);
+  EXPECT_TRUE(out.bad());
+  EXPECT_THROW(util::flush_and_check(out, "sweep report"), util::Error);
+}
+
+// ---------------------------------------------------------------------
+// util.io.flush
+
+TEST(FaultIo, FlushFaultBecomesWriteError) {
+  std::ostringstream out;
+  out << "report body\n";
+  fault::ScopedFault armed("util.io.flush", fault::Trigger::countdown(1));
+  try {
+    util::flush_and_check(out, "the report");
+    FAIL() << "expected util::Error";
+  } catch (const util::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("the report"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("failed state"), std::string::npos);
+  }
+}
+
+// ---------------------------------------------------------------------
+// util.archive.write / util.archive.read
+
+TEST(FaultArchive, WriteFaultThrowsCleanly) {
+  ml::GbtOptions opt;
+  opt.num_rounds = 2;
+  ml::GBTRegressor model(opt);
+  ml::Dataset data({"x"});
+  data.add_sample(std::vector<double>{1.0}, 2.0);
+  data.add_sample(std::vector<double>{2.0}, 3.0);
+  data.add_sample(std::vector<double>{3.0}, 5.0);
+  model.fit(data);
+
+  std::ostringstream out;
+  util::ArchiveWriter writer(out);
+  fault::ScopedFault armed("util.archive.write",
+                           fault::Trigger::countdown(3));
+  EXPECT_THROW(model.save(writer), fault::FaultInjected);
+}
+
+TEST(FaultArchive, ReadFaultThrowsCleanlyMidLoad) {
+  ml::GbtOptions opt;
+  opt.num_rounds = 2;
+  ml::GBTRegressor model(opt);
+  ml::Dataset data({"x"});
+  data.add_sample(std::vector<double>{1.0}, 2.0);
+  data.add_sample(std::vector<double>{2.0}, 3.0);
+  data.add_sample(std::vector<double>{3.0}, 5.0);
+  model.fit(data);
+  std::ostringstream out;
+  util::ArchiveWriter writer(out);
+  model.save(writer);
+
+  std::istringstream in(out.str());
+  util::ArchiveReader reader(in);
+  ml::GBTRegressor loaded;
+  fault::ScopedFault armed("util.archive.read",
+                           fault::Trigger::countdown(4));
+  EXPECT_THROW(loaded.load(reader), fault::FaultInjected);
+}
+
+// ---------------------------------------------------------------------
+// Subprocess: AUTOPOWER_FAULT environment arming, CLI must exit 1.
+
+TEST_F(FaultCliTest, BatchReadFaultExitsOne) {
+  std::string output;
+  const int status = run_cli_with_fault(
+      "serve.jsonl.read_line=countdown:1",
+      "batch --model '" + model_path() + "' --requests '" +
+          requests_path() + "'",
+      &output);
+  expect_clean_error_exit(status, output);
+  EXPECT_NE(output.find("injected fault"), std::string::npos) << output;
+}
+
+TEST_F(FaultCliTest, BatchOutputFlushFaultExitsOne) {
+  const std::string out_file = out_path("batch_out.jsonl");
+  std::string output;
+  const int status = run_cli_with_fault(
+      "util.io.flush=countdown:1",
+      "batch --model '" + model_path() + "' --requests '" +
+          requests_path() + "' --out '" + out_file + "'",
+      &output);
+  expect_clean_error_exit(status, output);
+  EXPECT_NE(output.find("write failed"), std::string::npos) << output;
+}
+
+TEST_F(FaultCliTest, ModelLoadFaultExitsOne) {
+  std::string output;
+  const int status = run_cli_with_fault(
+      "util.archive.read=countdown:5",
+      "predict --model '" + model_path() +
+          "' --config C8 --workload dhrystone",
+      &output);
+  expect_clean_error_exit(status, output);
+}
+
+TEST_F(FaultCliTest, TrainArchiveWriteFaultExitsOne) {
+  std::string output;
+  const int status = run_cli_with_fault(
+      "util.archive.write=countdown:10",
+      "train --known C1,C15 --out '" + out_path("faulted_model.ap") + "'",
+      &output);
+  expect_clean_error_exit(status, output);
+}
+
+TEST_F(FaultCliTest, SweepReportWriteFaultExitsOne) {
+  std::string output;
+  const int status = run_cli_with_fault(
+      "serve.report.write_row=countdown:1",
+      "sweep --model '" + model_path() +
+          "' --workloads dhrystone --base C8 --out '" +
+          out_path("sweep_out.jsonl") + "'",
+      &output);
+  expect_clean_error_exit(status, output);
+}
+
+TEST_F(FaultCliTest, MalformedFaultSpecExitsOne) {
+  std::string output;
+  const int status = run_cli_with_fault(
+      "serve.jsonl.read_line=bogus:x",
+      "batch --model '" + model_path() + "' --requests '" +
+          requests_path() + "'",
+      &output);
+  expect_clean_error_exit(status, output);
+  EXPECT_NE(output.find("fault"), std::string::npos) << output;
+}
+
+// ---------------------------------------------------------------------
+// Concurrent faulting (the TSan target): probabilistic faults on the
+// structural-cache fill while a threaded engine runs.  Nothing may
+// crash, hang, or leave a cache entry that poisons the recovery run.
+
+TEST(FaultConcurrent, ProbabilisticStructuralFaultsUnderThreadedBatch) {
+  serve::BatchEngine engine(tiny_model(),
+                            {.threads = 3, .memoize_responses = false});
+  const auto requests = valid_requests(8);
+  {
+    fault::ScopedFault armed(
+        "util.structural_cache.fill",
+        fault::Trigger::probability(0.3, /*seed=*/testcore::Pcg32(1)
+                                             .next_u64()));
+    const auto responses = engine.run(requests);  // must complete
+    ASSERT_EQ(responses.size(), requests.size());
+    for (const auto& r : responses) {
+      if (!r.ok) {
+        EXPECT_NE(r.error.find("injected fault"), std::string::npos)
+            << r.error;
+      }
+    }
+  }
+  // Recovery run: every request succeeds; no cache slot was poisoned.
+  for (const auto& r : engine.run(requests)) {
+    EXPECT_TRUE(r.ok) << r.error;
+  }
+}
+
+TEST(FaultConcurrent, ThreadPoolSurvivesProbabilisticTaskFaults) {
+  util::ThreadPool pool(3);
+  std::atomic<int> ran{0};
+  constexpr int kTasks = 64;
+  {
+    fault::ScopedFault armed("util.thread_pool.run_task",
+                             fault::Trigger::probability(0.25, 99));
+    for (int i = 0; i < kTasks; ++i) {
+      pool.submit([&ran] { ran.fetch_add(1); });
+    }
+    pool.wait_idle();  // never hangs, whatever subset of tasks died
+  }
+  const auto failures = pool.task_failures();
+  EXPECT_EQ(ran.load() + static_cast<int>(failures.count), kTasks);
+  EXPECT_GT(failures.count, 0u);  // p=0.25 over 64 tasks fires
+}
+
+// ---------------------------------------------------------------------
+// Registry coverage: every site this binary exercised is a documented
+// one, and every documented site was exercised (keeps DESIGN.md's
+// fault-site registry honest).
+
+TEST(FaultRegistry, AllDocumentedSitesExercised) {
+  const std::vector<std::string> documented = {
+      "serve.engine.handle",
+      "serve.eval_cache.compute",
+      "serve.eval_cache.insert",
+      "serve.jsonl.read_line",
+      "serve.jsonl.write_response",
+      "serve.report.write_row",
+      "util.archive.read",
+      "util.archive.write",
+      "util.io.flush",
+      "util.structural_cache.fill",
+      "util.structural_cache.insert",
+      "util.thread_pool.run_task",
+      "util.thread_pool.submit",
+  };
+  const auto seen = fault::sites_seen();
+  for (const auto& site : documented) {
+    EXPECT_NE(std::find(seen.begin(), seen.end(), site), seen.end())
+        << "documented fault site never evaluated in-process: " << site;
+  }
+  for (const auto& site : seen) {
+    EXPECT_NE(std::find(documented.begin(), documented.end(), site),
+              documented.end())
+        << "fault site not in DESIGN.md registry: " << site;
+  }
+}
+
+}  // namespace
+}  // namespace autopower
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  autopower::testcore::apply_cli_flags(&argc, argv);
+  return RUN_ALL_TESTS();
+}

@@ -1,0 +1,199 @@
+// Golden-snapshot tests for the CLI report formats: train/evaluate
+// stdout, batch and sweep JSONL reports, and the --stats JSON schema.
+//
+// Each snapshot lives in tests/golden/*.golden (the .golden extension
+// keeps them out of the repo's *.jsonl/*.csv gitignore rules).  A test
+// drives the real CLI binary end-to-end in a temp directory, normalises
+// volatile content (temp paths, timing numbers), and compares byte for
+// byte.  To refresh after an intentional format change:
+//
+//   ./build/tests/test_golden --update-golden
+//
+// which rewrites every snapshot in the source tree from the current
+// binary's output.  Review the diff like any other code change.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <regex>
+#include <sstream>
+#include <string>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool g_update_golden = false;
+
+struct CliResult {
+  int exit_code = -1;
+  std::string out;
+};
+
+/// Run the CLI with `args`, capturing stdout.  stderr is dropped: it
+/// carries progress chatter ("metrics snapshot written to ...") that is
+/// not part of the report contract.
+CliResult run_cli(const std::string& args) {
+  const std::string cmd =
+      std::string("'") + AUTOPOWER_CLI_PATH + "' " + args + " 2>/dev/null";
+  CliResult result;
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return result;
+  char buffer[4096];
+  std::size_t n = 0;
+  while ((n = fread(buffer, 1, sizeof(buffer), pipe)) > 0) {
+    result.out.append(buffer, n);
+  }
+  const int status = pclose(pipe);
+  if (WIFEXITED(status)) result.exit_code = WEXITSTATUS(status);
+  return result;
+}
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// Replace every occurrence of the per-run temp directory with a stable
+/// token so snapshots do not embed a PID.
+std::string normalize_paths(std::string text, const std::string& tmp_dir) {
+  std::size_t pos = 0;
+  while ((pos = text.find(tmp_dir, pos)) != std::string::npos) {
+    text.replace(pos, tmp_dir.size(), "<TMP>");
+  }
+  return text;
+}
+
+/// Replace every numeric literal with '#'.  Used for the --stats JSON:
+/// the key schema (counter/gauge/histogram names, bucket counts) is the
+/// contract; the values include wall-clock timings that change per run.
+std::string normalize_numbers(const std::string& text) {
+  static const std::regex number(R"(([:,\[\s])-?\d+(\.\d+)?([eE][+-]?\d+)?)");
+  return std::regex_replace(text, number, "$1#");
+}
+
+/// Compare `actual` against tests/golden/<name>, or rewrite the
+/// snapshot when --update-golden was passed.
+void check_golden(const std::string& name, const std::string& actual) {
+  const fs::path path = fs::path(AUTOPOWER_GOLDEN_DIR) / name;
+  if (g_update_golden) {
+    fs::create_directories(path.parent_path());
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot write golden file " << path;
+    out << actual;
+    ASSERT_TRUE(out.good());
+    return;
+  }
+  ASSERT_TRUE(fs::exists(path))
+      << "missing golden file " << path
+      << "\ncreate it with: test_golden --update-golden";
+  const std::string expected = read_file(path);
+  EXPECT_EQ(actual, expected)
+      << "output diverged from " << path
+      << "\nif the format change is intentional, refresh with:"
+      << " test_golden --update-golden";
+}
+
+/// One shared temp workspace: train a model once, reuse it for every
+/// snapshot.  Training is deterministic, so the snapshots are too.
+class GoldenCliTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    tmp_dir_ = new std::string("/tmp/autopower_golden_test_" +
+                               std::to_string(::getpid()));
+    fs::create_directories(*tmp_dir_);
+    train_ = new CliResult(
+        run_cli("train --known C1,C15 --out " + *tmp_dir_ +
+                "/m.ap --stats " + *tmp_dir_ + "/train_stats.json"));
+    ASSERT_EQ(train_->exit_code, 0) << train_->out;
+  }
+
+  static void TearDownTestSuite() {
+    std::error_code ec;
+    fs::remove_all(*tmp_dir_, ec);
+    delete tmp_dir_;
+    tmp_dir_ = nullptr;
+    delete train_;
+    train_ = nullptr;
+  }
+
+  static std::string model() { return *tmp_dir_ + "/m.ap"; }
+  static const std::string& tmp_dir() { return *tmp_dir_; }
+  static const CliResult& train_result() { return *train_; }
+
+ private:
+  static std::string* tmp_dir_;
+  static CliResult* train_;
+};
+
+std::string* GoldenCliTest::tmp_dir_ = nullptr;
+CliResult* GoldenCliTest::train_ = nullptr;
+
+TEST_F(GoldenCliTest, TrainStdout) {
+  check_golden("train_stdout.golden",
+               normalize_paths(train_result().out, tmp_dir()));
+}
+
+TEST_F(GoldenCliTest, TrainStatsSchema) {
+  check_golden(
+      "train_stats_schema.golden",
+      normalize_numbers(read_file(tmp_dir() + "/train_stats.json")));
+}
+
+TEST_F(GoldenCliTest, EvaluateStdout) {
+  const auto r = run_cli("evaluate --model " + model() + " --known C1,C15");
+  ASSERT_EQ(r.exit_code, 0) << r.out;
+  check_golden("evaluate_stdout.golden", r.out);
+}
+
+TEST_F(GoldenCliTest, BatchJsonlReport) {
+  // A fixed batch covering both report shapes (total, per_component)
+  // plus a failing request, so the error row format is pinned too.
+  const std::string reqs = tmp_dir() + "/reqs.jsonl";
+  {
+    std::ofstream out(reqs);
+    out << R"({"config": "C2", "workload": "dhrystone"})" << "\n"
+        << R"({"config": "C5", "workload": "qsort", "mode": "per_component"})"
+        << "\n"
+        << R"({"config": "C99", "workload": "median"})" << "\n";
+  }
+  const std::string results = tmp_dir() + "/results.jsonl";
+  const auto r = run_cli("batch --model " + model() + " --requests " + reqs +
+                         " --out " + results + " --stats " + tmp_dir() +
+                         "/batch_stats.json");
+  ASSERT_EQ(r.exit_code, 0) << r.out;
+  check_golden("batch_results.golden", read_file(results));
+  check_golden(
+      "batch_stats_schema.golden",
+      normalize_numbers(read_file(tmp_dir() + "/batch_stats.json")));
+}
+
+TEST_F(GoldenCliTest, SweepJsonlReport) {
+  const std::string out_path = tmp_dir() + "/sweep.jsonl";
+  const auto r = run_cli("sweep --model " + model() +
+                         " --grid RobEntry=64,96 --workloads dhrystone,qsort"
+                         " --base C8 --out " + out_path);
+  ASSERT_EQ(r.exit_code, 0) << r.out;
+  check_golden("sweep_report.golden", read_file(out_path));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--update-golden") == 0) {
+      g_update_golden = true;
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      break;
+    }
+  }
+  return RUN_ALL_TESTS();
+}

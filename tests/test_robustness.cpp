@@ -5,16 +5,22 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <optional>
 #include <sstream>
 #include <string>
 
+#include "arch/params.hpp"
 #include "core/autopower.hpp"
 #include "core/scaling_model.hpp"
 #include "ml/gbt.hpp"
 #include "ml/linear.hpp"
 #include "ml/tree.hpp"
+#include "power/golden.hpp"
+#include "sim/perfsim.hpp"
+#include "testcore/proptest.hpp"
 #include "util/archive.hpp"
 #include "util/error.hpp"
+#include "workload/workload.hpp"
 
 namespace autopower {
 namespace {
@@ -136,6 +142,129 @@ TEST(Robustness, TreeRejectsMismatchedGradients) {
   ml::RegressionTree tree;
   EXPECT_THROW(tree.fit(data, short_grad, hess, ml::TreeOptions{}),
                util::InvalidArgument);
+}
+
+// --- archive fuzz ------------------------------------------------------------
+//
+// Seeded fuzz over a real trained-model archive: truncate it at a random
+// point, or flip one random byte, then load.  The contract is "clean
+// util::Error or a successful load" -- never a crash, hang, or
+// out-of-bounds read (the ASan leg of tools/check.sh backs the latter).
+
+/// One tiny trained model, archived once and reused by every fuzz case.
+const std::string& fuzz_archive() {
+  static const std::string* archive = [] {
+    const auto& space = arch::boom_design_space();
+    const auto& workloads = workload::riscv_tests_workloads();
+    sim::SimOptions sim_opt;
+    sim_opt.window_cycles = 50;
+    sim_opt.sample_accesses = 300;
+    sim_opt.sample_branches = 300;
+    sim_opt.phase_repeats = 2;
+    sim::PerfSimulator sim(sim_opt);
+    const power::GoldenPowerModel golden;
+
+    std::vector<core::EvalContext> ctxs;
+    for (std::size_t c = 0; c < 2; ++c) {
+      for (std::size_t w = 0; w < 2; ++w) {
+        core::EvalContext ctx;
+        ctx.cfg = &space[c];
+        ctx.workload = workloads[w].name;
+        ctx.program = workload::program_features(workloads[w]);
+        ctx.events = sim.simulate(space[c], workloads[w]);
+        ctxs.push_back(std::move(ctx));
+      }
+    }
+
+    core::AutoPowerOptions opt;
+    opt.clock.gbt.num_rounds = 3;
+    opt.clock.gbt.tree.max_depth = 2;
+    opt.sram.gbt.num_rounds = 3;
+    opt.sram.gbt.tree.max_depth = 2;
+    opt.logic.gbt.num_rounds = 3;
+    opt.logic.gbt.tree.max_depth = 2;
+    core::AutoPowerModel model(opt);
+    model.train(ctxs, golden, 1);
+
+    std::ostringstream out;
+    model.save(out);
+    return new std::string(out.str());
+  }();
+  return *archive;
+}
+
+TEST(Robustness, TruncatedModelArchiveAlwaysRejected) {
+  const std::string& archive = fuzz_archive();
+  // Truncating inside the significant content (not just trailing
+  // whitespace) must always surface as a load error.
+  std::size_t last_significant = archive.find_last_not_of(" \n\t");
+  ASSERT_NE(last_significant, std::string::npos);
+  const auto result = testcore::run_property<std::size_t>(
+      {.name = "robustness.truncated_archive", .cases = 150},
+      [&](testcore::Pcg32& rng) { return rng.index(last_significant + 1); },
+      [&](const std::size_t& cut) -> std::optional<std::string> {
+        std::istringstream in(archive.substr(0, cut));
+        core::AutoPowerModel model;
+        try {
+          model.load(in);
+        } catch (const util::Error&) {
+          return std::nullopt;  // clean rejection: the contract
+        }
+        return "truncated archive loaded without error";
+      },
+      [&](const std::size_t& cut) {
+        return "cut at byte " + std::to_string(cut) + " of " +
+               std::to_string(archive.size());
+      });
+  ASSERT_TRUE(result.passed) << result.report;
+}
+
+TEST(Robustness, BitFlippedModelArchiveNeverCrashes) {
+  const std::string& archive = fuzz_archive();
+  struct Flip {
+    std::size_t pos;
+    unsigned char mask;
+  };
+  const auto result = testcore::run_property<Flip>(
+      {.name = "robustness.bitflipped_archive", .cases = 200},
+      [&](testcore::Pcg32& rng) {
+        return Flip{rng.index(archive.size()),
+                    static_cast<unsigned char>(rng.next_int(1, 255))};
+      },
+      [&](const Flip& flip) -> std::optional<std::string> {
+        std::string corrupted = archive;
+        corrupted[flip.pos] =
+            static_cast<char>(static_cast<unsigned char>(corrupted[flip.pos]) ^
+                              flip.mask);
+        std::istringstream in(corrupted);
+        core::AutoPowerModel model;
+        try {
+          model.load(in);
+        } catch (const util::Error&) {
+          return std::nullopt;  // clean rejection
+        }
+        // Some flips land in float payloads and still parse; a model
+        // that claims to have loaded must then predict without UB.
+        const auto& space = arch::boom_design_space();
+        const auto& wl = workload::riscv_tests_workloads()[0];
+        sim::PerfSimulator sim;
+        core::EvalContext ctx;
+        ctx.cfg = &space[0];
+        ctx.workload = wl.name;
+        ctx.program = workload::program_features(wl);
+        ctx.events = sim.simulate(space[0], wl);
+        try {
+          (void)model.predict_total(ctx);
+        } catch (const util::Error&) {
+          // e.g. a flipped `fitted` flag: predict may refuse, cleanly.
+        }
+        return std::nullopt;
+      },
+      [](const Flip& flip) {
+        return "flip byte " + std::to_string(flip.pos) + " with mask 0x" +
+               std::to_string(static_cast<int>(flip.mask));
+      });
+  ASSERT_TRUE(result.passed) << result.report;
 }
 
 TEST(Robustness, PredictAfterFailedLoadStillThrowsNotFitted) {

@@ -27,6 +27,7 @@
 #include "serve/sweep.hpp"
 #include "sim/perfsim.hpp"
 #include "util/error.hpp"
+#include "util/fault.hpp"
 #include "util/metrics.hpp"
 #include "util/structural_cache.hpp"
 #include "util/thread_pool.hpp"
@@ -315,6 +316,59 @@ TEST_F(EngineTest, BadRequestFailsAloneNotTheBatch) {
   EXPECT_FALSE(responses[2].ok);
   EXPECT_TRUE(responses[3].ok);
 }
+
+#if defined(AUTOPOWER_FAULT_INJECTION)
+TEST_F(EngineTest, FaultedDrainKeepsSiblingResultsBitIdentical) {
+  // A request lost to an exception mid-drain must not hang run() (the
+  // old in-task latch would strand forever), must fail alone, and must
+  // leave every sibling response bit-identical to a fault-free run.
+  const std::vector<BatchRequest> requests = {
+      {"C1", "dhrystone", PredictMode::kTotal},
+      {"C3", "qsort", PredictMode::kTotal},
+      {"C5", "median", PredictMode::kPerComponent},
+      {"C7", "towers", PredictMode::kTotal},
+      {"C9", "rsort", PredictMode::kTotal},
+      {"C11", "vvadd", PredictMode::kTotal},
+  };
+  BatchEngine clean_engine(model(), {.threads = 3,
+                                     .memoize_responses = false});
+  const auto expected = clean_engine.run(requests);
+
+  BatchEngine engine(model(), {.threads = 3, .memoize_responses = false});
+  std::vector<BatchResponse> faulted;
+  {
+    util::fault::ScopedFault armed("serve.engine.handle",
+                                   util::fault::Trigger::countdown(1));
+    faulted = engine.run(requests);  // must return, not hang
+  }
+  ASSERT_EQ(faulted.size(), requests.size());
+  std::size_t failed = 0;
+  for (std::size_t i = 0; i < faulted.size(); ++i) {
+    EXPECT_EQ(faulted[i].index, i);
+    if (!faulted[i].ok) {
+      ++failed;
+      EXPECT_NE(faulted[i].error.find("injected fault"), std::string::npos)
+          << faulted[i].error;
+      continue;
+    }
+    ASSERT_TRUE(expected[i].ok);
+    EXPECT_EQ(faulted[i].total_mw, expected[i].total_mw);
+    ASSERT_EQ(faulted[i].components.size(), expected[i].components.size());
+    for (std::size_t j = 0; j < faulted[i].components.size(); ++j) {
+      EXPECT_EQ(faulted[i].components[j].total_mw,
+                expected[i].components[j].total_mw);
+    }
+  }
+  EXPECT_EQ(failed, 1u);
+
+  // Disarmed, the same engine completes the whole batch, bit-identical.
+  const auto recovered = engine.run(requests);
+  for (std::size_t i = 0; i < recovered.size(); ++i) {
+    ASSERT_TRUE(recovered[i].ok) << recovered[i].error;
+    EXPECT_EQ(recovered[i].total_mw, expected[i].total_mw);
+  }
+}
+#endif  // AUTOPOWER_FAULT_INJECTION
 
 TEST_F(EngineTest, CachesDeduplicateRepeatedRequests) {
   std::vector<BatchRequest> requests;

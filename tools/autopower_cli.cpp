@@ -251,6 +251,14 @@ int cmd_evaluate(const ArgMap& flags) {
       });
     }
     pool.wait_idle();
+    // The pool swallows task exceptions so sibling workers keep draining;
+    // a lost worker here means holes in predicted[] — report it instead
+    // of printing a silently-wrong accuracy summary.
+    if (const auto failures = pool.task_failures(); failures.count > 0) {
+      throw util::Error("evaluate worker failed (" +
+                        std::to_string(failures.count) +
+                        " task(s)): " + failures.first_error);
+    }
     result.accuracy = exp::compute_accuracy(result.actual, result.predicted);
   }
   std::cout << "Held-out accuracy (excluding ";

@@ -2,9 +2,12 @@
 # Repo health check: builds the default preset, runs the self-checking
 # throughput benches (training core + batch serving + structural-memo
 # sweep) and collects their headline numbers into BENCH_train.json and
-# BENCH_sim.json, then race-checks the threaded subsystems under
-# ThreadSanitizer.  Run from anywhere; exits non-zero on any build
-# failure, bench self-check failure, test failure, or TSan report.
+# BENCH_sim.json, runs the property-based differential oracles and the
+# archive fuzz under AddressSanitizer, then race-checks the threaded
+# subsystems and the fault-injection suite under ThreadSanitizer.  Run
+# from anywhere; exits non-zero on any build failure, bench self-check
+# failure, test failure, or sanitizer report.  Failing properties print
+# a reproducing AUTOPOWER_PROPTEST_SEED line.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -49,11 +52,28 @@ python3 -c "import json; json.load(open('STATS_sweep.json'))" \
   || { echo "STATS_sweep.json is not valid JSON"; exit 1; }
 echo "metrics snapshot archived in STATS_sweep.json"
 
+echo "== proptest: differential oracles under AddressSanitizer =="
+# Property-based differential suite (reference vs fast paths) with the
+# case count bounded so the stage fits a CI budget.  A failing property
+# prints its base seed and a reproducing AUTOPOWER_PROPTEST_SEED line;
+# re-run ./build-asan/tests/test_differential --seed=N to chase it.
+cmake --preset asan
+cmake --build --preset asan --target test_differential autopower_tests \
+  -j "$(nproc)"
+ASAN_OPTIONS="halt_on_error=1 ${ASAN_OPTIONS:-}" \
+  timeout 900 ./build-asan/tests/test_differential --cases 60
+
+echo "== proptest: archive fuzz under AddressSanitizer =="
+ASAN_OPTIONS="halt_on_error=1 ${ASAN_OPTIONS:-}" \
+  timeout 300 ./build-asan/tests/autopower_tests \
+  --gtest_filter='Robustness.*'
+
 echo "== configure (tsan preset) =="
 cmake --preset tsan
 
 echo "== build tsan targets =="
-cmake --build --preset tsan --target test_serve autopower_tests -j "$(nproc)"
+cmake --build --preset tsan --target test_serve autopower_tests test_fault \
+  -j "$(nproc)"
 
 echo "== run test_serve under ThreadSanitizer =="
 # halt_on_error makes a race fail the run instead of just logging it.
@@ -64,7 +84,15 @@ TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}" ./build-tsan/tests/test_serve
 echo "== run shared-memo sweep path under ThreadSanitizer (explicit) =="
 TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}" \
   ./build-tsan/tests/test_serve \
-  --gtest_filter='SweepTest.ConcurrentSweepsShareOneStructuralCache:SweepTest.ThreadCountDoesNotChangeReport:EngineTest.TraceModeSharesStructuralCacheAcrossWorkers'
+  --gtest_filter='SweepTest.ConcurrentSweepsShareOneStructuralCache:SweepTest.ThreadCountDoesNotChangeReport:EngineTest.TraceModeSharesStructuralCacheAcrossWorkers:EngineTest.FaultedDrainKeepsSiblingResultsBitIdentical'
+
+echo "== proptest: fault-injection suite under ThreadSanitizer =="
+# Every registered fault site is forced to fire (test_fault), including
+# probabilistic faults on the threaded batch/sweep paths, so TSan sees
+# the error-propagation and drain paths under contention.  --seed=N
+# reruns a specific base seed.
+TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}" \
+  timeout 600 ./build-tsan/tests/test_fault
 
 echo "== run parallel-train tests under ThreadSanitizer =="
 TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}" \
