@@ -11,12 +11,23 @@
 // the residual work concurrently.  On a single-core host the speedup is
 // the caches'; on a multi-core host the thread counts separate further.
 //
+// A second stage measures the daemon wire path end to end: a real
+// serve::Daemon on a loopback TCP socket, the same 200 requests sent as
+// JSONL.  A closed-loop pass (one request outstanding) yields p50/p99
+// round-trip latency; a pipelined pass (all requests streamed, then all
+// responses read) yields daemon req/s.  Both passes must return lines
+// byte-identical to `serve::response_to_jsonl` over a fresh engine run —
+// the same bit-identity `autopower batch` guarantees.
+//
 // The bench FAILS (exit 1) if any parallel run is not bit-identical to
-// the serial baseline, or if the 4-thread engine is below the 2.5x
-// speedup bar over the serial baseline.  `--json <path>` additionally
-// writes the headline numbers for tools/check.sh to collect.
+// the serial baseline, if the 4-thread engine is below the 2.5x
+// speedup bar over the serial baseline, or if a daemon response line
+// diverges.  `--json <path>` additionally writes the headline numbers
+// for tools/check.sh to collect.
 
+#include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -26,7 +37,10 @@
 #include "core/autopower.hpp"
 #include "exp/dataset.hpp"
 #include "power/golden.hpp"
+#include "serve/daemon.hpp"
 #include "serve/engine.hpp"
+#include "serve/jsonl.hpp"
+#include "serve/net.hpp"
 #include "sim/perfsim.hpp"
 #include "workload/workload.hpp"
 
@@ -130,6 +144,90 @@ int main(int argc, char** argv) {
 
   std::printf("bit-identical to serial  : %s\n", identical ? "yes" : "NO");
   std::printf("speedup @ 4 threads      : %.2fx (bar: 2.50x)\n", speedup_at_4);
+
+  // Daemon wire path: real TCP loopback through a resident daemon.  The
+  // expected response lines come from a fresh engine run — the daemon's
+  // per-connection index is the request ordinal, so the lines must match
+  // serve::response_to_jsonl byte for byte.
+  std::vector<std::string> expected_lines(kRequests);
+  {
+    serve::BatchEngine oracle(model, {.threads = 4});
+    const auto responses = oracle.run(requests);
+    for (std::size_t i = 0; i < kRequests; ++i) {
+      expected_lines[i] = serve::response_to_jsonl(responses[i]);
+    }
+  }
+  std::vector<std::string> request_lines(kRequests);
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    request_lines[i] = "{\"config\": \"" + requests[i].config +
+                       "\", \"workload\": \"" + requests[i].workload + "\"}";
+  }
+
+  serve::DaemonOptions daemon_options;
+  daemon_options.engine.threads = 4;
+  serve::Daemon daemon(model, daemon_options);
+  std::thread server([&daemon] { daemon.serve(); });
+  const std::uint16_t port = daemon.port();
+
+  bool daemon_identical = true;
+  // Closed-loop pass: one request outstanding per round trip, so each
+  // sample is a full wire latency (parse + admit + dispatch + deliver).
+  std::vector<double> latency_us;
+  latency_us.reserve(kRequests);
+  {
+    auto sock = serve::net::connect_loopback(port);
+    serve::net::LineReader reader(sock.fd());
+    std::string line;
+    for (std::size_t i = 0; i < kRequests; ++i) {
+      const auto t0 = std::chrono::steady_clock::now();
+      serve::net::write_line(sock.fd(), request_lines[i]);
+      if (!reader.next_line(line)) {
+        daemon_identical = false;
+        break;
+      }
+      latency_us.push_back(seconds_since(t0) * 1e6);
+      if (line != expected_lines[i]) daemon_identical = false;
+    }
+  }
+  std::sort(latency_us.begin(), latency_us.end());
+  const auto percentile = [&latency_us](double p) {
+    if (latency_us.empty()) return 0.0;
+    const std::size_t rank = static_cast<std::size_t>(
+        p * static_cast<double>(latency_us.size() - 1));
+    return latency_us[rank];
+  };
+  const double p50_us = percentile(0.50);
+  const double p99_us = percentile(0.99);
+
+  // Pipelined pass on a fresh connection: stream every request, then
+  // read every response — the daemon coalesces them into shared batches.
+  double daemon_req_per_s = 0.0;
+  {
+    auto sock = serve::net::connect_loopback(port);
+    const auto start = std::chrono::steady_clock::now();
+    for (const auto& line : request_lines) {
+      serve::net::write_line(sock.fd(), line);
+    }
+    sock.shutdown_write();
+    serve::net::LineReader reader(sock.fd());
+    std::string line;
+    for (std::size_t i = 0; i < kRequests; ++i) {
+      if (!reader.next_line(line) || line != expected_lines[i]) {
+        daemon_identical = false;
+        break;
+      }
+    }
+    daemon_req_per_s = kRequests / seconds_since(start);
+  }
+  daemon.notify_stop();
+  server.join();
+
+  std::printf("daemon pipelined         : %7.1f req/s\n", daemon_req_per_s);
+  std::printf("daemon closed-loop p50   : %7.1f us\n", p50_us);
+  std::printf("daemon closed-loop p99   : %7.1f us\n", p99_us);
+  std::printf("daemon bit-identical     : %s\n",
+              daemon_identical ? "yes" : "NO");
+
   if (!json_path.empty()) {
     std::FILE* f = std::fopen(json_path.c_str(), "w");
     if (f != nullptr) {
@@ -137,10 +235,15 @@ int main(int argc, char** argv) {
                    "{\n"
                    "  \"serial_req_per_s\": %.1f,\n"
                    "  \"engine_4thread_speedup\": %.3f,\n"
-                   "  \"bit_identical\": %s\n"
+                   "  \"bit_identical\": %s,\n"
+                   "  \"daemon_req_per_s\": %.1f,\n"
+                   "  \"daemon_p50_us\": %.1f,\n"
+                   "  \"daemon_p99_us\": %.1f,\n"
+                   "  \"daemon_bit_identical\": %s\n"
                    "}\n",
                    kRequests / serial_s, speedup_at_4,
-                   identical ? "true" : "false");
+                   identical ? "true" : "false", daemon_req_per_s, p50_us,
+                   p99_us, daemon_identical ? "true" : "false");
       std::fclose(f);
     }
   }
@@ -150,6 +253,10 @@ int main(int argc, char** argv) {
   }
   if (speedup_at_4 < 2.5) {
     std::printf("FAIL: below the 2.5x speedup bar\n");
+    return 1;
+  }
+  if (!daemon_identical) {
+    std::printf("FAIL: daemon responses diverged from the engine oracle\n");
     return 1;
   }
   std::printf("PASS\n");

@@ -1,0 +1,198 @@
+// Long-lived serving daemon: a JSONL-over-TCP front-end over the
+// BatchEngine, with production admission semantics.
+//
+// Protocol (newline-delimited JSON, one object per line — the same wire
+// format `autopower batch` reads and writes):
+//
+//   compute request   {"config": "C3", "workload": "dhrystone",
+//                      "mode": "total", "deadline_ms": 50}
+//                     `mode` defaults to "total"; `deadline_ms`
+//                     (optional) is a relative per-request deadline.
+//   control request   {"cmd": "health"} | {"cmd": "metrics"}
+//
+// Responses are serve::response_to_jsonl lines whose `index` is the
+// request's 0-based position on ITS connection (blank lines don't
+// count), so a client that pipes the same request file through the
+// daemon gets bytes identical to `autopower batch` output.  Control
+// responses are {"index": N, "cmd": ..., "ok": true, ...}; `metrics`
+// embeds the live util::MetricsRegistry snapshot, making `--stats` a
+// live endpoint.  A malformed line answers {"index": N, "ok": false,
+// "error": ...} and the connection stays up (unlike `batch`, which
+// rejects the whole file — a resident daemon must not let one bad
+// client line poison its stream).
+//
+// Admission control — the load-shedding state machine per request:
+//
+//      read line ──parse──> control ──────────────> answered inline
+//          │                 compute
+//          │                    │ queue full (or serve.daemon.admit
+//          │                    │ fault)            ──> {"error":"overloaded"}
+//          │                    v
+//          │              bounded queue ──dispatcher──> deadline passed?
+//          │                                   │ yes ──> deadline-exceeded
+//          │                                   │ no  ──> BatchEngine::run
+//          v                                   v
+//        EOF: wait for queued responses, flush, close
+//
+// The dispatcher thread coalesces whatever is queued (up to
+// `max_batch`) into one BatchEngine::run call, so concurrent clients
+// share simulation work through the engine's EvalCache/response memo,
+// and per-connection response order is restored by a per-connection
+// reorder buffer.  Expired requests are answered without ever occupying
+// an engine worker.
+//
+// Graceful drain: notify_stop() (async-signal-safe — it only write(2)s
+// one byte to an internal pipe, so the CLI's SIGINT/SIGTERM handler may
+// call it directly) makes serve() stop accepting, half-close every
+// client for reading, finish every admitted request, flush and close
+// all connections, join its threads, and return.  In-flight responses
+// are always delivered before the close.
+//
+// Thread model: one acceptor (the caller of serve()), one dispatcher,
+// one reader thread per live connection (bounded by max_connections).
+// Readers are the "multiple submitting threads" the BatchEngine/
+// ThreadPool multi-submitter contract exists for — they only touch the
+// bounded queue; exactly one dispatcher calls engine.run() at a time.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "core/autopower.hpp"
+#include "serve/engine.hpp"
+#include "serve/net.hpp"
+#include "util/metrics.hpp"
+
+namespace autopower::serve {
+
+struct DaemonOptions {
+  /// 0 binds an ephemeral port (tests); the CLI validates 1..65535.
+  std::uint16_t port = 0;
+  /// Bounded admission queue depth; a full queue sheds with an
+  /// {"error": "overloaded"} response instead of queueing unboundedly.
+  std::size_t queue_depth = 1024;
+  /// Concurrent client connections; excess connects are answered with
+  /// one {"error": "too_many_connections"} line and closed.
+  std::size_t max_connections = 64;
+  /// Dispatcher coalescing bound: at most this many queued requests per
+  /// BatchEngine::run call.
+  std::size_t max_batch = 32;
+  EngineOptions engine;
+};
+
+/// One parsed daemon wire line (exposed for unit tests).
+struct DaemonRequest {
+  enum class Kind { kCompute, kControl };
+  Kind kind = Kind::kCompute;
+  BatchRequest request;           ///< kCompute
+  bool has_deadline = false;      ///< kCompute: deadline_ms present
+  std::uint64_t deadline_ms = 0;  ///< relative deadline, milliseconds
+  std::string cmd;                ///< kControl: "health" | "metrics"
+};
+
+/// Parses one daemon request line.  Accepts the `batch` request schema
+/// plus the daemon-only `deadline_ms` key, or a {"cmd": ...} control
+/// object.  Throws util::Error on malformed input.
+[[nodiscard]] DaemonRequest daemon_request_from_jsonl(std::string_view line);
+
+class Daemon {
+ public:
+  /// Binds and listens immediately (throws util::Error / net::NetError
+  /// on bind failure), so port() is valid before serve() is entered.
+  Daemon(std::shared_ptr<const core::AutoPowerModel> model,
+         DaemonOptions options = {});
+  ~Daemon();
+
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  /// The bound listening port (== options.port unless that was 0).
+  [[nodiscard]] std::uint16_t port() const noexcept;
+
+  /// Accept loop; blocks the calling thread until notify_stop(), then
+  /// drains (finish admitted requests, flush, close) and returns.
+  /// One-shot: a Daemon cannot be re-served after it drained.
+  void serve();
+
+  /// Requests a graceful drain.  Async-signal-safe and idempotent.
+  void notify_stop() noexcept;
+
+  /// Live state, also surfaced by the in-band health/metrics commands.
+  struct Stats {
+    std::uint64_t accepted = 0;        ///< connections ever accepted
+    std::uint64_t active = 0;          ///< connections currently open
+    std::uint64_t requests = 0;        ///< compute requests read
+    std::uint64_t shed = 0;            ///< answered "overloaded"
+    std::uint64_t deadline_expired = 0;
+    std::uint64_t net_errors = 0;      ///< accept/read/write failures
+  };
+  [[nodiscard]] Stats stats() const noexcept;
+
+  [[nodiscard]] const BatchEngine& engine() const noexcept {
+    return *engine_;
+  }
+
+ private:
+  struct Connection;
+  struct Work;
+
+  void handle_connection(Connection& conn);
+  void dispatch_loop();
+  /// Queues `line` for `seq` on `conn`, flushing every consecutively
+  /// ready response.  `admitted` responses release one outstanding slot.
+  void deliver(Connection& conn, std::uint64_t seq, std::string line,
+               bool admitted);
+  [[nodiscard]] std::string control_response_line(std::uint64_t seq,
+                                                  const std::string& cmd);
+  void reap_finished(bool join_all);
+
+  DaemonOptions options_;
+  std::unique_ptr<BatchEngine> engine_;
+  std::unique_ptr<net::Listener> listener_;
+  int stop_pipe_[2] = {-1, -1};
+  std::atomic<bool> draining_{false};
+
+  // Admission queue (readers push, the dispatcher pops).
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<Work> queue_;
+  std::size_t reading_handlers_ = 0;  ///< handlers that may still push
+  std::thread dispatcher_;
+
+  // Live connections (acceptor inserts/reaps, readers mark finished).
+  std::mutex conns_mu_;
+  std::map<std::uint64_t, std::unique_ptr<Connection>> conns_;
+  std::vector<std::uint64_t> finished_;
+  std::uint64_t next_conn_id_ = 0;
+
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> active_{0};
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> deadline_expired_{0};
+  std::atomic<std::uint64_t> net_errors_{0};
+
+  struct Instruments {
+    util::Counter& connections;
+    util::Gauge& active_connections;
+    util::Counter& requests;
+    util::Counter& shed;
+    util::Counter& deadline_expired;
+    util::Counter& net_errors;
+    util::Gauge& queue_depth;
+    util::Histogram& request_latency_ns;
+  };
+  Instruments metrics_;
+};
+
+}  // namespace autopower::serve

@@ -19,6 +19,18 @@
 // count — including the serial `predict` loop it replaces.  A request
 // that fails (unknown config/workload, untrained model) yields ok=false
 // with the error message; it never aborts the rest of the batch.
+//
+// Multi-caller contract (audited for the serving daemon, where several
+// connection handlers share one engine): run() is safe to call from
+// multiple threads concurrently.  Each call owns its ThreadPool, its
+// worker simulators, and its response vector; the state shared across
+// calls — the EvalCache (sharded, internally locked), the response memo
+// (mutex per shard), the StructuralSimCache, and the hit/miss atomics —
+// is individually thread-safe, and the model snapshot is immutable.
+// Concurrent calls therefore stay bit-identical per call; only the
+// aggregate cache counters interleave.  (The daemon still funnels
+// requests through ONE dispatcher call at a time — not for safety, but
+// so cross-client coalescing actually shares batch overhead.)
 #pragma once
 
 #include <atomic>

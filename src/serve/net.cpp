@@ -1,0 +1,184 @@
+#include "serve/net.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/fault.hpp"
+
+namespace autopower::serve::net {
+
+namespace {
+
+[[noreturn]] void fail_errno(const std::string& what) {
+  throw NetError(what + ": " + std::strerror(errno));
+}
+
+sockaddr_in loopback_addr(std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  return addr;
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::shutdown_read() noexcept {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RD);
+}
+
+void Socket::shutdown_write() noexcept {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+void Socket::shutdown_both() noexcept {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Listener::Listener(std::uint16_t port, int backlog) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) fail_errno("net: socket");
+  sock_ = Socket(fd);
+  const int one = 1;
+  // SO_REUSEADDR so a restarted daemon can rebind through TIME_WAIT.
+  (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr = loopback_addr(port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    fail_errno("net: bind 127.0.0.1:" + std::to_string(port));
+  }
+  if (::listen(fd, backlog) < 0) fail_errno("net: listen");
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    fail_errno("net: getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+}
+
+Socket Listener::accept(int wake_fd) {
+  for (;;) {
+    pollfd fds[2] = {{sock_.fd(), POLLIN, 0}, {wake_fd, POLLIN, 0}};
+    const int n = ::poll(fds, 2, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;  // a signal woke us; re-poll
+      fail_errno("net: poll");
+    }
+    if ((fds[1].revents & (POLLIN | POLLHUP)) != 0) return Socket{};
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    // Stands in for a transient accept(2) failure (EMFILE, handshake
+    // aborted under load): the daemon logs it and keeps accepting.
+    AUTOPOWER_FAULT_POINT("serve.net.accept");
+    const int client = ::accept(sock_.fd(), nullptr, nullptr);
+    if (client < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      fail_errno("net: accept");
+    }
+    const int one = 1;
+    // Responses are single short lines; never wait for a full segment.
+    (void)::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return Socket(client);
+  }
+}
+
+void Listener::close() noexcept { sock_.close(); }
+
+bool LineReader::next_line(std::string& line) {
+  for (;;) {
+    const auto nl = buffer_.find('\n', pos_);
+    if (nl != std::string::npos) {
+      line.assign(buffer_, pos_, nl - pos_);
+      pos_ = nl + 1;
+      // Compact once the consumed prefix dominates the buffer.
+      if (pos_ > 4096 && pos_ * 2 > buffer_.size()) {
+        buffer_.erase(0, pos_);
+        pos_ = 0;
+      }
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return true;
+    }
+    if (buffer_.size() - pos_ > max_line_) {
+      throw NetError("net: request line exceeds " +
+                     std::to_string(max_line_) + " bytes");
+    }
+    if (eof_) {
+      if (pos_ >= buffer_.size()) return false;
+      line.assign(buffer_, pos_, buffer_.size() - pos_);
+      pos_ = buffer_.size();
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return true;
+    }
+    // Stands in for the connection dying mid-line (reset, torn read).
+    AUTOPOWER_FAULT_POINT("serve.net.read");
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail_errno("net: read");
+    }
+    if (n == 0) {
+      eof_ = true;
+      continue;
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+void write_line(int fd, std::string_view line) {
+  // Stands in for the peer vanishing mid-response (reset, short write
+  // that never completes).
+  AUTOPOWER_FAULT_POINT("serve.net.write");
+  std::string framed;
+  framed.reserve(line.size() + 1);
+  framed.append(line);
+  framed.push_back('\n');
+  std::size_t sent = 0;
+  while (sent < framed.size()) {
+    // MSG_NOSIGNAL: a dead peer must surface as NetError, not SIGPIPE.
+    const ssize_t n = ::send(fd, framed.data() + sent, framed.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail_errno("net: write");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+Socket connect_loopback(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) fail_errno("net: socket");
+  Socket sock(fd);
+  const sockaddr_in addr = loopback_addr(port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) < 0) {
+    fail_errno("net: connect 127.0.0.1:" + std::to_string(port));
+  }
+  const int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return sock;
+}
+
+}  // namespace autopower::serve::net

@@ -1,0 +1,123 @@
+// Minimal POSIX TCP plumbing for the serving daemon: a loopback
+// listener, an RAII socket, a buffered line reader, and a full-write
+// line writer.  No framing beyond newline-delimited lines (the daemon
+// speaks the same JSONL the `batch` subcommand reads/writes), no TLS, no
+// non-loopback binds — this is the transport under `serve::Daemon`, not
+// a general networking library.
+//
+// Failure model: every operation that can fail at the OS level throws
+// NetError (a util::Error, so the CLI's catch/exit-1 path applies), and
+// every fallible seam carries a named fault site for the PR-5 chaos
+// layer:
+//
+//   serve.net.accept   accept(2) failing transiently (EMFILE, aborted
+//                      handshake) — the daemon must keep accepting
+//   serve.net.read     recv(2) dying mid-line (reset, injected short
+//                      read) — that connection must close cleanly
+//   serve.net.write    send(2) dying mid-response (closed peer,
+//                      injected short write) — the daemon must tear
+//                      down only the affected connection
+//
+// Genuine short reads/writes (partial transfers, EINTR) are handled by
+// looping; the fault sites simulate the *unrecoverable* flavour.
+// Writes use MSG_NOSIGNAL so a dead peer surfaces as NetError, never
+// SIGPIPE.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/error.hpp"
+
+namespace autopower::serve::net {
+
+/// Thrown on any socket-level failure (bind, accept, read, write).
+class NetError : public util::Error {
+ public:
+  using util::Error::Error;
+};
+
+/// RAII file-descriptor owner for one TCP connection end.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) noexcept : fd_(fd) {}
+  ~Socket() { close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+
+  /// Half-close helpers; safe on an already-closed socket.
+  void shutdown_read() noexcept;
+  void shutdown_write() noexcept;
+  void shutdown_both() noexcept;
+
+  void close() noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listening TCP socket bound to 127.0.0.1.  `port == 0` binds an
+/// ephemeral port (tests); `port()` reports the actual bound port.
+class Listener {
+ public:
+  explicit Listener(std::uint16_t port, int backlog = 64);
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  [[nodiscard]] bool open() const noexcept { return sock_.valid(); }
+
+  /// Blocks until a client connects or `wake_fd` becomes readable
+  /// (the daemon's stop pipe).  Returns an invalid Socket when woken —
+  /// the caller's signal to stop accepting.  Throws NetError on an
+  /// accept failure (including the serve.net.accept fault site); the
+  /// pending connection, if any, stays in the backlog for a retry.
+  [[nodiscard]] Socket accept(int wake_fd);
+
+  /// Closes the listening socket (new connects are refused).
+  void close() noexcept;
+
+ private:
+  Socket sock_;
+  std::uint16_t port_ = 0;
+};
+
+/// Buffered newline-delimited reader over a connected socket.
+class LineReader {
+ public:
+  /// Lines longer than `max_line` bytes are a protocol error (throws
+  /// NetError) — an unframed peer must not grow the buffer unboundedly.
+  explicit LineReader(int fd, std::size_t max_line = 1u << 20)
+      : fd_(fd), max_line_(max_line) {}
+
+  /// Reads the next '\n'-terminated line into `line` (terminator and a
+  /// trailing '\r' stripped).  Returns false on clean EOF; a final
+  /// unterminated line before EOF is returned as a line.  Throws
+  /// NetError on a read failure (including the serve.net.read fault
+  /// site).
+  [[nodiscard]] bool next_line(std::string& line);
+
+ private:
+  int fd_;
+  std::size_t max_line_;
+  std::string buffer_;
+  std::size_t pos_ = 0;  ///< consumed prefix of buffer_
+  bool eof_ = false;
+};
+
+/// Writes `line` plus '\n', looping over partial sends.  Throws NetError
+/// when the peer is gone or the serve.net.write fault site fires.
+void write_line(int fd, std::string_view line);
+
+/// Client-side helper (tests, benches, in-process smoke drivers):
+/// connects to 127.0.0.1:`port`.  Throws NetError on failure.
+[[nodiscard]] Socket connect_loopback(std::uint16_t port);
+
+}  // namespace autopower::serve::net

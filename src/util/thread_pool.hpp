@@ -17,6 +17,18 @@
 //     after wait_idle()/shutdown() and surface the first error.
 //
 // The destructor calls shutdown(), so pending work always completes.
+//
+// Multi-submitter contract (audited for the serving daemon, whose
+// connection handlers all feed one engine): every public member is safe
+// to call from multiple threads concurrently — submit/wait_idle/
+// shutdown/task_failures all take the one internal mutex, so concurrent
+// submits interleave without losing or duplicating tasks.  The one
+// subtlety is wait_idle(): it is a *global* barrier, not a per-submitter
+// one.  It returns when the whole queue is empty and no task is running;
+// if another thread is still submitting, "idle" is a momentary state and
+// the caller has no claim about that thread's tasks.  Callers that need
+// per-batch completion join their submitters first (or track their own
+// completion count) before waiting — exactly what BatchEngine::run does.
 #pragma once
 
 #include <condition_variable>

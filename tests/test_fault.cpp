@@ -20,8 +20,10 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
 #include <sys/wait.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <filesystem>
@@ -35,9 +37,11 @@
 #include "core/autopower.hpp"
 #include "ml/gbt.hpp"
 #include "power/golden.hpp"
+#include "serve/daemon.hpp"
 #include "serve/engine.hpp"
 #include "serve/eval_cache.hpp"
 #include "serve/jsonl.hpp"
+#include "serve/net.hpp"
 #include "serve/sweep.hpp"
 #include "sim/perfsim.hpp"
 #include "testcore/generators.hpp"
@@ -596,17 +600,130 @@ TEST(FaultConcurrent, ThreadPoolSurvivesProbabilisticTaskFaults) {
 }
 
 // ---------------------------------------------------------------------
+// Serving-daemon fault sites: a live loopback daemon, faults injected at
+// each socket seam and at the admission decision.  The client side below
+// uses raw send/recv ONLY — net::write_line / net::LineReader carry the
+// very sites being armed, and the trigger is process-global.
+
+/// Daemon on an ephemeral port; destructor drains gracefully.
+struct FaultDaemon {
+  explicit FaultDaemon(serve::DaemonOptions options = {})
+      : daemon(tiny_model(), options), server([this] { daemon.serve(); }) {}
+  ~FaultDaemon() {
+    daemon.notify_stop();
+    server.join();
+  }
+  serve::Daemon daemon;
+  std::thread server;
+};
+
+/// Sends `blob`, half-closes, returns all response lines (raw recv).
+std::vector<std::string> daemon_roundtrip(std::uint16_t port,
+                                          const std::string& blob) {
+  const serve::net::Socket sock = serve::net::connect_loopback(port);
+  std::size_t sent = 0;
+  while (sent < blob.size()) {
+    const ssize_t n = ::send(sock.fd(), blob.data() + sent,
+                             blob.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) break;
+    sent += static_cast<std::size_t>(n);
+  }
+  ::shutdown(sock.fd(), SHUT_WR);
+  std::string data;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::recv(sock.fd(), chunk, sizeof(chunk), 0);
+    if (n <= 0) break;
+    data.append(chunk, static_cast<std::size_t>(n));
+  }
+  std::vector<std::string> lines;
+  std::istringstream in(data);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+constexpr const char* kDaemonRequest =
+    "{\"config\": \"C2\", \"workload\": \"qsort\"}\n";
+
+TEST(FaultDaemonSites, AcceptFailureRetriesAndServes) {
+  FaultDaemon fd;
+  {
+    // The accept attempt dies before accept(2) runs; the pending
+    // connection stays in the listen backlog, so the retry (next poll
+    // iteration) serves the same client.  One fault, zero user impact.
+    fault::ScopedFault armed("serve.net.accept",
+                             fault::Trigger::countdown(1));
+    const auto lines = daemon_roundtrip(fd.daemon.port(), kDaemonRequest);
+    ASSERT_EQ(lines.size(), 1u);
+    EXPECT_NE(lines[0].find("\"ok\": true"), std::string::npos) << lines[0];
+  }
+  EXPECT_GE(fd.daemon.stats().net_errors, 1u);
+}
+
+TEST(FaultDaemonSites, ReadFailureClosesOnlyThatConnection) {
+  FaultDaemon fd;
+  {
+    fault::ScopedFault armed("serve.net.read", fault::Trigger::countdown(1));
+    // The victim's first recv in the daemon dies mid-line: clean close
+    // (EOF, no response), never a crash or hang.
+    EXPECT_TRUE(daemon_roundtrip(fd.daemon.port(), kDaemonRequest).empty());
+  }
+  EXPECT_GE(fd.daemon.stats().net_errors, 1u);
+  // Disarmed: the daemon serves the next client in full.
+  const auto lines = daemon_roundtrip(fd.daemon.port(), kDaemonRequest);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("\"ok\": true"), std::string::npos) << lines[0];
+}
+
+TEST(FaultDaemonSites, WriteFailureTearsDownOnlyThatConnection) {
+  FaultDaemon fd;
+  {
+    fault::ScopedFault armed("serve.net.write",
+                             fault::Trigger::countdown(1));
+    // The response write dies: the victim sees EOF (no torn half-line),
+    // and only that connection is affected.
+    EXPECT_TRUE(daemon_roundtrip(fd.daemon.port(), kDaemonRequest).empty());
+  }
+  EXPECT_GE(fd.daemon.stats().net_errors, 1u);
+  const auto lines = daemon_roundtrip(fd.daemon.port(), kDaemonRequest);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("\"ok\": true"), std::string::npos) << lines[0];
+}
+
+TEST(FaultDaemonSites, AdmitFaultShedsWithStructuredError) {
+  FaultDaemon fd;
+  {
+    // Forces the admission decision to "queue full" for the first
+    // compute request: the deterministic handle on the shed path.
+    fault::ScopedFault armed("serve.daemon.admit",
+                             fault::Trigger::countdown(1));
+    const auto lines = daemon_roundtrip(
+        fd.daemon.port(), std::string(kDaemonRequest) + kDaemonRequest);
+    ASSERT_EQ(lines.size(), 2u);
+    EXPECT_NE(lines[0].find("\"error\": \"overloaded\""), std::string::npos)
+        << lines[0];
+    EXPECT_NE(lines[1].find("\"ok\": true"), std::string::npos) << lines[1];
+  }
+  EXPECT_EQ(fd.daemon.stats().shed, 1u);
+}
+
+// ---------------------------------------------------------------------
 // Registry coverage: every site this binary exercised is a documented
 // one, and every documented site was exercised (keeps DESIGN.md's
 // fault-site registry honest).
 
 TEST(FaultRegistry, AllDocumentedSitesExercised) {
   const std::vector<std::string> documented = {
+      "serve.daemon.admit",
       "serve.engine.handle",
       "serve.eval_cache.compute",
       "serve.eval_cache.insert",
       "serve.jsonl.read_line",
       "serve.jsonl.write_response",
+      "serve.net.accept",
+      "serve.net.read",
+      "serve.net.write",
       "serve.report.write_row",
       "util.archive.read",
       "util.archive.write",

@@ -14,6 +14,11 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -22,6 +27,10 @@
 #include <regex>
 #include <sstream>
 #include <string>
+#include <thread>
+
+#include "serve/net.hpp"
+#include "util/error.hpp"
 
 namespace {
 
@@ -172,6 +181,66 @@ TEST_F(GoldenCliTest, BatchJsonlReport) {
   check_golden(
       "batch_stats_schema.golden",
       normalize_numbers(read_file(tmp_dir() + "/batch_stats.json")));
+}
+
+TEST_F(GoldenCliTest, DaemonControlSchema) {
+  namespace net = autopower::serve::net;
+  // Probe an ephemeral port, release it, and hand it to the daemon
+  // (SO_REUSEADDR lets the daemon rebind straight through TIME_WAIT).
+  std::uint16_t port = 0;
+  {
+    net::Listener probe(0);
+    port = probe.port();
+  }
+
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    const std::string model_path = model();
+    const std::string port_str = std::to_string(port);
+    ::execl(AUTOPOWER_CLI_PATH, "autopower", "serve", "--model",
+            model_path.c_str(), "--port", port_str.c_str(),
+            static_cast<char*>(nullptr));
+    _exit(127);  // exec failed
+  }
+
+  // The daemon loads the model before it binds; retry-connect until the
+  // listener is up.
+  net::Socket sock;
+  for (int attempt = 0; attempt < 200 && !sock.valid(); ++attempt) {
+    try {
+      sock = net::connect_loopback(port);
+    } catch (const autopower::util::Error&) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  }
+  ASSERT_TRUE(sock.valid()) << "daemon never started listening";
+
+  // health + one compute first, and READ both before asking for metrics:
+  // the metrics snapshot is taken when its line is parsed, so the
+  // compute must have fully finished for the instrument key set (the
+  // schema under test) to be deterministic.
+  net::LineReader reader(sock.fd());
+  std::string health;
+  std::string compute;
+  std::string metrics;
+  net::write_line(sock.fd(), R"({"cmd": "health"})");
+  net::write_line(sock.fd(), R"({"config": "C2", "workload": "dhrystone"})");
+  ASSERT_TRUE(reader.next_line(health));
+  ASSERT_TRUE(reader.next_line(compute));
+  net::write_line(sock.fd(), R"({"cmd": "metrics"})");
+  ASSERT_TRUE(reader.next_line(metrics));
+  sock.close();
+
+  ::kill(pid, SIGTERM);
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status)) << "daemon did not exit cleanly";
+  EXPECT_EQ(WEXITSTATUS(status), 0);  // graceful SIGTERM drain exits 0
+
+  check_golden("daemon_control_schema.golden",
+               normalize_numbers(health + "\n" + compute + "\n" + metrics +
+                                 "\n"));
 }
 
 TEST_F(GoldenCliTest, SweepJsonlReport) {

@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -122,6 +123,54 @@ TEST(ThreadPoolTest, ThrowingTaskDoesNotKillWorkers) {
   pool.submit([&counter] { counter.fetch_add(1); });
   pool.wait_idle();
   EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPoolTest, ConcurrentSubmittersLoseNoTasks) {
+  // The daemon's connection handlers submit from many threads at once;
+  // the pool's multi-submitter contract (thread_pool.hpp) promises no
+  // task is lost or duplicated under contention.  Submitters join before
+  // wait_idle() — the contract's global-barrier caveat.
+  std::atomic<int> counter{0};
+  util::ThreadPool pool(4);
+  constexpr int kSubmitters = 8;
+  constexpr int kTasksEach = 250;
+  std::vector<std::thread> submitters;
+  for (int s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&pool, &counter] {
+      for (int i = 0; i < kTasksEach; ++i) {
+        pool.submit([&counter] { counter.fetch_add(1); });
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), kSubmitters * kTasksEach);
+  EXPECT_EQ(pool.task_failures().count, 0u);
+}
+
+TEST(ThreadPoolTest, ConcurrentSubmittersRacingShutdownNeverLoseAccepted) {
+  // Shutdown may begin while other threads are still submitting: every
+  // submit must either be accepted (and then RUN, by the graceful-drain
+  // guarantee) or throw — never silently dropped.
+  std::atomic<int> ran{0};
+  std::atomic<int> accepted{0};
+  util::ThreadPool pool(2);
+  std::vector<std::thread> submitters;
+  for (int s = 0; s < 4; ++s) {
+    submitters.emplace_back([&] {
+      for (int i = 0; i < 200; ++i) {
+        try {
+          pool.submit([&ran] { ran.fetch_add(1); });
+          accepted.fetch_add(1);
+        } catch (const util::Error&) {
+          return;  // shutdown won the race; later submits would throw too
+        }
+      }
+    });
+  }
+  pool.shutdown();
+  for (auto& t : submitters) t.join();
+  EXPECT_EQ(ran.load(), accepted.load());
 }
 
 // --- ModelRegistry -----------------------------------------------------------
@@ -274,6 +323,44 @@ TEST_F(EngineTest, ThreadCountDoesNotChangeResults) {
   ASSERT_EQ(a.size(), b.size());
   for (std::size_t i = 0; i < a.size(); ++i) {
     EXPECT_EQ(a[i].total_mw, b[i].total_mw);
+  }
+}
+
+TEST_F(EngineTest, ConcurrentRunCallsStayBitIdentical) {
+  // The multi-caller contract (engine.hpp): run() from several threads
+  // at once — sharing the EvalCache, response memo, and structural cache
+  // — must return exactly what a lone serial engine returns for each
+  // call.  This is the daemon's world: many submitters, one engine.
+  const auto requests = grid_requests(PredictMode::kTotal);
+  BatchEngine reference(model(), {.threads = 1});
+  const auto expected = reference.run(requests);
+
+  BatchEngine shared(model(), {.threads = 4});
+  constexpr int kCallers = 6;
+  std::vector<std::vector<BatchResponse>> got(kCallers);
+  std::vector<std::thread> callers;
+  for (int c = 0; c < kCallers; ++c) {
+    // Distinct per-caller orders so concurrent calls interleave cache
+    // fills instead of marching in lockstep.
+    callers.emplace_back([&, c] {
+      auto reqs = requests;
+      std::rotate(reqs.begin(), reqs.begin() + (c * 7) % reqs.size(),
+                  reqs.end());
+      got[c] = shared.run(reqs);
+    });
+  }
+  for (auto& t : callers) t.join();
+
+  for (int c = 0; c < kCallers; ++c) {
+    ASSERT_EQ(got[c].size(), expected.size()) << "caller " << c;
+    const std::size_t shift = (c * 7) % requests.size();
+    for (std::size_t i = 0; i < got[c].size(); ++i) {
+      const auto& want = expected[(i + shift) % expected.size()];
+      ASSERT_TRUE(got[c][i].ok) << got[c][i].error;
+      EXPECT_EQ(got[c][i].config, want.config);
+      EXPECT_EQ(got[c][i].total_mw, want.total_mw)
+          << "caller " << c << " request " << i;
+    }
   }
 }
 

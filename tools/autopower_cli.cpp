@@ -14,6 +14,10 @@
 //            [--top K] [--out sweep.jsonl] [--threads N] [--progress]
 //                                          parallel design-space sweep with
 //                                          a ranked JSONL report
+//   serve    --model m.ap --port 9410 [--queue-depth N]
+//            [--max-connections N] [--max-batch N] [--threads N]
+//                                          resident JSONL-over-TCP daemon;
+//                                          SIGINT/SIGTERM drain gracefully
 //
 // Observability: `--stats <path>` (train, evaluate, batch, sweep) writes
 // one JSON snapshot of the process-wide util::MetricsRegistry after the
@@ -24,6 +28,8 @@
 //
 // The CLI drives exactly the same public API the examples use; a model
 // trained here can be reloaded by any program linking the library.
+
+#include <csignal>
 
 #include <atomic>
 #include <chrono>
@@ -39,6 +45,7 @@
 #include "core/autopower.hpp"
 #include "exp/harness.hpp"
 #include "exp/trace.hpp"
+#include "serve/daemon.hpp"
 #include "serve/engine.hpp"
 #include "serve/jsonl.hpp"
 #include "serve/registry.hpp"
@@ -405,6 +412,59 @@ int cmd_sweep(const ArgMap& flags) {
   return 0;
 }
 
+/// Signal plumbing for `serve`: the handler may only call the
+/// async-signal-safe Daemon::notify_stop().  Set before the handlers are
+/// installed, cleared after serve() returns.
+serve::Daemon* g_daemon = nullptr;
+
+void handle_stop_signal(int) {
+  if (g_daemon != nullptr) g_daemon->notify_stop();
+}
+
+int cmd_serve(const ArgMap& flags) {
+  // All flag validation happens before the (slow) model load, so a bad
+  // --port fails fast with exit 1.
+  const auto model_path = require_flag(flags, "model");
+  serve::DaemonOptions options;
+  options.port = static_cast<std::uint16_t>(
+      util::parse_int(require_flag(flags, "port"), "--port", 1, 65535));
+  options.queue_depth =
+      static_cast<std::size_t>(parse_int_flag(flags, "queue-depth", 1024, 1));
+  options.max_connections = static_cast<std::size_t>(
+      parse_int_flag(flags, "max-connections", 64, 1));
+  options.max_batch =
+      static_cast<std::size_t>(parse_int_flag(flags, "max-batch", 32, 1));
+  options.engine.threads = static_cast<std::size_t>(parse_threads(flags));
+  if (flags.count("threads") == 0) {
+    options.engine.threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+
+  serve::ModelRegistry registry;
+  serve::Daemon daemon(registry.get(model_path), options);
+
+  g_daemon = &daemon;
+  struct sigaction action {};
+  action.sa_handler = handle_stop_signal;
+  sigemptyset(&action.sa_mask);
+  (void)sigaction(SIGINT, &action, nullptr);
+  (void)sigaction(SIGTERM, &action, nullptr);
+
+  std::cerr << "autopower serve: listening on 127.0.0.1:" << daemon.port()
+            << " (queue " << options.queue_depth << ", max "
+            << options.max_connections << " connections, "
+            << options.engine.threads << " engine threads)\n";
+  daemon.serve();
+  g_daemon = nullptr;
+
+  const auto stats = daemon.stats();
+  std::cerr << "autopower serve: drained (" << stats.requests << " requests, "
+            << stats.accepted << " connections, " << stats.shed << " shed, "
+            << stats.deadline_expired << " deadline-expired, "
+            << stats.net_errors << " net errors)\n";
+  write_stats_snapshot(flags);
+  return 0;
+}
+
 int cmd_trace(const ArgMap& flags) {
   core::AutoPowerModel model;
   model.load_from_file(require_flag(flags, "model"));
@@ -458,6 +518,9 @@ int usage() {
       " --workloads dhrystone,qsort\n"
       "           [--base C8] [--rank ipc_per_watt|ipc|power] [--top K]"
       " [--out sweep.jsonl] [--threads N] [--progress]"
+      " [--stats stats.json]\n"
+      "  serve    --model model.ap --port 9410 [--queue-depth N]"
+      " [--max-connections N] [--max-batch N] [--threads N]"
       " [--stats stats.json]\n";
   return 2;
 }
@@ -493,6 +556,11 @@ const std::map<std::string, Command>& commands() {
                     "out", "threads", "stats"},
          .boolean = {"progress"}},
         cmd_sweep}},
+      {"serve",
+       {{.valued = {"model", "port", "queue-depth", "max-connections",
+                    "max-batch", "threads", "stats"},
+         .boolean = {}},
+        cmd_serve}},
   };
   return table;
 }

@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # Repo health check: builds the default preset, runs the self-checking
-# throughput benches (training core + batch serving + structural-memo
-# sweep) and collects their headline numbers into BENCH_train.json and
-# BENCH_sim.json, runs the property-based differential oracles and the
-# archive fuzz under AddressSanitizer, then race-checks the threaded
-# subsystems and the fault-injection suite under ThreadSanitizer.  Run
+# throughput benches (training core + batch serving + daemon wire path +
+# structural-memo sweep) and collects their headline numbers into
+# BENCH_train.json, BENCH_serve.json and BENCH_sim.json, smoke-tests the
+# serving daemon against `batch` for byte-identity and graceful drain,
+# runs the property-based differential oracles and the archive fuzz
+# under AddressSanitizer, then race-checks the threaded subsystems, the
+# fault-injection suite, and the daemon under ThreadSanitizer.  Run
 # from anywhere; exits non-zero on any build failure, bench self-check
 # failure, test failure, or sanitizer report.  Failing properties print
 # a reproducing AUTOPOWER_PROPTEST_SEED line.
@@ -19,8 +21,10 @@ cmake --build --preset default -j "$(nproc)"
 echo "== bench_train_throughput (self-check: bit-identity + speedup bars) =="
 ./build/bench/bench_train_throughput --json /tmp/autopower_bench_train.json
 
-echo "== bench_serve_throughput (self-check: bit-identity + speedup bar) =="
+echo "== bench_serve_throughput (self-check: bit-identity + speedup bar + daemon wire path) =="
 ./build/bench/bench_serve_throughput --json /tmp/autopower_bench_serve.json
+cp /tmp/autopower_bench_serve.json BENCH_serve.json
+echo "daemon req/s + p50/p99 in BENCH_serve.json"
 
 echo "== write BENCH_train.json =="
 {
@@ -52,6 +56,37 @@ python3 -c "import json; json.load(open('STATS_sweep.json'))" \
   || { echo "STATS_sweep.json is not valid JSON"; exit 1; }
 echo "metrics snapshot archived in STATS_sweep.json"
 
+echo "== daemon smoke: 100 requests over loopback, bit-identical to batch =="
+# A real `autopower serve` process on an ephemeral port; the same 100
+# requests go through the daemon (via tools/serve_client.py) and through
+# the `batch` subcommand, and the response files must be byte-identical.
+# SIGTERM must drain gracefully: in-flight responses delivered, exit 0.
+python3 - "$smoke_dir/daemon_reqs.jsonl" <<'EOF'
+import sys
+configs = ["C2", "C5", "C9", "C13"]
+workloads = ["dhrystone", "qsort", "median", "towers"]
+with open(sys.argv[1], "w") as f:
+    for i in range(100):
+        mode = ', "mode": "per_component"' if i % 7 == 0 else ""
+        f.write('{"config": "%s", "workload": "%s"%s}\n'
+                % (configs[i % 4], workloads[(i // 4) % 4], mode))
+EOF
+daemon_port="$(python3 -c 'import socket; s = socket.socket();
+s.bind(("127.0.0.1", 0)); print(s.getsockname()[1]); s.close()')"
+./build/tools/autopower serve --model "$smoke_dir/model.ap" \
+  --port "$daemon_port" --threads 2 &
+daemon_pid=$!
+python3 tools/serve_client.py --port "$daemon_port" \
+  --requests "$smoke_dir/daemon_reqs.jsonl" --out "$smoke_dir/daemon_out.jsonl"
+./build/tools/autopower batch --model "$smoke_dir/model.ap" \
+  --requests "$smoke_dir/daemon_reqs.jsonl" --out "$smoke_dir/batch_out.jsonl"
+diff "$smoke_dir/daemon_out.jsonl" "$smoke_dir/batch_out.jsonl" \
+  || { echo "daemon responses diverged from batch"; exit 1; }
+kill -TERM "$daemon_pid"
+wait "$daemon_pid" \
+  || { echo "daemon did not drain cleanly on SIGTERM"; exit 1; }
+echo "daemon responses byte-identical to batch; SIGTERM drained with exit 0"
+
 echo "== proptest: differential oracles under AddressSanitizer =="
 # Property-based differential suite (reference vs fast paths) with the
 # case count bounded so the stage fits a CI budget.  A failing property
@@ -72,7 +107,8 @@ echo "== configure (tsan preset) =="
 cmake --preset tsan
 
 echo "== build tsan targets =="
-cmake --build --preset tsan --target test_serve autopower_tests test_fault \
+cmake --build --preset tsan \
+  --target test_serve autopower_tests test_fault test_daemon \
   -j "$(nproc)"
 
 echo "== run test_serve under ThreadSanitizer =="
@@ -93,6 +129,13 @@ echo "== proptest: fault-injection suite under ThreadSanitizer =="
 # reruns a specific base seed.
 TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}" \
   timeout 600 ./build-tsan/tests/test_fault
+
+echo "== run daemon tests under ThreadSanitizer =="
+# Concurrent loopback connections share one engine/EvalCache, so this
+# run race-checks the reader/dispatcher/deliver paths and the drain
+# handshake under contention.
+TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}" \
+  timeout 600 ./build-tsan/tests/test_daemon --gtest_filter='DaemonTest.*'
 
 echo "== run parallel-train tests under ThreadSanitizer =="
 TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}" \

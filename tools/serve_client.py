@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Minimal scriptable client for the `autopower serve` daemon.
+
+Connects to the daemon (with retries, so it can be started right after
+the daemon process forks), streams a JSONL request file in, reads one
+response line per non-blank request line, and writes them to stdout (or
+--out).  Used by tools/check.sh's daemon smoke stage and by ad-hoc
+scripting; it has no dependencies beyond the Python standard library.
+
+    autopower serve --model m.ap --port 7077 &
+    python3 tools/serve_client.py --port 7077 < requests.jsonl > out.jsonl
+
+Exit codes: 0 on success, 1 on bad arguments or connect failure, 2 if
+the daemon closed the connection before answering every request.
+"""
+
+import argparse
+import socket
+import sys
+import time
+
+
+def connect(host: str, port: int, retries: int, delay: float) -> socket.socket:
+    last_error = None
+    for attempt in range(max(1, retries)):
+        try:
+            return socket.create_connection((host, port))
+        except OSError as err:
+            last_error = err
+            if attempt + 1 < retries:
+                time.sleep(delay)
+    raise SystemExit(f"serve_client: cannot connect to {host}:{port}: {last_error}")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument("--requests", default="-",
+                        help="JSONL request file (default: stdin)")
+    parser.add_argument("--out", default="-",
+                        help="response output file (default: stdout)")
+    parser.add_argument("--retries", type=int, default=40,
+                        help="connect attempts before giving up")
+    parser.add_argument("--retry-delay", type=float, default=0.25,
+                        help="seconds between connect attempts")
+    args = parser.parse_args()
+
+    if args.requests == "-":
+        payload = sys.stdin.read()
+    else:
+        with open(args.requests, "r", encoding="utf-8") as f:
+            payload = f.read()
+    if payload and not payload.endswith("\n"):
+        payload += "\n"
+    # The daemon answers every non-blank line (including parse errors);
+    # blank lines are skipped without a response.
+    expected = sum(1 for line in payload.splitlines() if line.strip())
+
+    sock = connect(args.host, args.port, args.retries, args.retry_delay)
+    out = sys.stdout if args.out == "-" else open(args.out, "w", encoding="utf-8")
+    try:
+        sock.sendall(payload.encode("utf-8"))
+        sock.shutdown(socket.SHUT_WR)
+        rfile = sock.makefile("r", encoding="utf-8")
+        received = 0
+        while received < expected:
+            line = rfile.readline()
+            if not line:
+                print(f"serve_client: daemon closed after {received}/{expected} "
+                      "responses", file=sys.stderr)
+                return 2
+            out.write(line)
+            received += 1
+        out.flush()
+    finally:
+        if out is not sys.stdout:
+            out.close()
+        sock.close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
