@@ -8,6 +8,10 @@
 //   2. Batched inference — predict_all on the flattened SoA forest vs a
 //      per-sample predict() loop.  Bit-identical outputs; 2x bar,
 //      single-threaded.
+//   2b. SIMD tier differencing — predict_all with the kernel table forced
+//      to scalar vs the host's best tier (util/simd.hpp).  Bit-identical
+//      outputs; the 2x bar is enforced only on AVX2 hosts (reported
+//      otherwise, like the train bar below).
 //   3. Parallel sub-model fitting — AutoPowerModel::train at 4 threads vs
 //      1.  Archives must be byte-identical at any thread count; the
 //      wall-clock speedup bar applies only when the host has at least as
@@ -18,11 +22,13 @@
 // `--json <path>` additionally writes the headline numbers for
 // tools/check.sh to collect.
 
+#include <algorithm>
 #include <array>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -35,6 +41,7 @@
 #include "sim/perfsim.hpp"
 #include "util/archive.hpp"
 #include "util/rng.hpp"
+#include "util/simd.hpp"
 
 using namespace autopower;
 
@@ -163,6 +170,72 @@ int main(int argc, char** argv) {
     ok = false;
   }
 
+  // --- 2b. SIMD tier differencing on the flattened forest ----------------
+  // predict_all under a forced-scalar kernel table vs the host's best
+  // tier.  The outputs must be bit-identical (the vector kernels promise
+  // per-row op-order equality); the >= 2x speedup bar is enforced only
+  // when the best tier is AVX2 — on SSE2-or-less hosts the number is
+  // reported, not enforced, mirroring the train_bar_enforced convention.
+  const util::simd::Tier best_tier = util::simd::detect_best_tier();
+  const util::simd::Tier entry_tier = util::simd::active_tier();
+
+  // Interleave the two tiers in short batches and keep each tier's best
+  // batch: a scheduler hiccup or frequency dip then penalises one batch,
+  // not one whole tier's only measurement, so the ratio reflects the
+  // kernels rather than which tier drew the noisy timeslice.
+  constexpr int kTierBatches = 6;
+  constexpr int kTierBatchReps = 5;
+  double scalar_tier_s = std::numeric_limits<double>::infinity();
+  double best_tier_s = std::numeric_limits<double>::infinity();
+  std::vector<double> scalar_pred;
+  std::vector<double> best_pred;
+  for (int batch = 0; batch < kTierBatches; ++batch) {
+    util::simd::set_active_tier(util::simd::Tier::kScalar);
+    start = std::chrono::steady_clock::now();
+    for (int rep = 0; rep < kTierBatchReps; ++rep) {
+      scalar_pred = fast.predict_all(data);
+    }
+    scalar_tier_s =
+        std::min(scalar_tier_s, seconds_since(start) / kTierBatchReps);
+
+    util::simd::set_active_tier(best_tier);
+    start = std::chrono::steady_clock::now();
+    for (int rep = 0; rep < kTierBatchReps; ++rep) {
+      best_pred = fast.predict_all(data);
+    }
+    best_tier_s =
+        std::min(best_tier_s, seconds_since(start) / kTierBatchReps);
+  }
+  util::simd::set_active_tier(entry_tier);
+
+  const double simd_speedup = scalar_tier_s / best_tier_s;
+  bool tiers_identical = scalar_pred.size() == best_pred.size();
+  for (std::size_t i = 0; tiers_identical && i < scalar_pred.size(); ++i) {
+    tiers_identical = scalar_pred[i] == best_pred[i];
+  }
+  const bool simd_bar_enforced = best_tier == util::simd::Tier::kAvx2;
+  std::printf("predict_all, scalar tier   : %.2f Msamples/s  (%.4f s)\n",
+              data.size() / scalar_tier_s / 1e6, scalar_tier_s);
+  std::printf("predict_all, %-6s tier   : %.2f Msamples/s  (%.4f s, "
+              "%.2fx, bar 2.00x)\n",
+              std::string(util::simd::tier_name(best_tier)).c_str(),
+              data.size() / best_tier_s / 1e6, best_tier_s, simd_speedup);
+  std::printf("tiers bit-identical        : %s\n",
+              tiers_identical ? "yes" : "NO");
+  if (!tiers_identical) {
+    std::printf("FAIL: %s tier diverged from the scalar kernels\n",
+                std::string(util::simd::tier_name(best_tier)).c_str());
+    ok = false;
+  }
+  if (!simd_bar_enforced) {
+    std::printf("note: best tier is %s, not avx2; 2x bar reported, "
+                "not enforced\n",
+                std::string(util::simd::tier_name(best_tier)).c_str());
+  } else if (simd_speedup < 2.0) {
+    std::printf("FAIL: best SIMD tier below the 2x bar\n");
+    ok = false;
+  }
+
   // --- 3. Parallel sub-model fitting -------------------------------------
   sim::PerfSimulator sim;
   power::GoldenPowerModel golden;
@@ -218,6 +291,11 @@ int main(int argc, char** argv) {
           "  \"predict_loop_s\": %.6f,\n"
           "  \"predict_all_s\": %.6f,\n"
           "  \"predict_speedup\": %.3f,\n"
+          "  \"simd_tier\": \"%s\",\n"
+          "  \"predict_scalar_tier_s\": %.6f,\n"
+          "  \"predict_best_tier_s\": %.6f,\n"
+          "  \"simd_predict_speedup\": %.3f,\n"
+          "  \"simd_bar_enforced\": %s,\n"
           "  \"train_1thread_s\": %.6f,\n"
           "  \"train_4thread_s\": %.6f,\n"
           "  \"train_speedup\": %.3f,\n"
@@ -226,9 +304,13 @@ int main(int argc, char** argv) {
           "  \"bit_identical\": %s\n"
           "}\n",
           ref_fit_s, fast_fit_s, fit_speedup, loop_s, batch_s,
-          predict_speedup, train1_s, train4_s, train_speedup,
-          train_bar_enforced ? "true" : "false", hw,
-          (fit_identical && predict_identical && archives_identical)
+          predict_speedup,
+          std::string(util::simd::tier_name(best_tier)).c_str(),
+          scalar_tier_s, best_tier_s, simd_speedup,
+          simd_bar_enforced ? "true" : "false", train1_s, train4_s,
+          train_speedup, train_bar_enforced ? "true" : "false", hw,
+          (fit_identical && predict_identical && tiers_identical &&
+           archives_identical)
               ? "true"
               : "false");
       std::fclose(f);

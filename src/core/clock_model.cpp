@@ -146,25 +146,32 @@ std::vector<double> ClockPowerModel::predict_batch(
   if (!trained_) throw util::NotFitted("clock model not trained");
   if (ctxs.empty()) return {};
 
-  // alpha' for all contexts in one flattened-forest pass; R and g are
-  // cheap ridge dot-products evaluated per context.
-  const auto he_names = feature_names(component_, FeatureSpec::he());
-  std::vector<double> alpha;
-  if (options_.linear_alpha) {
-    alpha.reserve(ctxs.size());
-    for (const auto& ctx : ctxs) {
-      alpha.push_back(predict_effective_active_rate(ctx));
-    }
-  } else {
-    alpha = alpha_model_.predict_rows(
-        feature_rows(component_, FeatureSpec::he(), ctxs), he_names.size());
+  // alpha' for all contexts in one flattened-forest (or batched ridge)
+  // pass; R and g go through the batched ridge path over one shared
+  // row-major H matrix instead of re-assembling features per context.
+  // Every batched predict is bit-identical to its per-context twin.
+  const auto he_rows = feature_rows(component_, FeatureSpec::he(), ctxs);
+  const std::size_t he_arity = he_rows.size() / ctxs.size();
+  const std::vector<double> alpha =
+      options_.linear_alpha
+          ? alpha_linear_model_.predict_rows(he_rows, he_arity)
+          : alpha_model_.predict_rows(he_rows, he_arity);
+
+  const auto params = arch::component_hw_params(component_);
+  std::vector<double> h_rows;
+  h_rows.reserve(ctxs.size() * params.size());
+  for (const auto& ctx : ctxs) {
+    for (const arch::HwParam p : params) h_rows.push_back(ctx.cfg->value_d(p));
   }
+  const std::vector<double> r_all =
+      reg_model_.predict_rows(h_rows, params.size());
+  std::vector<double> g_all = gate_model_.predict_rows(h_rows, params.size());
 
   const double p_reg = techlib::TechLibrary::default_40nm().clock_pin_energy;
   std::vector<double> out(ctxs.size());
   for (std::size_t i = 0; i < ctxs.size(); ++i) {
-    const double r = predict_register_count(*ctxs[i].cfg);
-    const double g = predict_gating_rate(*ctxs[i].cfg);
+    const double r = r_all[i];
+    const double g = std::clamp(g_all[i], 0.0, 0.99);
     out[i] = std::max(0.0, r * (1.0 - g) * p_reg + alpha[i] * r * g);
   }
   return out;

@@ -21,24 +21,37 @@ std::vector<std::string> feature_names(arch::ComponentKind c,
   return out;
 }
 
+void feature_vector_into(arch::ComponentKind c, const FeatureSpec& spec,
+                         const arch::HardwareConfig& cfg,
+                         const arch::EventVector& events,
+                         const workload::ProgramFeatures& program,
+                         std::vector<double>& out) {
+  // Appends the H / E values straight from their scalar accessors — no
+  // per-family temporary vectors — so assembling a row-major batch is
+  // one contiguous fill of the destination buffer.
+  if (spec.hardware) {
+    for (arch::HwParam p : arch::component_hw_params(c)) {
+      out.push_back(cfg.value_d(p));
+    }
+  }
+  if (spec.events) {
+    for (arch::EventKind e : arch::component_events(c)) {
+      out.push_back(events.rate(e));
+    }
+  }
+  if (spec.program) {
+    const auto p = program.as_vector();
+    out.insert(out.end(), p.begin(), p.end());
+  }
+}
+
 std::vector<double> feature_vector(arch::ComponentKind c,
                                    const FeatureSpec& spec,
                                    const arch::HardwareConfig& cfg,
                                    const arch::EventVector& events,
                                    const workload::ProgramFeatures& program) {
   std::vector<double> out;
-  if (spec.hardware) {
-    auto h = cfg.features_for(arch::component_hw_params(c));
-    out.insert(out.end(), h.begin(), h.end());
-  }
-  if (spec.events) {
-    auto e = arch::component_event_features(c, events);
-    out.insert(out.end(), e.begin(), e.end());
-  }
-  if (spec.program) {
-    auto p = program.as_vector();
-    out.insert(out.end(), p.begin(), p.end());
-  }
+  feature_vector_into(c, spec, cfg, events, program, out);
   return out;
 }
 
@@ -46,11 +59,13 @@ std::vector<double> feature_rows(arch::ComponentKind c,
                                  const FeatureSpec& spec,
                                  std::span<const EvalContext> ctxs) {
   std::vector<double> rows;
+  bool first = true;
   for (const auto& ctx : ctxs) {
-    const auto f =
-        feature_vector(c, spec, *ctx.cfg, ctx.events, ctx.program);
-    if (rows.empty()) rows.reserve(f.size() * ctxs.size());
-    rows.insert(rows.end(), f.begin(), f.end());
+    feature_vector_into(c, spec, *ctx.cfg, ctx.events, ctx.program, rows);
+    if (first) {
+      rows.reserve(rows.size() * ctxs.size());
+      first = false;
+    }
   }
   return rows;
 }

@@ -45,6 +45,15 @@ struct FeatureSpec {
     const arch::HardwareConfig& cfg, const arch::EventVector& events,
     const workload::ProgramFeatures& program);
 
+/// Appends the same values to `out` without intermediate vectors — the
+/// building block feature_rows uses to assemble batches allocation-free
+/// per sample.
+void feature_vector_into(arch::ComponentKind c, const FeatureSpec& spec,
+                         const arch::HardwareConfig& cfg,
+                         const arch::EventVector& events,
+                         const workload::ProgramFeatures& program,
+                         std::vector<double>& out);
+
 /// Row-major feature matrix for one component across many contexts — the
 /// input layout ml::GBTRegressor::predict_rows consumes.  Row i is exactly
 /// feature_vector(c, spec, ctxs[i]...).

@@ -140,11 +140,21 @@ void LogicPowerModel::predict_batch(std::span<const EvalContext> ctxs,
   const auto act = reg_act_model_.predict_rows(rows, arity);
   const auto var = comb_var_model_.predict_rows(rows, arity);
 
+  // The structural ridge models run batched too, over one shared H
+  // matrix — bit-identical to the per-context predict(h) calls.
+  const auto params = arch::component_hw_params(component_);
+  std::vector<double> h_rows;
+  h_rows.reserve(ctxs.size() * params.size());
+  for (const auto& ctx : ctxs) {
+    for (const arch::HwParam p : params) h_rows.push_back(ctx.cfg->value_d(p));
+  }
+  const auto reg_count = reg_count_model_.predict_rows(h_rows, params.size());
+  const auto comb_stable =
+      comb_stable_model_.predict_rows(h_rows, params.size());
+
   for (std::size_t i = 0; i < ctxs.size(); ++i) {
-    const auto h =
-        ctxs[i].cfg->features_for(arch::component_hw_params(component_));
-    reg_out[i] = std::max(0.0, reg_count_model_.predict(h) * act[i]);
-    comb_out[i] = std::max(0.0, comb_stable_model_.predict(h) * var[i]);
+    reg_out[i] = std::max(0.0, reg_count[i] * act[i]);
+    comb_out[i] = std::max(0.0, comb_stable[i] * var[i]);
   }
 }
 

@@ -5,6 +5,7 @@
 
 #include "util/error.hpp"
 #include "util/metrics.hpp"
+#include "util/simd.hpp"
 
 namespace autopower::ml {
 
@@ -98,6 +99,9 @@ void GBTRegressor::rebuild_flat() {
   for (const std::int32_t f : flat_feature_) {
     max_feature_ = std::max(max_feature_, static_cast<int>(f));
   }
+  // The padded mirror must be built while leaf links are still -1 (the
+  // self-loop fixup below erases that distinction).
+  rebuild_padded();
   // Make leaves self-looping so a fixed-depth level-synchronous walk lands
   // on — and stays on — the correct leaf.  Leaf feature becomes 0 (a valid
   // column; the comparison result no longer matters once both children are
@@ -108,6 +112,66 @@ void GBTRegressor::rebuild_flat() {
       flat_left_[i] = static_cast<std::int32_t>(i);
       flat_right_[i] = static_cast<std::int32_t>(i);
       flat_feature_[i] = 0;
+    }
+  }
+}
+
+void GBTRegressor::rebuild_padded() {
+  pad_depth_.clear();
+  pad_node_off_.clear();
+  pad_leaf_off_.clear();
+  pad_feature_.clear();
+  pad_threshold_.clear();
+  pad_weight_.clear();
+  pad_depth_.reserve(trees_.size());
+  pad_node_off_.reserve(trees_.size());
+  pad_leaf_off_.reserve(trees_.size());
+
+  for (std::size_t t = 0; t < flat_roots_.size(); ++t) {
+    pad_node_off_.push_back(pad_feature_.size());
+    pad_leaf_off_.push_back(pad_weight_.size());
+    const std::int32_t depth = flat_depth_[t];
+    if (depth > util::simd::kMaxPaddedDepth) {
+      pad_depth_.push_back(-1);  // mask bits would overflow; scalar walk
+      continue;
+    }
+    pad_depth_.push_back(depth);
+    const std::size_t interior = (std::size_t{1} << depth) - 1;
+    const std::size_t leaves = std::size_t{1} << depth;
+    const std::size_t node_off = pad_feature_.size();
+    const std::size_t leaf_off = pad_weight_.size();
+    pad_feature_.resize(node_off + interior, 0);
+    pad_threshold_.resize(node_off + interior, 0.0);
+    pad_weight_.resize(leaf_off + leaves, 0.0);
+
+    // Breadth-first fill: slot s's children are 2s+1 / 2s+2.  A real
+    // leaf reached above the bottom level is carried down through its
+    // whole padded subtree (feature 0, threshold 0 — the walk direction
+    // is irrelevant once every leaf slot below holds the same weight).
+    struct Item {
+      std::size_t slot;
+      std::int32_t node;  // flat index; interior iff flat_left_[node] >= 0
+    };
+    std::vector<Item> stack{{0, flat_roots_[t]}};
+    while (!stack.empty()) {
+      const Item item = stack.back();
+      stack.pop_back();
+      const auto node = static_cast<std::size_t>(item.node);
+      const bool is_leaf = flat_left_[node] < 0;
+      if (item.slot >= interior) {
+        AP_ASSERT(is_leaf);  // depth counts the deepest interior level
+        pad_weight_[leaf_off + (item.slot - interior)] = flat_weight_[node];
+        continue;
+      }
+      if (is_leaf) {
+        stack.push_back({2 * item.slot + 1, item.node});
+        stack.push_back({2 * item.slot + 2, item.node});
+      } else {
+        pad_feature_[node_off + item.slot] = flat_feature_[node];
+        pad_threshold_[node_off + item.slot] = flat_threshold_[node];
+        stack.push_back({2 * item.slot + 1, flat_left_[node]});
+        stack.push_back({2 * item.slot + 2, flat_right_[node]});
+      }
     }
   }
 }
@@ -188,10 +252,48 @@ std::vector<double> GBTRegressor::predict_rows(
   const std::int32_t* const right = flat_right_.data();
   const double* const weight = flat_weight_.data();
   std::int32_t idx[kBlock];
+
+  // SIMD tiers additionally run each padded tree through the vector
+  // forest_leaf_add kernel over a column-major copy of the block (the
+  // kernel evaluates all of a tree's conditions with contiguous loads
+  // across rows).  The per-row accumulation order — tree 0, 1, ... with
+  // one mul-then-add per tree — is identical either way, so the tiers
+  // are bit-identical; the scalar tier takes exactly the pre-SIMD path.
+  const auto& kt = util::simd::kernels();
+  const bool vectorize = kt.tier != util::simd::Tier::kScalar &&
+                         !pad_depth_.empty();
+  std::vector<double> cols;
+  if (vectorize) {
+    cols.resize(static_cast<std::size_t>(max_feature_ + 1) * kBlock);
+  }
+
   for (std::size_t begin = 0; begin < count; begin += kBlock) {
     const std::size_t block = std::min(kBlock, count - begin);
     const double* const block_rows = rows.data() + begin * num_features;
+    if (vectorize) {
+      // Row-major copy order: reads stream sequentially and the 4 KiB
+      // cols buffer stays L1-resident, which beats a per-feature
+      // strided-gather pass here (each gather lane would touch its own
+      // cache line at typical feature arities).
+      for (std::size_t i = 0; i < block; ++i) {
+        const double* const r = block_rows + i * num_features;
+        for (int f = 0; f <= max_feature_; ++f) {
+          cols[static_cast<std::size_t>(f) * kBlock + i] = r[f];
+        }
+      }
+    }
     for (std::size_t t = 0; t < flat_roots_.size(); ++t) {
+      if (vectorize && pad_depth_[t] >= 0) {
+        const util::simd::PaddedTreeView view{
+            pad_feature_.data() + pad_node_off_[t],
+            pad_threshold_.data() + pad_node_off_[t],
+            pad_weight_.data() + pad_leaf_off_[t],
+            pad_depth_[t],
+        };
+        kt.forest_leaf_add(view, cols.data(), kBlock, block, lr,
+                           out.data() + begin);
+        continue;
+      }
       const std::int32_t root = flat_roots_[t];
       const std::int32_t depth = flat_depth_[t];
       for (std::size_t i = 0; i < block; ++i) idx[i] = root;

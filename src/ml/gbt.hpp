@@ -67,6 +67,7 @@ class GBTRegressor {
 
  private:
   void rebuild_flat();
+  void rebuild_padded();
 
   GbtOptions options_;
   std::vector<RegressionTree> trees_;
@@ -87,6 +88,19 @@ class GBTRegressor {
   std::vector<std::int32_t> flat_roots_;  ///< root node index per tree
   std::vector<std::int32_t> flat_depth_;  ///< levels to walk per tree
   int max_feature_ = -1;  ///< highest feature index any node tests
+
+  // Padded perfect-tree mirror of the flat forest, consumed by the SIMD
+  // forest_leaf_add kernel (util/simd.hpp): per tree of depth d, 2^d - 1
+  // interior slots in breadth-first order plus 2^d leaf slots, with each
+  // real leaf's weight replicated across every leaf slot of its padded
+  // subtree.  Trees deeper than simd::kMaxPaddedDepth get pad_depth_ -1
+  // and fall back to the scalar level-synchronous walk per tree.
+  std::vector<std::int32_t> pad_depth_;      ///< padded depth, -1 = too deep
+  std::vector<std::size_t> pad_node_off_;    ///< per-tree interior offset
+  std::vector<std::size_t> pad_leaf_off_;    ///< per-tree leaf offset
+  std::vector<std::int32_t> pad_feature_;
+  std::vector<double> pad_threshold_;
+  std::vector<double> pad_weight_;
 };
 
 }  // namespace autopower::ml

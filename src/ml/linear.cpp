@@ -5,6 +5,7 @@
 
 #include "ml/matrix.hpp"
 #include "util/error.hpp"
+#include "util/simd.hpp"
 
 namespace autopower::ml {
 
@@ -34,9 +35,10 @@ void RidgeRegression::fit(const Dataset& data) {
 
   Matrix x(n, p);
   std::vector<double> y(n);
+  const auto& kt = util::simd::kernels();
   for (std::size_t i = 0; i < n; ++i) {
     const auto f = data.features(i);
-    for (std::size_t j = 0; j < p; ++j) x(i, j) = (f[j] - mean[j]) / scale[j];
+    kt.sub_div(f.data(), mean.data(), scale.data(), &x(i, 0), p);
     y[i] = data.target(i) - ymean;
   }
 
@@ -87,9 +89,28 @@ void RidgeRegression::load(util::ArchiveReader& in) {
 }
 
 std::vector<double> RidgeRegression::predict_all(const Dataset& data) const {
-  std::vector<double> out(data.size());
-  for (std::size_t i = 0; i < data.size(); ++i) {
-    out[i] = predict(data.features(i));
+  if (data.empty()) return {};
+  return predict_rows(data.row_major_features(), data.num_features());
+}
+
+std::vector<double> RidgeRegression::predict_rows(
+    std::span<const double> rows, std::size_t arity) const {
+  if (!fitted_) {
+    throw util::NotFitted("RidgeRegression::predict_rows before fit");
+  }
+  AP_REQUIRE(arity == coef_.size(),
+             "feature arity mismatch in RidgeRegression::predict_rows");
+  AP_REQUIRE(arity > 0 && rows.size() % arity == 0,
+             "row buffer is not a multiple of the feature arity");
+  const std::size_t count = rows.size() / arity;
+  std::vector<double> out(count);
+  // Vectorised across samples; per sample the kernel accumulates
+  // intercept then coef[0], coef[1], ... — exactly predict()'s order,
+  // so the batch is bit-identical to per-sample calls.
+  util::simd::kernels().affine_rows(rows.data(), arity, count, coef_.data(),
+                                    intercept_, out.data());
+  if (options_.nonnegative_prediction) {
+    for (double& v : out) v = std::max(v, 0.0);
   }
   return out;
 }

@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "util/error.hpp"
+#include "util/simd.hpp"
 
 namespace autopower::ml {
 
@@ -56,7 +57,10 @@ void RegressionTree::fit(const Dataset& data, std::span<const double> grad,
 
   const std::size_t n = data.size();
   const std::size_t num_features = data.num_features();
-  AP_REQUIRE(n < std::numeric_limits<std::uint32_t>::max(),
+  // int32 bound (not uint32): the SIMD gather kernels consume the sorted
+  // index columns as signed 32-bit gather indices.
+  AP_REQUIRE(n <= static_cast<std::size_t>(
+                      std::numeric_limits<std::int32_t>::max()),
              "dataset too large for the presorted tree builder");
 
   PresortWorkspace ws;
@@ -70,8 +74,10 @@ void RegressionTree::fit(const Dataset& data, std::span<const double> grad,
 
   std::vector<double> col(n);
   std::vector<std::uint32_t> order(n);
+  const auto& kt = util::simd::kernels();
+  const std::span<const double> all = data.row_major_features();
   for (std::size_t f = 0; f < num_features; ++f) {
-    for (std::size_t i = 0; i < n; ++i) col[i] = data.features(i)[f];
+    kt.strided_gather(all.data() + f, num_features, col.data(), n);
     std::iota(order.begin(), order.end(), std::uint32_t{0});
     std::sort(order.begin(), order.end(),
               [&](std::uint32_t a, std::uint32_t b) {
@@ -124,11 +130,12 @@ int RegressionTree::build_presorted(const Dataset& data,
     const std::uint32_t* idx = ws.sorted_idx.data() + f * n;
     const double* val = ws.sorted_val.data() + f * n;
     if (m == n) {  // root: every sample is a member
-      for (std::size_t k = 0; k < n; ++k) {
-        ws.val[k] = val[k];
-        ws.grad[k] = grad[idx[k]];
-        ws.hess[k] = hess[idx[k]];
-      }
+      // Straight indexed gathers (SIMD-dispatched); the membership-
+      // masked compaction below is inherently serial and stays scalar.
+      const auto& kt = util::simd::kernels();
+      std::copy(val, val + n, ws.val.begin());
+      kt.gather(grad.data(), idx, ws.grad.data(), n);
+      kt.gather(hess.data(), idx, ws.hess.data(), n);
     } else {
       std::size_t out = 0;
       for (std::size_t k = 0; k < n; ++k) {

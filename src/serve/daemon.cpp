@@ -12,6 +12,7 @@
 
 #include "serve/jsonl.hpp"
 #include "util/fault.hpp"
+#include "util/simd.hpp"
 
 namespace autopower::serve {
 
@@ -484,6 +485,10 @@ std::string Daemon::control_response_line(std::uint64_t seq,
     out += "\", \"connections\": " +
            std::to_string(active_.load(std::memory_order_relaxed));
     out += ", \"queue_depth\": " + std::to_string(depth);
+    // Numeric tier (0 scalar / 1 sse2 / 2 avx2), not the name: golden
+    // snapshots normalise numbers, so the schema stays host-independent.
+    out += ", \"simd_tier\": " + std::to_string(static_cast<int>(
+                                     util::simd::active_tier()));
   } else {
     out += ", \"metrics\": " + util::MetricsRegistry::global().to_json();
   }

@@ -1,9 +1,11 @@
 #include "serve/engine.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <exception>
 #include <functional>
+#include <thread>
 #include <utility>
 
 #include "arch/component.hpp"
@@ -69,6 +71,20 @@ BatchEngine::BatchEngine(std::shared_ptr<const core::AutoPowerModel> model,
                    "serve.batch.batch_size")} {
   AP_REQUIRE(model_ != nullptr, "BatchEngine: null model");
   if (options_.threads == 0) options_.threads = 1;
+  // Clamp worker fan-out to the physical core count — oversubscribing a
+  // small box adds context-switch latency without adding throughput.
+  // Responses are order-preserving and thread-count-invariant, so the
+  // clamp never changes a result — but a threaded request must stay
+  // threaded: the serial path in run() propagates a handle() failure
+  // while the worker path isolates it per request, so clamping 4 -> 1
+  // on a single-core host would change error semantics, not just
+  // scheduling.  Hence the floor of 2 whenever the caller asked for
+  // more than one worker.
+  if (options_.threads > 1) {
+    options_.threads = std::min(
+        options_.threads,
+        std::max<std::size_t>(2, std::thread::hardware_concurrency()));
+  }
 }
 
 EvalCache::Stats BatchEngine::response_stats() const noexcept {

@@ -135,7 +135,11 @@ ml::Dataset random_dataset(Pcg32& rng, const DatasetShape& shape) {
         v = pool[rng.index(static_cast<std::size_t>(pool_size))];
       }
     } else {
-      for (double& v : col) v = rng.next_range(-10.0, 10.0);
+      // Continuous column: one batched unit fill through the SIMD rng
+      // kernel (util::Rng::fill_unit), mapped onto [-10, 10).
+      util::Rng crng(rng.next_u64());
+      crng.fill_unit(col);
+      for (double& v : col) v = -10.0 + 20.0 * v;
     }
   }
 

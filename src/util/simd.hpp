@@ -1,0 +1,141 @@
+// SIMD kernel layer with runtime CPU dispatch.
+//
+// The numeric hot paths (forest inference, presort gathers, ridge
+// predicts, batched PRNG fills) call through a per-process kernel table
+// selected once from cpuid: scalar, SSE2 or AVX2.  Three properties the
+// rest of the repository relies on:
+//
+//   * Bit-identity across tiers.  Every vector kernel performs, per
+//     output element, exactly the operation sequence of its scalar twin
+//     — vectorisation is only ever *across* independent output elements
+//     (rows, samples, lanes), never across a reduction whose order
+//     affects the result.  Kernels that cannot keep that promise do not
+//     exist here; those loops stay scalar at the call site (see
+//     DESIGN.md "SIMD dispatch" for the per-site inventory).  The
+//     differential oracles in tests/test_simd.cpp pin every kernel to
+//     its scalar twin over random sizes, alignments, NaNs and
+//     denormals.
+//   * No ISA leakage.  AVX2/SSE2 code lives only in simd_avx2.cpp /
+//     simd_sse2.cpp, which are the only translation units compiled with
+//     -mavx2 / -msse2 (tools/check.sh fails the build if the flag
+//     appears anywhere else).  This header stays intrinsics-free and
+//     inline-function-free so including it can never materialise
+//     AVX2 code in a caller's TU.
+//   * Observability.  The selected tier is published as the
+//     `util.simd.tier` gauge (0 scalar / 1 sse2 / 2 avx2) so --stats
+//     snapshots, bench JSON and the daemon health response all say
+//     which code path produced their numbers.
+//
+// Tier selection: highest tier the CPU supports, capped by the
+// AUTOPOWER_SIMD environment variable (scalar | sse2 | avx2).  An
+// unknown value, or a request for a tier the CPU lacks, falls back to
+// auto-detection.  set_active_tier() re-points the dispatch table at
+// runtime — a bench/test hook for measuring and differencing tiers in
+// one process; it is not meant to be called concurrently with kernel
+// users.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace autopower::util::simd {
+
+/// Instruction-set tier, ordered: a higher tier implies the lower ones.
+enum class Tier : int { kScalar = 0, kSse2 = 1, kAvx2 = 2 };
+
+/// One padded perfect tree of the forest-inference layout.  A fitted
+/// tree of depth d is mirrored into a complete binary tree in
+/// breadth-first order: `feature`/`threshold` hold its 2^d - 1 interior
+/// slots, `weight` its 2^d leaf slots, and every leaf of the original
+/// tree is replicated across all leaf slots of its padded subtree (so
+/// the walk direction through padded interior slots cannot matter).
+/// Node k's children are 2k+1 (x[feature[k]] < threshold[k]) and 2k+2;
+/// depth <= kMaxPaddedDepth so the 2^d - 1 condition bits fit a uint64.
+struct PaddedTreeView {
+  const std::int32_t* feature;
+  const double* threshold;
+  const double* weight;
+  std::int32_t depth;
+};
+
+/// Deepest tree the padded layout accepts: 2^6 - 1 = 63 interior
+/// condition bits is the most a per-row uint64 mask can carry.
+inline constexpr std::int32_t kMaxPaddedDepth = 6;
+
+/// The dispatched kernels.  All pointers are always non-null (the
+/// scalar implementation backs any slot a tier does not accelerate).
+/// Index arguments must be < 2^31: the x86 gather instructions treat
+/// indices as signed 32/64-bit.
+struct KernelTable {
+  Tier tier;
+
+  /// y[i] += a * x[i]  (multiply then add, no FMA contraction).
+  void (*axpy)(double a, const double* x, double* y, std::size_t n);
+
+  /// out[j] = (x[j] - mean[j]) / scale[j]  (IEEE divide, as scalar).
+  void (*sub_div)(const double* x, const double* mean, const double* scale,
+                  double* out, std::size_t n);
+
+  /// out[k] = src[idx[k]].
+  void (*gather)(const double* src, const std::uint32_t* idx, double* out,
+                 std::size_t n);
+
+  /// out[i] = src[i * stride]  (column gather from a row-major matrix;
+  /// pass src already offset to the column).
+  void (*strided_gather)(const double* src, std::size_t stride, double* out,
+                         std::size_t n);
+
+  /// Dense affine map over row-major samples, vectorised across rows:
+  /// out[i] = intercept + sum_j coef[j] * rows[i*arity + j], the sum
+  /// accumulated in ascending j exactly like a scalar predict loop.
+  void (*affine_rows)(const double* rows, std::size_t arity,
+                      std::size_t count, const double* coef, double intercept,
+                      double* out);
+
+  /// Forest inference over one padded tree and one column-major block:
+  /// out[i] += lr * leaf_weight(row i), where cols[f*col_stride + i] is
+  /// feature f of block row i.  Vectorised across rows; per row the
+  /// multiply-then-add matches the scalar walk bit for bit.
+  void (*forest_leaf_add)(const PaddedTreeView& tree, const double* cols,
+                          std::size_t col_stride, std::size_t rows, double lr,
+                          double* out);
+
+  /// Counter-based SplitMix64 block fill (the Rng::next_u64 stream):
+  /// out[k] = mix64(base + (k+1) * 0x9e3779b97f4a7c15).
+  void (*rng_fill_u64)(std::uint64_t base, std::uint64_t* out, std::size_t n);
+
+  /// The Rng::next_unit stream: out[k] = hash_unit(rng_fill_u64 value),
+  /// i.e. a second mix64 pass then (v >> 11) * 0x1.0p-53, with the
+  /// integer->double conversion exact in every lane.
+  void (*rng_fill_unit)(std::uint64_t base, double* out, std::size_t n);
+};
+
+/// The active kernel table (initialised on first use from cpuid + the
+/// AUTOPOWER_SIMD override).  Fetch once per operation, not per element.
+[[nodiscard]] const KernelTable& kernels() noexcept;
+
+/// The tier kernels() currently dispatches to.
+[[nodiscard]] Tier active_tier() noexcept;
+
+/// Highest tier this CPU can execute.
+[[nodiscard]] Tier detect_best_tier() noexcept;
+
+/// Table for an explicit tier, or nullptr when the CPU (or this build)
+/// cannot run it.  kScalar always succeeds.
+[[nodiscard]] const KernelTable* kernels_for(Tier tier) noexcept;
+
+/// Re-points kernels() at `tier` (clamped to detect_best_tier()) and
+/// updates the util.simd.tier gauge.  Returns the tier actually
+/// installed.  Bench/test hook — do not call while other threads are
+/// inside dispatched kernels.
+Tier set_active_tier(Tier tier) noexcept;
+
+/// "scalar" | "sse2" | "avx2".
+[[nodiscard]] std::string_view tier_name(Tier tier) noexcept;
+
+/// Parses an AUTOPOWER_SIMD value; std::nullopt for anything unknown.
+[[nodiscard]] std::optional<Tier> parse_tier(std::string_view text) noexcept;
+
+}  // namespace autopower::util::simd

@@ -1,0 +1,172 @@
+// SSE2 kernel tier.  Only this TU is compiled with an explicit -msse2
+// (x86-64 implies SSE2 anyway, but the flag isolation keeps the build
+// rule uniform with simd_avx2.cpp).  Two-lane versions of the
+// elementwise and PRNG kernels; the gather-heavy kernels (gather,
+// strided_gather, affine_rows) have no SSE2 gather instruction and
+// borrow their scalar twins from simd.cpp.  Bit-identity rules are the
+// same as the AVX2 TU: no FMA, vectorise across outputs only, exact
+// integer -> double conversion.
+
+#if defined(__SSE2__)
+
+#include <emmintrin.h>
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/simd_internal.hpp"
+
+namespace autopower::util::simd {
+
+namespace {
+
+void sse2_axpy(double a, const double* x, double* y, std::size_t n) {
+  const __m128d av = _mm_set1_pd(a);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128d xv = _mm_loadu_pd(x + i);
+    const __m128d yv = _mm_loadu_pd(y + i);
+    _mm_storeu_pd(y + i, _mm_add_pd(yv, _mm_mul_pd(av, xv)));
+  }
+  for (; i < n; ++i) y[i] += a * x[i];
+}
+
+void sse2_sub_div(const double* x, const double* mean, const double* scale,
+                  double* out, std::size_t n) {
+  std::size_t j = 0;
+  for (; j + 2 <= n; j += 2) {
+    const __m128d num =
+        _mm_sub_pd(_mm_loadu_pd(x + j), _mm_loadu_pd(mean + j));
+    _mm_storeu_pd(out + j, _mm_div_pd(num, _mm_loadu_pd(scale + j)));
+  }
+  for (; j < n; ++j) out[j] = (x[j] - mean[j]) / scale[j];
+}
+
+void sse2_forest_leaf_add(const PaddedTreeView& tree, const double* cols,
+                          std::size_t col_stride, std::size_t rows, double lr,
+                          double* out) {
+  const std::int32_t interior = (1 << tree.depth) - 1;
+  std::size_t i = 0;
+  for (; i + 2 <= rows; i += 2) {
+    // Condition masks for 2 rows via vector compares; SSE2 has no
+    // variable shift, so the mask walk happens on extracted scalars.
+    __m128i mask = _mm_setzero_si128();
+    for (std::int32_t k = 0; k < interior; ++k) {
+      const __m128d xv = _mm_loadu_pd(
+          cols + static_cast<std::size_t>(tree.feature[k]) * col_stride + i);
+      // cmplt is an ordered compare: false for NaN, like scalar `<`.
+      const __m128i lt =
+          _mm_castpd_si128(_mm_cmplt_pd(xv, _mm_set1_pd(tree.threshold[k])));
+      mask = _mm_or_si128(mask,
+                          _mm_and_si128(lt, _mm_set1_epi64x(1LL << k)));
+    }
+    alignas(16) std::uint64_t lane_mask[2];
+    _mm_store_si128(reinterpret_cast<__m128i*>(lane_mask), mask);
+    for (int lane = 0; lane < 2; ++lane) {
+      std::int64_t idx = 0;
+      for (std::int32_t level = 0; level < tree.depth; ++level) {
+        idx = 2 * idx + 2 -
+              static_cast<std::int64_t>((lane_mask[lane] >> idx) & 1u);
+      }
+      out[i + static_cast<std::size_t>(lane)] +=
+          lr * tree.weight[idx - interior];
+    }
+  }
+  if (i < rows) {
+    detail::scalar_forest_leaf_add(tree, cols + i, col_stride, rows - i, lr,
+                                   out + i);
+  }
+}
+
+constexpr std::uint64_t kGamma = 0x9e3779b97f4a7c15ULL;
+
+/// 64x64 -> low 64 multiply (no 64-bit vector multiply in SSE2).
+inline __m128i mul64(__m128i a, __m128i b) {
+  const __m128i lo = _mm_mul_epu32(a, b);
+  const __m128i hi1 = _mm_mul_epu32(_mm_srli_epi64(a, 32), b);
+  const __m128i hi2 = _mm_mul_epu32(a, _mm_srli_epi64(b, 32));
+  return _mm_add_epi64(lo, _mm_slli_epi64(_mm_add_epi64(hi1, hi2), 32));
+}
+
+/// SplitMix64 finalizer on 2 lanes — same constants as util::mix64.
+inline __m128i mix64x2(__m128i x) {
+  x = _mm_add_epi64(x, _mm_set1_epi64x(static_cast<long long>(kGamma)));
+  x = mul64(_mm_xor_si128(x, _mm_srli_epi64(x, 30)),
+            _mm_set1_epi64x(static_cast<long long>(0xbf58476d1ce4e5b9ULL)));
+  x = mul64(_mm_xor_si128(x, _mm_srli_epi64(x, 27)),
+            _mm_set1_epi64x(static_cast<long long>(0x94d049bb133111ebULL)));
+  return _mm_xor_si128(x, _mm_srli_epi64(x, 31));
+}
+
+void sse2_rng_fill_u64(std::uint64_t base, std::uint64_t* out,
+                       std::size_t n) {
+  __m128i ctr = _mm_add_epi64(
+      _mm_set1_epi64x(static_cast<long long>(base)),
+      _mm_set_epi64x(static_cast<long long>(2 * kGamma),
+                     static_cast<long long>(kGamma)));
+  const __m128i step = _mm_set1_epi64x(static_cast<long long>(2 * kGamma));
+  std::size_t k = 0;
+  for (; k + 2 <= n; k += 2) {
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + k), mix64x2(ctr));
+    ctr = _mm_add_epi64(ctr, step);
+  }
+  if (k < n) {
+    detail::scalar_rng_fill_u64(base + k * kGamma, out + k, n - k);
+  }
+}
+
+void sse2_rng_fill_unit(std::uint64_t base, double* out, std::size_t n) {
+  __m128i ctr = _mm_add_epi64(
+      _mm_set1_epi64x(static_cast<long long>(base)),
+      _mm_set_epi64x(static_cast<long long>(2 * kGamma),
+                     static_cast<long long>(kGamma)));
+  const __m128i step = _mm_set1_epi64x(static_cast<long long>(2 * kGamma));
+  std::size_t k = 0;
+  for (; k + 2 <= n; k += 2) {
+    const __m128i v = mix64x2(mix64x2(ctr));
+    const __m128i v53 = _mm_srli_epi64(v, 11);
+    // Same exact split conversion as the AVX2 tier: hi21 * 2^31 + lo31
+    // with both halves in signed-i32 range, every step exact.
+    const __m128i hi = _mm_srli_epi64(v53, 31);
+    const __m128i lo = _mm_and_si128(v53, _mm_set1_epi64x(0x7fffffffLL));
+    // Low dwords of both qwords -> the two low i32 slots.
+    const __m128i hi32 = _mm_shuffle_epi32(hi, _MM_SHUFFLE(3, 1, 2, 0));
+    const __m128i lo32 = _mm_shuffle_epi32(lo, _MM_SHUFFLE(3, 1, 2, 0));
+    const __m128d d =
+        _mm_add_pd(_mm_mul_pd(_mm_cvtepi32_pd(hi32), _mm_set1_pd(0x1.0p31)),
+                   _mm_cvtepi32_pd(lo32));
+    _mm_storeu_pd(out + k, _mm_mul_pd(d, _mm_set1_pd(0x1.0p-53)));
+    ctr = _mm_add_epi64(ctr, step);
+  }
+  if (k < n) {
+    detail::scalar_rng_fill_unit(base + k * kGamma, out + k, n - k);
+  }
+}
+
+constexpr KernelTable kSse2Table = {
+    Tier::kSse2,
+    sse2_axpy,
+    sse2_sub_div,
+    detail::scalar_gather,
+    detail::scalar_strided_gather,
+    detail::scalar_affine_rows,
+    sse2_forest_leaf_add,
+    sse2_rng_fill_u64,
+    sse2_rng_fill_unit,
+};
+
+}  // namespace
+
+const KernelTable* sse2_kernel_table() noexcept { return &kSse2Table; }
+
+}  // namespace autopower::util::simd
+
+#else  // !defined(__SSE2__)
+
+#include "util/simd_internal.hpp"
+
+namespace autopower::util::simd {
+const KernelTable* sse2_kernel_table() noexcept { return nullptr; }
+}  // namespace autopower::util::simd
+
+#endif

@@ -1,0 +1,679 @@
+// Differential oracles for the SIMD kernel layer (util/simd.hpp).
+//
+// Every vector kernel claims BIT-identity with its scalar twin.  These
+// properties pin that claim over random sizes (including 0 and every
+// tail length below the vector width), unaligned base pointers, NaNs
+// and denormals, for every tier the host can execute:
+//
+//   (a) each KernelTable entry vs the scalar table, element-exact,
+//   (b) Rng::fill_u64 / fill_unit vs the next_u64()/next_unit() loop,
+//       including the post-fill stream position, and BufferedRng as a
+//       drop-in for Rng under data-dependent draw counts,
+//   (c) GBT predict_all / predict_rows and the presorted tree builder
+//       (fit -> archive bytes) across tiers via set_active_tier(),
+//   (d) the AUTOPOWER_SIMD environment override, exercised in a child
+//       process per tier name (this binary re-runs itself with
+//       --print-tier, which prints the resolved tier and exits).
+//
+// Like test_differential, this binary has a custom main() accepting
+// --seed=N / --cases=N (see testcore/proptest.hpp).
+
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ml/dataset.hpp"
+#include "ml/gbt.hpp"
+#include "testcore/generators.hpp"
+#include "testcore/proptest.hpp"
+#include "util/archive.hpp"
+#include "util/rng.hpp"
+#include "util/simd.hpp"
+
+namespace autopower {
+namespace {
+
+using testcore::Pcg32;
+using util::simd::KernelTable;
+using util::simd::PaddedTreeView;
+using util::simd::Tier;
+
+// Path of this test binary, for the --print-tier subprocess tests.
+std::string g_self_path;  // NOLINT
+
+// ---------------------------------------------------------------------
+// Helpers.
+
+std::uint64_t bits(double v) {
+  std::uint64_t u = 0;
+  std::memcpy(&u, &v, sizeof(u));
+  return u;
+}
+
+/// Bit-exact vector comparison; names the first mismatching element.
+/// Exception: two NaNs compare equal regardless of sign/payload.  When
+/// BOTH operands of an x86 add/mul are NaN the hardware propagates the
+/// *first* operand's NaN, and which operand the scalar twin's compiled
+/// code puts first is the compiler's choice (addition commutes) — it
+/// differs between the -O2 and sanitizer builds.  Finite results,
+/// signed zeros, denormals and single-NaN propagation stay pinned bit
+/// for bit; only the sign/payload of a NaN produced from two NaN
+/// operands is unspecified, and no production input feeds NaN into
+/// these kernels anyway (NaN thresholds in the forest kernel are
+/// compared, never arithmetically combined).
+std::optional<std::string> diff_doubles(const std::vector<double>& ref,
+                                        const std::vector<double>& got,
+                                        const std::string& what) {
+  if (ref.size() != got.size()) {
+    return what + ": size " + std::to_string(ref.size()) + " vs " +
+           std::to_string(got.size());
+  }
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    if (std::isnan(ref[i]) && std::isnan(got[i])) continue;
+    if (bits(ref[i]) != bits(got[i])) {
+      std::ostringstream msg;
+      msg.precision(17);
+      msg << what << ": element " << i << " differs: " << ref[i] << " (0x"
+          << std::hex << bits(ref[i]) << ") vs " << std::dec << got[i]
+          << " (0x" << std::hex << bits(got[i]) << ")";
+      return msg.str();
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> diff_u64(const std::vector<std::uint64_t>& ref,
+                                    const std::vector<std::uint64_t>& got,
+                                    const std::string& what) {
+  if (ref.size() != got.size()) return what + ": size mismatch";
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    if (ref[i] != got[i]) {
+      std::ostringstream msg;
+      msg << what << ": element " << i << " differs: 0x" << std::hex
+          << ref[i] << " vs 0x" << got[i];
+      return msg.str();
+    }
+  }
+  return std::nullopt;
+}
+
+/// Random double from a palette that stresses the kernels: ordinary
+/// finite values, huge/tiny magnitudes, denormals, zeros and NaN/inf.
+double stress_double(Pcg32& rng, bool allow_non_finite) {
+  switch (rng.next_int(0, allow_non_finite ? 7 : 5)) {
+    case 0: return rng.next_range(-1e3, 1e3);
+    case 1: return rng.next_range(-1.0, 1.0) * 1e300;
+    case 2: return rng.next_range(-1.0, 1.0) * 1e-300;
+    case 3:  // denormal
+      return static_cast<double>(rng.next_int(1, 100)) *
+             std::numeric_limits<double>::denorm_min();
+    case 4: return rng.next_bool() ? 0.0 : -0.0;
+    case 5: return rng.next_range(-1e6, 1e6);
+    case 6: return std::numeric_limits<double>::quiet_NaN();
+    default:
+      return rng.next_bool() ? std::numeric_limits<double>::infinity()
+                             : -std::numeric_limits<double>::infinity();
+  }
+}
+
+std::vector<double> stress_vector(Pcg32& rng, std::size_t n,
+                                  bool allow_non_finite) {
+  std::vector<double> out(n);
+  for (double& v : out) v = stress_double(rng, allow_non_finite);
+  return out;
+}
+
+/// Tiers with a table on this host, scalar first (the reference).
+std::vector<const KernelTable*> available_tables() {
+  std::vector<const KernelTable*> out;
+  for (Tier t : {Tier::kScalar, Tier::kSse2, Tier::kAvx2}) {
+    if (const KernelTable* kt = util::simd::kernels_for(t)) out.push_back(kt);
+  }
+  return out;
+}
+
+/// Restores the dispatched tier (and its gauge) on scope exit, so tier-
+/// flipping tests cannot leak state into later tests.
+class TierGuard {
+ public:
+  TierGuard() : saved_(util::simd::active_tier()) {}
+  ~TierGuard() { util::simd::set_active_tier(saved_); }
+  TierGuard(const TierGuard&) = delete;
+  TierGuard& operator=(const TierGuard&) = delete;
+
+ private:
+  Tier saved_;
+};
+
+std::string gbt_archive(const ml::GBTRegressor& model) {
+  std::ostringstream out;
+  util::ArchiveWriter writer(out);
+  model.save(writer);
+  return out.str();
+}
+
+// ---------------------------------------------------------------------
+// (a) Raw kernel oracles: every tier's entry vs the scalar table.
+//
+// Sizes sweep 0..~3x the widest vector width so every tail length is
+// hit; a random lead offset into an oversized buffer exercises
+// unaligned bases (the kernels use unaligned loads throughout).
+
+struct Buffers {
+  std::size_t n = 0;
+  std::size_t lead = 0;  ///< elements skipped at the buffer front
+};
+
+Buffers random_extent(Pcg32& rng) {
+  Buffers b;
+  b.n = static_cast<std::size_t>(rng.next_int(0, 24));
+  b.lead = static_cast<std::size_t>(rng.next_int(0, 3));
+  return b;
+}
+
+TEST(SimdKernels, AxpyMatchesScalarOnAllTiers) {
+  const auto tables = available_tables();
+  const auto result = testcore::run_property<std::uint64_t>(
+      {.name = "simd.axpy", .cases = 300},
+      [](Pcg32& rng) { return rng.next_u64(); },
+      [&tables](const std::uint64_t& seed) -> std::optional<std::string> {
+        Pcg32 rng(seed);
+        const Buffers b = random_extent(rng);
+        const double a = stress_double(rng, true);
+        const auto x = stress_vector(rng, b.lead + b.n, true);
+        const auto y0 = stress_vector(rng, b.lead + b.n, true);
+        std::vector<double> ref;
+        for (const KernelTable* kt : tables) {
+          auto y = y0;
+          kt->axpy(a, x.data() + b.lead, y.data() + b.lead, b.n);
+          if (kt->tier == Tier::kScalar) {
+            ref = y;
+            continue;
+          }
+          if (auto d = diff_doubles(
+                  ref, y,
+                  std::string("axpy ") +
+                      std::string(util::simd::tier_name(kt->tier)) +
+                      " n=" + std::to_string(b.n) +
+                      " lead=" + std::to_string(b.lead))) {
+            return d;
+          }
+        }
+        return std::nullopt;
+      });
+  ASSERT_TRUE(result.passed) << result.report;
+}
+
+TEST(SimdKernels, SubDivMatchesScalarOnAllTiers) {
+  const auto tables = available_tables();
+  const auto result = testcore::run_property<std::uint64_t>(
+      {.name = "simd.sub_div", .cases = 300},
+      [](Pcg32& rng) { return rng.next_u64(); },
+      [&tables](const std::uint64_t& seed) -> std::optional<std::string> {
+        Pcg32 rng(seed);
+        const Buffers b = random_extent(rng);
+        const auto x = stress_vector(rng, b.lead + b.n, true);
+        const auto mean = stress_vector(rng, b.lead + b.n, true);
+        auto scale = stress_vector(rng, b.lead + b.n, true);
+        // Occasional zero scale: the IEEE divide (inf/NaN results) must
+        // still match the scalar op bit for bit.
+        for (double& s : scale) {
+          if (rng.next_bool(0.1)) s = 0.0;
+        }
+        std::vector<double> ref;
+        for (const KernelTable* kt : tables) {
+          std::vector<double> out(b.lead + b.n, -7.0);
+          kt->sub_div(x.data() + b.lead, mean.data() + b.lead,
+                      scale.data() + b.lead, out.data() + b.lead, b.n);
+          if (kt->tier == Tier::kScalar) {
+            ref = out;
+            continue;
+          }
+          if (auto d = diff_doubles(
+                  ref, out,
+                  std::string("sub_div ") +
+                      std::string(util::simd::tier_name(kt->tier)) +
+                      " n=" + std::to_string(b.n))) {
+            return d;
+          }
+        }
+        return std::nullopt;
+      });
+  ASSERT_TRUE(result.passed) << result.report;
+}
+
+TEST(SimdKernels, GathersMatchScalarOnAllTiers) {
+  const auto tables = available_tables();
+  const auto result = testcore::run_property<std::uint64_t>(
+      {.name = "simd.gather", .cases = 300},
+      [](Pcg32& rng) { return rng.next_u64(); },
+      [&tables](const std::uint64_t& seed) -> std::optional<std::string> {
+        Pcg32 rng(seed);
+        const Buffers b = random_extent(rng);
+        const std::size_t src_len = b.n + 1 + rng.index(16);
+        const auto src = stress_vector(rng, src_len, true);
+        std::vector<std::uint32_t> idx(b.n);
+        for (auto& i : idx) {
+          i = static_cast<std::uint32_t>(rng.index(src_len));
+        }
+        const std::size_t stride = 1 + rng.index(5);
+        const auto strided_src = stress_vector(rng, b.n * stride + 1, true);
+
+        std::vector<double> ref_g;
+        std::vector<double> ref_s;
+        for (const KernelTable* kt : tables) {
+          std::vector<double> got_g(b.n, -7.0);
+          std::vector<double> got_s(b.n, -7.0);
+          kt->gather(src.data(), idx.data(), got_g.data(), b.n);
+          kt->strided_gather(strided_src.data(), stride, got_s.data(), b.n);
+          if (kt->tier == Tier::kScalar) {
+            ref_g = got_g;
+            ref_s = got_s;
+            continue;
+          }
+          const auto name = std::string(util::simd::tier_name(kt->tier));
+          if (auto d = diff_doubles(ref_g, got_g, "gather " + name)) return d;
+          if (auto d = diff_doubles(ref_s, got_s,
+                                    "strided_gather " + name +
+                                        " stride=" + std::to_string(stride))) {
+            return d;
+          }
+        }
+        return std::nullopt;
+      });
+  ASSERT_TRUE(result.passed) << result.report;
+}
+
+TEST(SimdKernels, AffineRowsMatchesScalarOnAllTiers) {
+  const auto tables = available_tables();
+  const auto result = testcore::run_property<std::uint64_t>(
+      {.name = "simd.affine_rows", .cases = 300},
+      [](Pcg32& rng) { return rng.next_u64(); },
+      [&tables](const std::uint64_t& seed) -> std::optional<std::string> {
+        Pcg32 rng(seed);
+        const std::size_t count = static_cast<std::size_t>(rng.next_int(0, 17));
+        const std::size_t arity = static_cast<std::size_t>(rng.next_int(1, 9));
+        const auto rows = stress_vector(rng, count * arity, true);
+        const auto coef = stress_vector(rng, arity, true);
+        const double intercept = stress_double(rng, true);
+        std::vector<double> ref;
+        for (const KernelTable* kt : tables) {
+          std::vector<double> out(count, -7.0);
+          kt->affine_rows(rows.data(), arity, count, coef.data(), intercept,
+                          out.data());
+          if (kt->tier == Tier::kScalar) {
+            ref = out;
+            continue;
+          }
+          if (auto d = diff_doubles(
+                  ref, out,
+                  std::string("affine_rows ") +
+                      std::string(util::simd::tier_name(kt->tier)) +
+                      " count=" + std::to_string(count) +
+                      " arity=" + std::to_string(arity))) {
+            return d;
+          }
+        }
+        return std::nullopt;
+      });
+  ASSERT_TRUE(result.passed) << result.report;
+}
+
+TEST(SimdKernels, ForestLeafAddMatchesScalarOnAllTiers) {
+  const auto tables = available_tables();
+  const auto result = testcore::run_property<std::uint64_t>(
+      {.name = "simd.forest_leaf_add", .cases = 300},
+      [](Pcg32& rng) { return rng.next_u64(); },
+      [&tables](const std::uint64_t& seed) -> std::optional<std::string> {
+        Pcg32 rng(seed);
+        // A raw padded tree: the kernel contract holds for arbitrary
+        // feature/threshold/weight arrays (the walk only consults
+        // condition bits along one root-to-leaf path), so no leaf-
+        // replication invariant is needed here.
+        const auto depth =
+            static_cast<std::int32_t>(rng.next_int(0, util::simd::kMaxPaddedDepth));
+        const std::size_t interior = (std::size_t{1} << depth) - 1;
+        const std::size_t leaves = std::size_t{1} << depth;
+        const std::size_t features = 1 + rng.index(6);
+        std::vector<std::int32_t> feature(interior);
+        for (auto& f : feature) {
+          f = static_cast<std::int32_t>(rng.index(features));
+        }
+        // Thresholds stay finite-or-NaN; the comparison (x < t, false
+        // for NaN) is the interesting edge, exercised from the x side
+        // too since the columns carry NaN/denormals.
+        std::vector<double> threshold(interior);
+        for (double& t : threshold) {
+          t = rng.next_bool(0.1) ? std::numeric_limits<double>::quiet_NaN()
+                                 : rng.next_range(-10.0, 10.0);
+        }
+        const auto weight = stress_vector(rng, leaves, false);
+        const PaddedTreeView tree{feature.data(), threshold.data(),
+                                  weight.data(), depth};
+
+        const std::size_t rows = static_cast<std::size_t>(rng.next_int(0, 19));
+        const std::size_t col_stride = rows + rng.index(4);
+        const auto cols =
+            stress_vector(rng, features * std::max<std::size_t>(col_stride, 1),
+                          true);
+        const double lr = rng.next_range(0.01, 1.0);
+        const auto out0 = stress_vector(rng, rows, false);
+
+        std::vector<double> ref;
+        for (const KernelTable* kt : tables) {
+          auto out = out0;
+          kt->forest_leaf_add(tree, cols.data(), col_stride, rows, lr,
+                              out.data());
+          if (kt->tier == Tier::kScalar) {
+            ref = out;
+            continue;
+          }
+          if (auto d = diff_doubles(
+                  ref, out,
+                  std::string("forest_leaf_add ") +
+                      std::string(util::simd::tier_name(kt->tier)) +
+                      " depth=" + std::to_string(depth) +
+                      " rows=" + std::to_string(rows))) {
+            return d;
+          }
+        }
+        return std::nullopt;
+      });
+  ASSERT_TRUE(result.passed) << result.report;
+}
+
+TEST(SimdKernels, RngFillsMatchScalarOnAllTiers) {
+  const auto tables = available_tables();
+  const auto result = testcore::run_property<std::uint64_t>(
+      {.name = "simd.rng_fill", .cases = 300},
+      [](Pcg32& rng) { return rng.next_u64(); },
+      [&tables](const std::uint64_t& seed) -> std::optional<std::string> {
+        Pcg32 rng(seed);
+        const std::size_t n = static_cast<std::size_t>(rng.next_int(0, 24));
+        // Bases across the whole u64 range, including near-wraparound:
+        // the counter arithmetic is modular and must match in every lane.
+        const std::uint64_t base =
+            rng.next_bool(0.2) ? ~std::uint64_t{0} - rng.next_below(1000)
+                               : rng.next_u64();
+        std::vector<std::uint64_t> ref_u;
+        std::vector<double> ref_d;
+        for (const KernelTable* kt : tables) {
+          std::vector<std::uint64_t> got_u(n, 0);
+          std::vector<double> got_d(n, -7.0);
+          kt->rng_fill_u64(base, got_u.data(), n);
+          kt->rng_fill_unit(base, got_d.data(), n);
+          if (kt->tier == Tier::kScalar) {
+            ref_u = got_u;
+            ref_d = got_d;
+            continue;
+          }
+          const auto name = std::string(util::simd::tier_name(kt->tier));
+          if (auto d = diff_u64(ref_u, got_u, "rng_fill_u64 " + name)) {
+            return d;
+          }
+          if (auto d = diff_doubles(ref_d, got_d, "rng_fill_unit " + name)) {
+            return d;
+          }
+        }
+        return std::nullopt;
+      });
+  ASSERT_TRUE(result.passed) << result.report;
+}
+
+// ---------------------------------------------------------------------
+// (b) Rng / BufferedRng stream contracts.
+
+TEST(SimdRng, FillMatchesLoopAndAdvancesStream) {
+  const auto result = testcore::run_property<std::uint64_t>(
+      {.name = "simd.rng_fill_stream", .cases = 200},
+      [](Pcg32& rng) { return rng.next_u64(); },
+      [](const std::uint64_t& seed) -> std::optional<std::string> {
+        Pcg32 rng(seed);
+        const std::size_t n = static_cast<std::size_t>(rng.next_int(0, 300));
+        util::Rng loop_rng(seed);
+        util::Rng fill_rng(seed);
+
+        std::vector<std::uint64_t> expect_u(n);
+        for (auto& v : expect_u) v = loop_rng.next_u64();
+        std::vector<std::uint64_t> got_u(n);
+        fill_rng.fill_u64(got_u);
+        if (auto d = diff_u64(expect_u, got_u, "fill_u64 vs loop")) return d;
+
+        // Post-fill stream position: the next draws must agree too.
+        std::vector<double> expect_d(7);
+        for (auto& v : expect_d) v = loop_rng.next_unit();
+        std::vector<double> got_d(7);
+        fill_rng.fill_unit(got_d);
+        return diff_doubles(expect_d, got_d, "fill_unit after fill_u64");
+      });
+  ASSERT_TRUE(result.passed) << result.report;
+}
+
+TEST(SimdRng, BufferedRngIsDropInForRng) {
+  const auto result = testcore::run_property<std::uint64_t>(
+      {.name = "simd.buffered_rng", .cases = 200},
+      [](Pcg32& rng) { return rng.next_u64(); },
+      [](const std::uint64_t& seed) -> std::optional<std::string> {
+        Pcg32 rng(seed);
+        util::Rng plain(seed);
+        util::BufferedRng buffered(seed);
+        // Data-dependent op mix, long enough to cross several 128-draw
+        // buffer refills.
+        const int ops = rng.next_int(1, 500);
+        for (int i = 0; i < ops; ++i) {
+          switch (rng.next_int(0, 3)) {
+            case 0: {
+              const auto a = plain.next_u64();
+              const auto b = buffered.next_u64();
+              if (a != b) return std::string("next_u64 diverged at op ") +
+                                 std::to_string(i);
+              break;
+            }
+            case 1: {
+              const double a = plain.next_unit();
+              const double b = buffered.next_unit();
+              if (bits(a) != bits(b)) {
+                return std::string("next_unit diverged at op ") +
+                       std::to_string(i);
+              }
+              break;
+            }
+            case 2: {
+              const double a = plain.next_range(-3.0, 9.0);
+              const double b = buffered.next_range(-3.0, 9.0);
+              if (bits(a) != bits(b)) {
+                return std::string("next_range diverged at op ") +
+                       std::to_string(i);
+              }
+              break;
+            }
+            default: {
+              const auto a = plain.next_below(97);
+              const auto b = buffered.next_below(97);
+              if (a != b) return std::string("next_below diverged at op ") +
+                                 std::to_string(i);
+              break;
+            }
+          }
+        }
+        return std::nullopt;
+      });
+  ASSERT_TRUE(result.passed) << result.report;
+}
+
+// ---------------------------------------------------------------------
+// (c) End-to-end tier differencing: the model layer must produce the
+// same bits whichever tier is dispatched.
+
+TEST(SimdTiers, GbtPredictIsBitIdenticalAcrossTiers) {
+  TierGuard guard;
+  const Tier best = util::simd::detect_best_tier();
+  if (best == Tier::kScalar) GTEST_SKIP() << "host has no vector tier";
+
+  const auto result = testcore::run_property<std::uint64_t>(
+      {.name = "simd.gbt_predict_tiers", .cases = 40},
+      [](Pcg32& rng) { return rng.next_u64(); },
+      [best](const std::uint64_t& seed) -> std::optional<std::string> {
+        Pcg32 rng(seed);
+        const auto data = testcore::random_dataset(rng, {});
+        const auto opt = testcore::random_gbt_options(rng);
+
+        util::simd::set_active_tier(Tier::kScalar);
+        ml::GBTRegressor model(opt);
+        model.fit(data);
+        const auto scalar_pred = model.predict_all(data);
+
+        util::simd::set_active_tier(best);
+        const auto vector_pred = model.predict_all(data);
+        util::simd::set_active_tier(Tier::kScalar);
+        return diff_doubles(scalar_pred, vector_pred,
+                            "predict_all scalar vs " +
+                                std::string(util::simd::tier_name(best)));
+      });
+  ASSERT_TRUE(result.passed) << result.report;
+}
+
+TEST(SimdTiers, TreeBuilderArchivesAreByteIdenticalAcrossTiers) {
+  TierGuard guard;
+  const Tier best = util::simd::detect_best_tier();
+  if (best == Tier::kScalar) GTEST_SKIP() << "host has no vector tier";
+
+  const auto result = testcore::run_property<std::uint64_t>(
+      {.name = "simd.tree_fit_tiers", .cases = 40},
+      [](Pcg32& rng) { return rng.next_u64(); },
+      [best](const std::uint64_t& seed) -> std::optional<std::string> {
+        Pcg32 rng(seed);
+        const auto data = testcore::random_dataset(rng, {});
+        const auto opt = testcore::random_gbt_options(rng);
+
+        util::simd::set_active_tier(Tier::kScalar);
+        ml::GBTRegressor scalar_model(opt);
+        scalar_model.fit(data);
+        const std::string scalar_bytes = gbt_archive(scalar_model);
+
+        util::simd::set_active_tier(best);
+        ml::GBTRegressor vector_model(opt);
+        vector_model.fit(data);
+        const std::string vector_bytes = gbt_archive(vector_model);
+        util::simd::set_active_tier(Tier::kScalar);
+
+        if (scalar_bytes != vector_bytes) {
+          return std::string("fit archives differ between scalar and ") +
+                 std::string(util::simd::tier_name(best));
+        }
+        return std::nullopt;
+      });
+  ASSERT_TRUE(result.passed) << result.report;
+}
+
+// ---------------------------------------------------------------------
+// Dispatch plumbing.
+
+TEST(SimdDispatch, TierTablesAndNamesAreConsistent) {
+  TierGuard guard;
+  const Tier best = util::simd::detect_best_tier();
+  ASSERT_NE(util::simd::kernels_for(Tier::kScalar), nullptr);
+  EXPECT_EQ(util::simd::kernels_for(Tier::kScalar)->tier, Tier::kScalar);
+  for (Tier t : {Tier::kScalar, Tier::kSse2, Tier::kAvx2}) {
+    const KernelTable* kt = util::simd::kernels_for(t);
+    if (t <= best) {
+      ASSERT_NE(kt, nullptr) << "tier <= best must have a table";
+      EXPECT_EQ(kt->tier, t);
+      EXPECT_NE(kt->axpy, nullptr);
+      EXPECT_NE(kt->forest_leaf_add, nullptr);
+      EXPECT_NE(kt->rng_fill_unit, nullptr);
+    } else {
+      EXPECT_EQ(kt, nullptr) << "tier above best must be unavailable";
+    }
+  }
+
+  EXPECT_EQ(util::simd::tier_name(Tier::kScalar), "scalar");
+  EXPECT_EQ(util::simd::tier_name(Tier::kSse2), "sse2");
+  EXPECT_EQ(util::simd::tier_name(Tier::kAvx2), "avx2");
+  EXPECT_EQ(util::simd::parse_tier("scalar"), Tier::kScalar);
+  EXPECT_EQ(util::simd::parse_tier("sse2"), Tier::kSse2);
+  EXPECT_EQ(util::simd::parse_tier("avx2"), Tier::kAvx2);
+  EXPECT_EQ(util::simd::parse_tier("AVX2"), std::nullopt);
+  EXPECT_EQ(util::simd::parse_tier(""), std::nullopt);
+  EXPECT_EQ(util::simd::parse_tier("bogus"), std::nullopt);
+}
+
+TEST(SimdDispatch, SetActiveTierClampsAndSwitches) {
+  TierGuard guard;
+  const Tier best = util::simd::detect_best_tier();
+
+  EXPECT_EQ(util::simd::set_active_tier(Tier::kScalar), Tier::kScalar);
+  EXPECT_EQ(util::simd::active_tier(), Tier::kScalar);
+  EXPECT_EQ(util::simd::kernels().tier, Tier::kScalar);
+
+  // A request above the host's capability clamps to the detected best.
+  EXPECT_EQ(util::simd::set_active_tier(Tier::kAvx2), best);
+  EXPECT_EQ(util::simd::active_tier(), best);
+  EXPECT_EQ(util::simd::kernels().tier, best);
+}
+
+// ---------------------------------------------------------------------
+// (d) AUTOPOWER_SIMD environment override, observed from a child
+// process (the override is read once at first dispatch, so it cannot be
+// tested in-process).  The child is this very binary run with
+// --print-tier, which prints the resolved tier number and exits.
+
+int tier_in_subprocess(const std::string& env_value) {
+  const std::string cmd = "AUTOPOWER_SIMD='" + env_value + "' '" +
+                          g_self_path + "' --print-tier 2>/dev/null";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return -1;
+  char buf[32] = {};
+  const bool got = std::fgets(buf, sizeof(buf), pipe) != nullptr;
+  const int status = pclose(pipe);
+  if (!got || !WIFEXITED(status) || WEXITSTATUS(status) != 0) return -1;
+  return std::atoi(buf);
+}
+
+TEST(SimdDispatch, EnvOverrideSelectsEachAvailableTier) {
+  const Tier best = util::simd::detect_best_tier();
+  // Forcing scalar always works, on any host.
+  EXPECT_EQ(tier_in_subprocess("scalar"), static_cast<int>(Tier::kScalar));
+  // Each supported tier can be requested exactly.
+  for (Tier t : {Tier::kSse2, Tier::kAvx2}) {
+    if (t > best) continue;
+    EXPECT_EQ(tier_in_subprocess(std::string(util::simd::tier_name(t))),
+              static_cast<int>(t));
+  }
+  // Unknown values and requests above the host's capability fall back
+  // to auto-detection.
+  EXPECT_EQ(tier_in_subprocess("bogus"), static_cast<int>(best));
+  EXPECT_EQ(tier_in_subprocess("avx2"),
+            static_cast<int>(std::min(Tier::kAvx2, best)));
+}
+
+}  // namespace
+}  // namespace autopower
+
+int main(int argc, char** argv) {
+  // Subprocess mode for the env-override tests: print the tier the
+  // dispatcher resolved (after AUTOPOWER_SIMD) and exit.
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--print-tier") {
+      std::printf("%d\n",
+                  static_cast<int>(autopower::util::simd::active_tier()));
+      return 0;
+    }
+  }
+  autopower::g_self_path = argv[0];
+  ::testing::InitGoogleTest(&argc, argv);
+  autopower::testcore::apply_cli_flags(&argc, argv);
+  return RUN_ALL_TESTS();
+}

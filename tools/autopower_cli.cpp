@@ -53,6 +53,7 @@
 #include "util/io.hpp"
 #include "util/metrics.hpp"
 #include "util/parse.hpp"
+#include "util/simd.hpp"
 #include "util/thread_pool.hpp"
 #include "util/error.hpp"
 #include "util/table.hpp"
@@ -568,6 +569,10 @@ const std::map<std::string, Command>& commands() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Resolve the SIMD dispatch tier up front so the util.simd.tier gauge
+  // is present in every --stats snapshot, not only ones taken after a
+  // kernel happened to run.
+  util::simd::active_tier();
   if (argc < 2) return usage();
   const std::string command = argv[1];
   const auto it = commands().find(command);

@@ -1,12 +1,16 @@
 #!/usr/bin/env bash
-# Repo health check: builds the default preset, runs the self-checking
-# throughput benches (training core + batch serving + daemon wire path +
-# structural-memo sweep) and collects their headline numbers into
-# BENCH_train.json, BENCH_serve.json and BENCH_sim.json, smoke-tests the
-# serving daemon against `batch` for byte-identity and graceful drain,
-# runs the property-based differential oracles and the archive fuzz
-# under AddressSanitizer, then race-checks the threaded subsystems, the
-# fault-injection suite, and the daemon under ThreadSanitizer.  Run
+# Repo health check: builds the default preset, verifies the SIMD arch
+# flags stay confined to the dispatched TUs, runs the self-checking
+# throughput benches (training core + SIMD tier differencing + batch
+# serving + daemon wire path + structural-memo sweep) and collects their
+# headline numbers into BENCH_train.json, BENCH_serve.json and
+# BENCH_sim.json, smoke-tests the serving daemon against `batch` for
+# byte-identity and graceful drain, re-runs the sweep/batch smokes under
+# AUTOPOWER_SIMD=scalar and diffs the JSONL byte-for-byte against the
+# best tier, runs the property-based differential + SIMD kernel oracles
+# and the archive fuzz under AddressSanitizer, then race-checks the
+# threaded subsystems, the fault-injection suite, the SIMD dispatch
+# handoff, and the daemon under ThreadSanitizer.  Run
 # from anywhere; exits non-zero on any build failure, bench self-check
 # failure, test failure, or sanitizer report.  Failing properties print
 # a reproducing AUTOPOWER_PROPTEST_SEED line.
@@ -17,6 +21,29 @@ cd "$(dirname "$0")/.."
 echo "== configure + build (default preset) =="
 cmake --preset default
 cmake --build --preset default -j "$(nproc)"
+
+echo "== SIMD flag isolation (arch flags stay in the dispatched TUs) =="
+# The runtime dispatcher is only sound if AVX2/SSE2 codegen is confined
+# to the per-tier translation units: -mavx2 leaking into a generally
+# linked TU would let the compiler emit AVX2 in code that runs on any
+# host.  compile_commands.json is exported by the default preset.
+python3 - <<'EOF'
+import json, sys
+cc = json.load(open('build/compile_commands.json'))
+bad = []
+for e in cc:
+    cmd = e.get('command') or ' '.join(e.get('arguments', []))
+    if '-mavx2' in cmd or '-msse2' in cmd:
+        f = e['file']
+        if not (f.endswith('simd_avx2.cpp') or f.endswith('simd_sse2.cpp')):
+            bad.append(f)
+if bad:
+    print('arch flags leaked outside the dispatched SIMD TUs:')
+    for f in bad:
+        print('  ' + f)
+    sys.exit(1)
+print('arch flags confined to simd_sse2.cpp / simd_avx2.cpp')
+EOF
 
 echo "== bench_train_throughput (self-check: bit-identity + speedup bars) =="
 ./build/bench/bench_train_throughput --json /tmp/autopower_bench_train.json
@@ -56,6 +83,19 @@ python3 -c "import json; json.load(open('STATS_sweep.json'))" \
   || { echo "STATS_sweep.json is not valid JSON"; exit 1; }
 echo "metrics snapshot archived in STATS_sweep.json"
 
+echo "== SIMD dual-tier byte-identity (sweep + batch JSONL) =="
+# The same sweep and batch runs under AUTOPOWER_SIMD=scalar must produce
+# byte-identical output files to the best-tier runs above/below: the
+# vector kernels promise per-row op-order equality, so any diff here is
+# a kernel bug, not a tolerance question.
+AUTOPOWER_SIMD=scalar ./build/tools/autopower sweep \
+  --model "$smoke_dir/model.ap" \
+  --grid "RobEntry=64,96" --workloads dhrystone,qsort --threads 2 \
+  --out "$smoke_dir/sweep_scalar.jsonl"
+diff "$smoke_dir/sweep.jsonl" "$smoke_dir/sweep_scalar.jsonl" \
+  || { echo "sweep output differs between SIMD tiers"; exit 1; }
+echo "sweep JSONL byte-identical across tiers"
+
 echo "== daemon smoke: 100 requests over loopback, bit-identical to batch =="
 # A real `autopower serve` process on an ephemeral port; the same 100
 # requests go through the daemon (via tools/serve_client.py) and through
@@ -82,6 +122,13 @@ python3 tools/serve_client.py --port "$daemon_port" \
   --requests "$smoke_dir/daemon_reqs.jsonl" --out "$smoke_dir/batch_out.jsonl"
 diff "$smoke_dir/daemon_out.jsonl" "$smoke_dir/batch_out.jsonl" \
   || { echo "daemon responses diverged from batch"; exit 1; }
+AUTOPOWER_SIMD=scalar ./build/tools/autopower batch \
+  --model "$smoke_dir/model.ap" \
+  --requests "$smoke_dir/daemon_reqs.jsonl" \
+  --out "$smoke_dir/batch_scalar.jsonl"
+diff "$smoke_dir/batch_out.jsonl" "$smoke_dir/batch_scalar.jsonl" \
+  || { echo "batch output differs between SIMD tiers"; exit 1; }
+echo "batch JSONL byte-identical across tiers"
 kill -TERM "$daemon_pid"
 wait "$daemon_pid" \
   || { echo "daemon did not drain cleanly on SIGTERM"; exit 1; }
@@ -93,10 +140,18 @@ echo "== proptest: differential oracles under AddressSanitizer =="
 # prints its base seed and a reproducing AUTOPOWER_PROPTEST_SEED line;
 # re-run ./build-asan/tests/test_differential --seed=N to chase it.
 cmake --preset asan
-cmake --build --preset asan --target test_differential autopower_tests \
+cmake --build --preset asan \
+  --target test_differential test_simd autopower_tests \
   -j "$(nproc)"
 ASAN_OPTIONS="halt_on_error=1 ${ASAN_OPTIONS:-}" \
   timeout 900 ./build-asan/tests/test_differential --cases 60
+
+echo "== proptest: SIMD kernel oracles under AddressSanitizer =="
+# Every vector kernel vs its scalar twin over random sizes, lead offsets
+# and NaN palettes — under ASan this also checks the unaligned loads and
+# gather index arithmetic never read past a buffer.
+ASAN_OPTIONS="halt_on_error=1 ${ASAN_OPTIONS:-}" \
+  timeout 900 ./build-asan/tests/test_simd --cases 60
 
 echo "== proptest: archive fuzz under AddressSanitizer =="
 ASAN_OPTIONS="halt_on_error=1 ${ASAN_OPTIONS:-}" \
@@ -108,7 +163,7 @@ cmake --preset tsan
 
 echo "== build tsan targets =="
 cmake --build --preset tsan \
-  --target test_serve autopower_tests test_fault test_daemon \
+  --target test_serve autopower_tests test_fault test_daemon test_simd \
   -j "$(nproc)"
 
 echo "== run test_serve under ThreadSanitizer =="
@@ -136,6 +191,13 @@ echo "== run daemon tests under ThreadSanitizer =="
 # handshake under contention.
 TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}" \
   timeout 600 ./build-tsan/tests/test_daemon --gtest_filter='DaemonTest.*'
+
+echo "== run SIMD dispatch + cross-tier tests under ThreadSanitizer =="
+# set_active_tier publishes the kernel table with release/acquire
+# ordering; the cross-tier GBT tests flip tiers while model code reads
+# the table, so TSan checks the dispatch handoff.
+TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}" \
+  timeout 600 ./build-tsan/tests/test_simd --cases 20
 
 echo "== run parallel-train tests under ThreadSanitizer =="
 TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}" \
