@@ -17,6 +17,13 @@
 //      memo) vs the same fan-out with a fresh un-memoized simulator per
 //      evaluation (the old per-query cost).  Predicted powers must be
 //      bit-identical; the shared-memo sweep must clear a 2x bar.
+//   4. Large-grid streaming: a grid of AUTOPOWER_BENCH_STREAM_CELLS
+//      cells (default 1e7 — past the old 1e6 materialisation cap) run
+//      to completion through the lazy GridCursor with a fixed
+//      --memory-budget and a bounded top-16 ranker.  Reports cells/sec
+//      and the process peak RSS (VmHWM); FAILS if the grid does not
+//      complete or peak RSS exceeds the bar — the "RAM stays flat at
+//      million-cell scale" acceptance gate.
 //
 // The bench FAILS (exit 1) on any identity violation or missed bar.
 // `--json <path>` additionally writes the headline numbers for
@@ -26,6 +33,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <mutex>
@@ -39,6 +47,7 @@
 #include "power/golden.hpp"
 #include "serve/sweep.hpp"
 #include "sim/perfsim.hpp"
+#include "util/metrics.hpp"
 #include "util/structural_cache.hpp"
 #include "util/thread_pool.hpp"
 #include "workload/workload.hpp"
@@ -68,6 +77,75 @@ constexpr const char* kGrid =
     "RobEntry=64,80,96,112;FetchBufferEntry=16,24,32,40;"
     "LdqStqEntry=16,24,32,36";
 const std::vector<std::string> kWorkloads = {"dhrystone", "qsort"};
+
+// --- Streaming stage sizing --------------------------------------------------
+
+// Peak-RSS ceiling for the streaming stage.  The run must hold a bounded
+// structural cache (64 MiB budget), per-worker phase memos and top-16
+// heaps regardless of grid size, so the whole process — model, training
+// data from stage 3 included — stays far under this.
+constexpr double kStreamRssBarMiB = 1024.0;
+
+std::size_t stream_target_cells() {
+  const char* env = std::getenv("AUTOPOWER_BENCH_STREAM_CELLS");
+  if (env == nullptr || *env == '\0') return 10'000'000;
+  const unsigned long long v = std::strtoull(env, nullptr, 10);
+  return v == 0 ? 10'000'000 : static_cast<std::size_t>(v);
+}
+
+// Builds a grid of roughly `target` configurations: up to seven 10-value
+// axes over window/queue parameters (cheap per-cell, structurally
+// memoised) plus a leading structural CacheWay axis so the bounded L2
+// sees more than one key per lane.  All values are plausible Table II
+// neighbourhood points, so every cell evaluates rather than failing fast.
+std::vector<serve::SweepAxis> stream_axes(std::size_t target) {
+  std::vector<serve::SweepAxis> axes;
+  std::size_t cells = 1;
+  if (target >= 2) {
+    axes.push_back({arch::HwParam::kCacheWay, {2, 4}});
+    cells = 2;
+  }
+  const struct {
+    arch::HwParam param;
+    int first, step;
+  } pools[] = {
+      {arch::HwParam::kRobEntry, 32, 16},
+      {arch::HwParam::kFetchBufferEntry, 8, 4},
+      {arch::HwParam::kLdqStqEntry, 8, 4},
+      {arch::HwParam::kIntPhyRegister, 48, 8},
+      {arch::HwParam::kFpPhyRegister, 48, 8},
+      {arch::HwParam::kBranchCount, 8, 2},
+      {arch::HwParam::kMshrEntry, 2, 1},
+  };
+  for (const auto& pool : pools) {
+    const std::size_t want = target / cells;
+    if (want < 2) break;
+    const std::size_t n = std::min<std::size_t>(want, 10);
+    serve::SweepAxis axis{pool.param, {}};
+    for (std::size_t i = 0; i < n; ++i) {
+      axis.values.push_back(pool.first + static_cast<int>(i) * pool.step);
+    }
+    cells *= n;
+    axes.push_back(std::move(axis));
+  }
+  return axes;
+}
+
+// Peak resident set (VmHWM) of this process, in MiB; 0 if unreadable.
+double peak_rss_mib() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0.0;
+  char line[256];
+  double kib = 0.0;
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    if (std::strncmp(line, "VmHWM:", 6) == 0) {
+      kib = std::strtod(line + 6, nullptr);
+      break;
+    }
+  }
+  std::fclose(f);
+  return kib / 1024.0;
+}
 
 }  // namespace
 
@@ -148,12 +226,16 @@ int main(int argc, char** argv) {
       pool.submit([&] {
         auto mine = share ? cache
                           : std::make_shared<util::StructuralSimCache>();
-        sim::PerfSimulator sim(sim::SimOptions{}, mine);
-        for (;;) {
-          const std::size_t i = next.fetch_add(1);
-          if (i >= evals) break;
-          (void)sim.simulate(configs[i / profiles.size()],
-                             *profiles[i % profiles.size()]);
+        {
+          // Scoped so the simulator's private L1 flushes its counters
+          // back into `mine` before the stats are read.
+          sim::PerfSimulator sim(sim::SimOptions{}, mine);
+          for (;;) {
+            const std::size_t i = next.fetch_add(1);
+            if (i >= evals) break;
+            (void)sim.simulate(configs[i / profiles.size()],
+                               *profiles[i % profiles.size()]);
+          }
         }
         if (!share) {
           const auto s = mine->stats();
@@ -263,6 +345,69 @@ int main(int argc, char** argv) {
     ok = false;
   }
 
+  // --- 4. Large-grid streaming under a fixed memory budget ---------------
+  const std::size_t stream_target = stream_target_cells();
+  serve::SweepSpec stream_spec;
+  stream_spec.base = "C8";
+  stream_spec.axes = stream_axes(stream_target);
+  stream_spec.workloads = {"dhrystone"};
+  stream_spec.threads = 2;
+  stream_spec.top = 16;
+  stream_spec.memory_budget = 64ull << 20;  // 64 MiB structural cache
+  const serve::GridCursor stream_cursor(arch::boom_config(stream_spec.base),
+                                        stream_spec.axes);
+  const std::size_t stream_cells =
+      stream_cursor.size() * stream_spec.workloads.size();
+  std::printf("streaming grid             : %zu configs x %zu workloads"
+              " = %zu cells (target %zu)\n",
+              stream_cursor.size(), stream_spec.workloads.size(),
+              stream_cells, stream_target);
+
+  const auto failed_before =
+      util::MetricsRegistry::global().counter("serve.sweep.cells_failed")
+          .value();
+  start = std::chrono::steady_clock::now();
+  const auto stream_report = serve::run_sweep(model, stream_spec);
+  const double stream_s = seconds_since(start);
+  const double stream_rate = double(stream_report.evaluations) / stream_s;
+  const double stream_rss = peak_rss_mib();
+  const auto stream_failed =
+      util::MetricsRegistry::global().counter("serve.sweep.cells_failed")
+          .value() - failed_before;
+
+  std::printf("streaming sweep @ 2t       : %7.1f cells/s  (%.1f s, "
+              "top-%zu of %zu rows kept)\n",
+              stream_rate, stream_s, stream_report.rows.size(),
+              stream_report.configs);
+  std::printf("streaming peak RSS         : %.1f MiB  (bar %.0f MiB; "
+              "structural %llu/%llu hit/miss, %llu evicted)\n",
+              stream_rss, kStreamRssBarMiB,
+              static_cast<unsigned long long>(stream_report.structural.hits),
+              static_cast<unsigned long long>(
+                  stream_report.structural.misses),
+              static_cast<unsigned long long>(
+                  stream_report.structural.evictions));
+  if (stream_report.evaluations != stream_cells ||
+      stream_report.configs != stream_cursor.size()) {
+    std::printf("FAIL: streaming sweep did not cover the whole grid\n");
+    ok = false;
+  }
+  if (stream_report.rows.size() !=
+      std::min<std::size_t>(16, stream_report.configs)) {
+    std::printf("FAIL: top-k ranker kept the wrong number of rows\n");
+    ok = false;
+  }
+  if (stream_failed != 0) {
+    std::printf("FAIL: %llu streaming cells failed to evaluate\n",
+                static_cast<unsigned long long>(stream_failed));
+    ok = false;
+  }
+  if (stream_rss <= 0.0 || stream_rss > kStreamRssBarMiB) {
+    std::printf("FAIL: streaming peak RSS outside the %.0f MiB bar\n",
+                kStreamRssBarMiB);
+    ok = false;
+  }
+
   if (!json_path.empty()) {
     std::FILE* f = std::fopen(json_path.c_str(), "w");
     if (f != nullptr) {
@@ -280,11 +425,21 @@ int main(int argc, char** argv) {
           "  \"sweep_shared_4t_s\": %.6f,\n"
           "  \"sweep_speedup\": %.3f,\n"
           "  \"hardware_threads\": %u,\n"
+          "  \"stream_cells\": %zu,\n"
+          "  \"stream_configs\": %zu,\n"
+          "  \"stream_s\": %.3f,\n"
+          "  \"stream_cells_per_s\": %.1f,\n"
+          "  \"stream_peak_rss_mib\": %.1f,\n"
+          "  \"stream_rss_bar_mib\": %.0f,\n"
+          "  \"stream_evictions\": %llu,\n"
           "  \"bit_identical\": %s\n"
           "}\n",
           configs.size(), evals, cold_s, memo_s, phase_speedup,
           shared_4t.hit_rate(), private_4t.hit_rate(), sweep_old_s,
-          sweep_shared_s, sweep_speedup, hw,
+          sweep_shared_s, sweep_speedup, hw, stream_cells,
+          stream_report.configs, stream_s, stream_rate, stream_rss,
+          kStreamRssBarMiB,
+          static_cast<unsigned long long>(stream_report.structural.evictions),
           (events_identical && sweep_identical) ? "true" : "false");
       std::fclose(f);
     } else {

@@ -1,0 +1,352 @@
+#include "serve/checkpoint.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <utility>
+
+#include "serve/jsonl.hpp"
+#include "util/error.hpp"
+#include "util/fault.hpp"
+#include "util/rng.hpp"
+
+namespace autopower::serve {
+
+namespace {
+
+/// Flush the row buffer after this many rows or bytes, whichever comes
+/// first: bounds both the fsync rate on million-row sweeps and the
+/// worst-case work lost to a SIGKILL.
+constexpr std::size_t kFlushRows = 64;
+constexpr std::size_t kFlushBytes = 256 * 1024;
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xedb88320u ^ (c >> 1) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+std::uint32_t crc32_update(std::uint32_t crc, std::string_view data) noexcept {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  for (const char ch : data) {
+    crc = table[(crc ^ static_cast<unsigned char>(ch)) & 0xffu] ^ (crc >> 8);
+  }
+  return crc;
+}
+
+std::string hex_u32(std::uint32_t v) {
+  char buf[9];
+  std::snprintf(buf, sizeof buf, "%08x", v);
+  return buf;
+}
+
+[[noreturn]] void checkpoint_error(const std::string& path,
+                                   const std::string& what) {
+  throw util::Error("checkpoint " + path + ": " + what);
+}
+
+std::size_t as_index(const JsonValue& v, const std::string& path,
+                     const char* what) {
+  const double d = v.as_number();
+  if (d < 0.0 || d != static_cast<double>(static_cast<std::size_t>(d))) {
+    checkpoint_error(path, std::string(what) + " is not a valid index");
+  }
+  return static_cast<std::size_t>(d);
+}
+
+/// Inverse of append_row_json: rebuilds a SweepRow (config reconstructed
+/// from its name + params) from one checkpoint line's `row` object.
+SweepRow row_from_json(const JsonValue& row, const std::string& path) {
+  SweepRow out;
+  const JsonValue* config = row.find("config");
+  const JsonValue* params = row.find("params");
+  const JsonValue* cells = row.find("cells");
+  const JsonValue* mean_mw = row.find("mean_total_mw");
+  const JsonValue* mean_ipc = row.find("mean_ipc");
+  const JsonValue* ipw = row.find("ipc_per_watt");
+  const JsonValue* failed = row.find("failed");
+  if (config == nullptr || params == nullptr || cells == nullptr ||
+      mean_mw == nullptr || mean_ipc == nullptr || ipw == nullptr ||
+      failed == nullptr) {
+    checkpoint_error(path, "row is missing a required member");
+  }
+  std::array<int, arch::kNumHwParams> values{};
+  for (arch::HwParam p : arch::all_hw_params()) {
+    const JsonValue* v = params->find(std::string(arch::hw_param_name(p)));
+    if (v == nullptr) {
+      checkpoint_error(path, "row params is missing " +
+                                 std::string(arch::hw_param_name(p)));
+    }
+    values[static_cast<std::size_t>(p)] = static_cast<int>(v->as_number());
+  }
+  out.config = arch::HardwareConfig(config->as_string(), values);
+  out.mean_total_mw = mean_mw->as_number();
+  out.mean_ipc = mean_ipc->as_number();
+  out.ipc_per_watt = ipw->as_number();
+  out.failed = as_index(*failed, path, "failed");
+  for (const JsonValue& cell_json : cells->as_array()) {
+    SweepCell cell;
+    const JsonValue* workload = cell_json.find("workload");
+    const JsonValue* ok = cell_json.find("ok");
+    if (workload == nullptr || ok == nullptr) {
+      checkpoint_error(path, "cell is missing workload/ok");
+    }
+    cell.workload = workload->as_string();
+    cell.ok = ok->as_bool();
+    if (cell.ok) {
+      const JsonValue* mw = cell_json.find("total_mw");
+      const JsonValue* ipc = cell_json.find("ipc");
+      if (mw == nullptr || ipc == nullptr) {
+        checkpoint_error(path, "ok cell is missing total_mw/ipc");
+      }
+      cell.total_mw = mw->as_number();
+      cell.ipc = ipc->as_number();
+    } else {
+      const JsonValue* error = cell_json.find("error");
+      if (error == nullptr) {
+        checkpoint_error(path, "failed cell is missing its error");
+      }
+      cell.error = error->as_string();
+    }
+    out.cells.push_back(std::move(cell));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::string_view data) noexcept {
+  return crc32_update(0xffffffffu, data) ^ 0xffffffffu;
+}
+
+std::string sweep_fingerprint(const std::string& base,
+                              std::span<const SweepAxis> axes,
+                              std::span<const std::string> workloads) {
+  std::uint64_t h = util::hash_str("sweep-checkpoint-v1");
+  h = util::hash_combine(h, util::hash_str(base));
+  h = util::hash_combine(h, axes.size());
+  for (const SweepAxis& axis : axes) {
+    h = util::hash_combine(h, util::hash_str(arch::hw_param_name(axis.param)));
+    h = util::hash_combine(h, axis.values.size());
+    for (const int v : axis.values) {
+      h = util::hash_combine(h, static_cast<std::uint64_t>(v));
+    }
+  }
+  h = util::hash_combine(h, workloads.size());
+  for (const std::string& w : workloads) {
+    h = util::hash_combine(h, util::hash_str(w));
+  }
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(h));
+  return buf;
+}
+
+CheckpointReplay load_checkpoint(const std::string& path,
+                                 std::string_view fingerprint,
+                                 std::size_t configs, std::size_t workloads) {
+  CheckpointReplay replay;
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return replay;  // absent: fresh start
+  replay.found = true;
+  AUTOPOWER_FAULT_POINT("serve.checkpoint.load");
+
+  std::vector<std::uint8_t> seen(configs, 0);
+  std::string line;
+  bool saw_header = false;
+  while (std::getline(in, line)) {
+    // getline hitting EOF before the delimiter means the final line has
+    // no trailing newline — the torn tail a SIGKILL mid-write leaves.
+    // Drop it (the config is just re-evaluated); everything AFTER a
+    // newline terminator is held to full crc/parse validity instead.
+    const bool intact = !in.eof();
+    if (!intact) break;
+    if (!saw_header) {
+      JsonValue header;
+      try {
+        header = JsonValue::parse(line);
+      } catch (const util::Error& e) {
+        checkpoint_error(path, "bad header line: " + std::string(e.what()));
+      }
+      const JsonValue* version = header.find("autopower_sweep_checkpoint");
+      if (version == nullptr || version->as_number() != 1.0) {
+        checkpoint_error(path, "not a sweep checkpoint (bad version)");
+      }
+      const JsonValue* fp = header.find("fingerprint");
+      if (fp == nullptr || fp->as_string() != fingerprint) {
+        checkpoint_error(path,
+                         "fingerprint mismatch — this checkpoint belongs to "
+                         "a different base/grid/workloads sweep");
+      }
+      const JsonValue* n_configs = header.find("configs");
+      const JsonValue* n_workloads = header.find("workloads");
+      if (n_configs == nullptr || n_workloads == nullptr ||
+          as_index(*n_configs, path, "configs") != configs ||
+          as_index(*n_workloads, path, "workloads") != workloads) {
+        checkpoint_error(path, "grid shape mismatch");
+      }
+      saw_header = true;
+      replay.valid_bytes += line.size() + 1;
+      continue;
+    }
+    // Row line: {"i":N,"crc":"xxxxxxxx","row":{...}}.  The crc covers
+    // the exact bytes of the row object, located by the canonical
+    // "row": prefix (nothing before it can contain the token: the line
+    // starts with the i and crc members only).
+    JsonValue parsed;
+    try {
+      parsed = JsonValue::parse(line);
+    } catch (const util::Error& e) {
+      checkpoint_error(path, "corrupt row line: " + std::string(e.what()));
+    }
+    const JsonValue* index_json = parsed.find("i");
+    const JsonValue* crc_json = parsed.find("crc");
+    const JsonValue* row_json = parsed.find("row");
+    if (index_json == nullptr || crc_json == nullptr || row_json == nullptr) {
+      checkpoint_error(path, "row line is missing i/crc/row");
+    }
+    const std::size_t pos = line.find("\"row\":");
+    if (pos == std::string::npos || line.empty() || line.back() != '}') {
+      checkpoint_error(path, "row line has no row payload");
+    }
+    const std::string_view payload =
+        std::string_view(line).substr(pos + 6, line.size() - (pos + 6) - 1);
+    if (hex_u32(crc32(payload)) != crc_json->as_string()) {
+      checkpoint_error(path,
+                       "crc mismatch on a newline-terminated row line "
+                       "(corruption, not a torn tail) — refusing to resume");
+    }
+    const std::size_t index = as_index(*index_json, path, "i");
+    if (index >= configs) {
+      checkpoint_error(path, "row index out of range for this grid");
+    }
+    if (seen[index]) {
+      // First write wins; a duplicate can only come from an external
+      // rewrite but is harmless to skip (both lines passed their crc).
+      replay.valid_bytes += line.size() + 1;
+      continue;
+    }
+    SweepRow row = row_from_json(*row_json, path);
+    if (row.cells.size() != workloads) {
+      checkpoint_error(path, "row cell count does not match the workloads");
+    }
+    row.index = index;
+    seen[index] = 1;
+    replay.rows.push_back(std::move(row));
+    replay.valid_bytes += line.size() + 1;
+  }
+  if (in.bad()) checkpoint_error(path, "read failed");
+  return replay;
+}
+
+CheckpointWriter::CheckpointWriter(const std::string& path,
+                                   std::string_view fingerprint,
+                                   std::size_t configs, std::size_t workloads,
+                                   std::uint64_t keep_bytes)
+    : path_(path) {
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_CLOEXEC, 0644);
+  if (fd_ < 0) {
+    checkpoint_error(path_, std::string("open failed: ") +
+                                std::strerror(errno));
+  }
+  // Resume keeps the validated prefix (dropping any torn tail past it);
+  // a fresh start truncates to empty and writes a new header.
+  if (::ftruncate(fd_, static_cast<off_t>(keep_bytes)) != 0 ||
+      ::lseek(fd_, 0, SEEK_END) < 0) {
+    const std::string what = std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    checkpoint_error(path_, "truncate failed: " + what);
+  }
+  if (keep_bytes == 0) {
+    buffer_ = "{\"autopower_sweep_checkpoint\":1,\"fingerprint\":\"";
+    buffer_ += fingerprint;
+    buffer_ += "\",\"configs\":" + std::to_string(configs) +
+               ",\"workloads\":" + std::to_string(workloads) + "}\n";
+    std::lock_guard lock(mu_);
+    flush_locked();  // a valid header exists before any work begins
+  }
+}
+
+CheckpointWriter::~CheckpointWriter() {
+  try {
+    close();
+  } catch (...) {
+    // Destructor must not throw; callers needing failure detection call
+    // close() themselves (the sweep does, before ranking).
+  }
+}
+
+void CheckpointWriter::append(std::size_t index, std::string_view row_json) {
+  std::uint32_t crc = crc32_update(0xffffffffu, "{");
+  crc = crc32_update(crc, row_json);
+  crc = (crc32_update(crc, "}")) ^ 0xffffffffu;
+
+  std::lock_guard lock(mu_);
+  if (fd_ < 0) checkpoint_error(path_, "append after close");
+  buffer_ += "{\"i\":" + std::to_string(index) + ",\"crc\":\"" +
+             hex_u32(crc) + "\",\"row\":{";
+  buffer_ += row_json;
+  buffer_ += "}}\n";
+  if (++buffered_rows_ >= kFlushRows || buffer_.size() >= kFlushBytes) {
+    flush_locked();
+  }
+}
+
+void CheckpointWriter::flush() {
+  std::lock_guard lock(mu_);
+  flush_locked();
+}
+
+void CheckpointWriter::close() {
+  std::lock_guard lock(mu_);
+  if (fd_ < 0) return;
+  flush_locked();
+  const int rc = ::close(fd_);
+  fd_ = -1;
+  if (rc != 0) {
+    checkpoint_error(path_, std::string("close failed: ") +
+                                std::strerror(errno));
+  }
+}
+
+void CheckpointWriter::write_all_locked(const char* data, std::size_t size) {
+  while (size > 0) {
+    const ssize_t n = ::write(fd_, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      checkpoint_error(path_, std::string("write failed: ") +
+                                  std::strerror(errno));
+    }
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+}
+
+void CheckpointWriter::flush_locked() {
+  if (buffer_.empty()) return;
+  // The injectable seam for disk-full/EIO during a sweep: a checkpoint
+  // that cannot be persisted fails the run (exit non-zero) instead of
+  // silently losing crash safety.
+  AUTOPOWER_FAULT_POINT("serve.checkpoint.write");
+  write_all_locked(buffer_.data(), buffer_.size());
+  if (::fsync(fd_) != 0) {
+    checkpoint_error(path_, std::string("fsync failed: ") +
+                                std::strerror(errno));
+  }
+  buffer_.clear();
+  buffered_rows_ = 0;
+}
+
+}  // namespace autopower::serve

@@ -1,18 +1,32 @@
-// Parallel design-space sweep driver.
+// Streaming parallel design-space sweep driver.
 //
-// The workload architecture-level power models exist for: expand a
+// The workload architecture-level power models exist for: enumerate a
 // config-grid spec (axis lists over Table II hardware parameters applied
 // to a base configuration), evaluate every (configuration, workload) cell
 // — performance simulation + power prediction — across a thread pool, and
 // rank the configurations into a JSONL report.
 //
-// Every worker's PerfSimulator shares ONE util::StructuralSimCache, so
+// The grid is never materialised: a GridCursor yields configuration
+// *indices* and reconstructs each HardwareConfig on demand (mixed-radix
+// decode), so a 10^7-cell sweep holds O(workers + top-K) rows, not
+// O(grid).  Workers claim chunked index ranges from per-worker shards and
+// steal chunks from each other when their own shard drains, so skewed
+// per-cell costs cannot idle a worker.  With `--top K` each worker feeds
+// a bounded K-heap, merged and ranked at the end.  A `--checkpoint` file
+// records every finished configuration as a crc-guarded JSONL line;
+// `--resume` replays it and skips the finished indices, and the final
+// report is byte-identical to an uninterrupted run (serve/checkpoint.hpp
+// documents the format and torn-line policy).
+//
+// Every worker's PerfSimulator shares ONE util::StructuralSimCache (the
+// L2 directory tier; each simulator fronts it with a private L1), so
 // neighbouring grid points (which differ only in a few parameters) reuse
 // each other's cache/TLB/branch structural measurements; on a grid that
 // varies ROB/width/queue parameters the whole sweep performs the
 // structural work of a single configuration.  Results are bit-identical
 // to evaluating each cell with a fresh, unshared simulator, for any
-// thread count (`bench_sim_throughput` enforces both properties).
+// thread count, any chunking/steal schedule, and any `--memory-budget`
+// (`bench_sim_throughput` enforces these properties).
 //
 // Grid spec syntax (CLI `--grid`): semicolon-separated axes, each
 // "Param=v1,v2,...", e.g. "RobEntry=64,96,128;FetchWidth=4,8".  Axis
@@ -22,7 +36,9 @@
 // request.
 #pragma once
 
+#include <array>
 #include <cstddef>
+#include <cstdint>
 #include <iosfwd>
 #include <memory>
 #include <span>
@@ -60,6 +76,12 @@ struct SweepSpec {
   std::size_t threads = 1;
   SweepMetric metric = SweepMetric::kIpcPerWatt;
   std::size_t top = 0;                    ///< 0 = report every config
+  std::string checkpoint;                 ///< JSONL checkpoint path ("" = off)
+  bool resume = false;                    ///< replay `checkpoint` first
+  /// Approximate byte bound for the shared structural cache when
+  /// run_sweep creates its own (0 = unbounded); ignored when the caller
+  /// passes a cache in.
+  std::uint64_t memory_budget = 0;
 };
 
 /// Parses the `--grid` spec ("RobEntry=64,96;FetchWidth=4,8").  Throws
@@ -67,9 +89,48 @@ struct SweepSpec {
 /// non-positive value lists, or malformed syntax.
 [[nodiscard]] std::vector<SweepAxis> parse_grid(std::string_view spec);
 
-/// Cartesian product of the axes applied to `base`.  Config names are
-/// deterministic: "<base>+Param=v+..." (base's own name for an empty
-/// grid).  The first axis varies slowest.
+/// Lazy mixed-radix enumeration of a config grid: the cartesian product
+/// of `axes` applied to `base`, addressed by index in [0, size()).  The
+/// first axis varies slowest (index 0 is the base point of every axis),
+/// matching the report order of the former materialised expansion.
+/// Config names are deterministic: "<base>+Param=v+..." (base's own name
+/// for an empty grid).  There is NO size cap beyond std::size_t overflow
+/// — callers stream indices instead of materialising configs.
+/// Thread-safe: all accessors are const and touch no shared mutable
+/// state, so sweep workers decode from one shared cursor.
+class GridCursor {
+ public:
+  /// Throws util::Error on an empty axis value list or a product that
+  /// overflows std::size_t.
+  GridCursor(const arch::HardwareConfig& base,
+             std::span<const SweepAxis> axes);
+
+  [[nodiscard]] std::size_t size() const noexcept { return total_; }
+
+  /// Writes config `index`'s full parameter vector into `values`.
+  void values_at(std::size_t index,
+                 std::array<int, arch::kNumHwParams>& values) const;
+
+  /// Formats config `index`'s name into `name` (clearing it first).
+  /// Callers reuse one scratch string across a streaming loop, so the
+  /// per-config cost is a few appends into already-reserved storage —
+  /// no repeated std::to_string temporaries.
+  void format_name(std::size_t index, std::string& name) const;
+
+  /// Materialises one configuration (the convenience path; streaming
+  /// callers use values_at/format_name with reused scratch space).
+  [[nodiscard]] arch::HardwareConfig config_at(std::size_t index) const;
+
+ private:
+  std::string base_name_;
+  std::array<int, arch::kNumHwParams> base_values_{};
+  std::vector<SweepAxis> axes_;
+  std::size_t total_ = 1;
+};
+
+/// Cartesian product of the axes applied to `base`, materialised.  Kept
+/// for small grids and tests; refuses to materialise more than 1e6
+/// configurations — stream via GridCursor instead.
 [[nodiscard]] std::vector<arch::HardwareConfig> expand_grid(
     const arch::HardwareConfig& base, std::span<const SweepAxis> axes);
 
@@ -89,31 +150,46 @@ struct SweepRow {
   double mean_total_mw = 0.0;      ///< over ok cells
   double mean_ipc = 0.0;
   double ipc_per_watt = 0.0;
+  std::size_t failed = 0;          ///< cells that failed
   std::size_t rank = 0;            ///< 1-based rank under the spec metric
+  std::size_t index = 0;           ///< grid index (the deterministic
+                                   ///< tie-break; not serialised)
 };
 
 struct SweepReport {
   std::vector<SweepRow> rows;  ///< ranked best-first (truncated to top)
   std::size_t configs = 0;     ///< grid size before truncation
   std::size_t evaluations = 0;
+  std::size_t resumed = 0;     ///< rows replayed from a checkpoint
   util::StructuralSimCache::Stats structural;  ///< sub-memo hit/miss
 };
 
-/// Runs the sweep: expands the grid, fans (config x workload) cells over
-/// `spec.threads` workers sharing one structural cache (`structural` if
-/// given, else a fresh private one), and ranks the rows.  Deterministic:
-/// the report is bit-identical for any thread count and any pre-warmed
-/// cache state.  Throws util::Error for an unknown base config, unknown
-/// workloads, or an empty workload list.
+/// Runs the sweep: streams grid indices from a GridCursor over
+/// `spec.threads` workers (clamped to the host's hardware concurrency)
+/// sharing one structural cache (`structural` if given, else a fresh one
+/// bounded by `spec.memory_budget`), and ranks the rows — through
+/// bounded per-worker top-K heaps when `spec.top` is set.  Deterministic:
+/// the report is bit-identical for any thread count, any steal schedule,
+/// any memory budget, any pre-warmed cache state, and any
+/// checkpoint/resume split.  Throws util::Error for an unknown base
+/// config, unknown workloads, an empty workload list, a corrupt
+/// checkpoint, or a checkpoint write failure.
 [[nodiscard]] SweepReport run_sweep(
     const core::AutoPowerModel& model, const SweepSpec& spec,
     std::shared_ptr<util::StructuralSimCache> structural = nullptr);
 
+/// Appends the body of one row's JSON object — everything after the
+/// opening '{' and the "rank" member:
+///   "config":"C8+RobEntry=96","params":{...},"mean_total_mw":...,
+///   "mean_ipc":...,"ipc_per_watt":...,"failed":0,
+///   "cells":[{"workload":...,"ok":true,"total_mw":...,"ipc":...},...]
+/// Shared by the final report writer and the checkpoint writer so a
+/// replayed row reproduces its original bytes exactly (numbers round-trip
+/// through serve::json_number).
+void append_row_json(std::string& out, const SweepRow& row);
+
 /// Writes the report as JSONL, one ranked row per line:
-///   {"rank":1,"config":"C8+RobEntry=96","params":{...},
-///    "mean_total_mw":...,"mean_ipc":...,"ipc_per_watt":...,
-///    "cells":[{"workload":"dhrystone","ok":true,"total_mw":...,
-///              "ipc":...},...]}
+///   {"rank":1,<append_row_json body>}
 /// Numbers round-trip exactly (serve::json_number).
 void write_sweep_report(std::ostream& out, const SweepReport& report);
 

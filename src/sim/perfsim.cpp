@@ -78,7 +78,7 @@ using SubSim = util::StructuralSimCache::SubSim;
 // seed is part of every key because it selects the synthetic reference
 // stream; two phases with equal profiles and names would replay the same
 // stream and may legitimately share an entry.
-MemoryBehaviour measure_memory(util::StructuralSimCache& cache,
+MemoryBehaviour measure_memory(util::StructuralL1& cache,
                                const HardwareConfig& cfg,
                                const WorkloadPhase& ph,
                                const SimOptions& opt) {
@@ -176,7 +176,7 @@ MemoryBehaviour measure_memory(util::StructuralSimCache& cache,
   return mb;
 }
 
-PhaseRates compute_phase(util::StructuralSimCache& cache,
+PhaseRates compute_phase(util::StructuralL1& cache,
                          const HardwareConfig& cfg, const WorkloadPhase& ph,
                          const SimOptions& opt) {
   const MemoryBehaviour mb = measure_memory(cache, cfg, ph, opt);
@@ -365,13 +365,21 @@ PerfSimulator::PerfSimulator() : PerfSimulator(SimOptions{}) {}
 PerfSimulator::PerfSimulator(SimOptions options)
     : PerfSimulator(options, std::make_shared<util::StructuralSimCache>()) {}
 
-PerfSimulator::PerfSimulator(
-    SimOptions options, std::shared_ptr<util::StructuralSimCache> structural)
-    : options_(options), structural_(std::move(structural)) {
-  AP_REQUIRE(structural_ != nullptr,
+namespace {
+std::shared_ptr<util::StructuralSimCache> require_structural(
+    std::shared_ptr<util::StructuralSimCache> structural) {
+  AP_REQUIRE(structural != nullptr,
              "PerfSimulator needs a structural cache (pass none for a "
              "private one)");
+  return structural;
 }
+}  // namespace
+
+PerfSimulator::PerfSimulator(
+    SimOptions options, std::shared_ptr<util::StructuralSimCache> structural)
+    : options_(options),
+      structural_(require_structural(std::move(structural))),
+      l1_(structural_) {}
 
 const PhaseRates& PerfSimulator::phase_rates(
     const HardwareConfig& cfg, const WorkloadProfile& profile,
@@ -382,8 +390,15 @@ const PhaseRates& PerfSimulator::phase_rates(
   const std::uint64_t key = phase_key(cfg, ph, options_);
   auto it = memo_.find(key);
   if (it == memo_.end()) {
-    it = memo_.emplace(key, compute_phase(*structural_, cfg, ph, options_))
-             .first;
+    // Bounded memo: flush wholesale before the insert that would exceed
+    // the cap.  Entries are pure functions of their key, so a flush only
+    // costs recomputation; this keeps streaming sweeps over millions of
+    // configurations at O(phase_memo_max) instance memory.
+    if (options_.phase_memo_max > 0 &&
+        memo_.size() >= static_cast<std::size_t>(options_.phase_memo_max)) {
+      memo_.clear();
+    }
+    it = memo_.emplace(key, compute_phase(l1_, cfg, ph, options_)).first;
   }
   return it->second;
 }

@@ -30,4 +30,36 @@ int parse_int(std::string_view text, const std::string& what, int min,
   return value;
 }
 
+std::uint64_t parse_size_bytes(std::string_view text,
+                               const std::string& what) {
+  std::uint64_t shift = 0;
+  std::string_view digits = text;
+  if (!digits.empty()) {
+    switch (digits.back()) {
+      case 'K': case 'k': shift = 10; break;
+      case 'M': case 'm': shift = 20; break;
+      case 'G': case 'g': shift = 30; break;
+      default: break;
+    }
+    if (shift != 0) digits.remove_suffix(1);
+  }
+  std::uint64_t value = 0;
+  const char* const first = digits.data();
+  const char* const last = first + digits.size();
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc{} || ptr != last || digits.empty()) {
+    throw InvalidArgument(what +
+                          " wants a byte count like 64M or 67108864, got: " +
+                          std::string(text));
+  }
+  // Cap at 2^63-1 so the scaled value survives any signed conversion.
+  const std::uint64_t limit =
+      static_cast<std::uint64_t>(std::numeric_limits<std::int64_t>::max()) >>
+      shift;
+  if (value == 0 || value > limit) {
+    throw InvalidArgument(what + " is out of range: " + std::string(text));
+  }
+  return value << shift;
+}
+
 }  // namespace autopower::util

@@ -8,6 +8,7 @@
 // here so the rejection rules are uniform.
 #pragma once
 
+#include <cstdint>
 #include <limits>
 #include <string>
 #include <string_view>
@@ -21,5 +22,14 @@ namespace autopower::util {
 [[nodiscard]] int parse_int(std::string_view text, const std::string& what,
                             int min = std::numeric_limits<int>::min(),
                             int max = std::numeric_limits<int>::max());
+
+/// Parses a byte-count flag value such as "67108864", "64K", "128M" or
+/// "2G" (suffixes are powers of 1024; lower case accepted).  Same
+/// full-consume strictness as parse_int: exactly one optional suffix
+/// character, no whitespace, no sign.  Throws util::InvalidArgument —
+/// naming `what` (e.g. "--memory-budget") — on empty/garbage input, a
+/// value of zero, or overflow past 2^63-1.
+[[nodiscard]] std::uint64_t parse_size_bytes(std::string_view text,
+                                             const std::string& what);
 
 }  // namespace autopower::util

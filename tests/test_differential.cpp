@@ -17,6 +17,10 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
 #include <memory>
 #include <optional>
 #include <sstream>
@@ -583,6 +587,109 @@ TEST_F(EngineInvariance, SerialVsThreadedSweepBitIdentical) {
         return sweep_reports_diff(serial_report, threaded_report);
       },
       describe_sweep);
+  ASSERT_TRUE(result.passed) << result.report;
+}
+
+// ---------------------------------------------------------------------
+// Oracle: SIGKILL-mid-sweep -> resume bit-identity.  A kill leaves the
+// checkpoint file as a byte prefix of what an uninterrupted run writes
+// (appends + batched fsync, possibly torn mid-line), so truncating a
+// finished checkpoint at a random offset reproduces every possible kill
+// point — including inside the header and inside a row.  Resuming from
+// that prefix must yield a report byte-identical to the uninterrupted
+// run's, for any thread count, metric and top-k.
+
+struct ResumeCase {
+  serve::SweepSpec spec;
+  double cut_frac = 0.0;  ///< where the "kill" lands, as a file fraction
+};
+
+std::string describe_resume(const ResumeCase& c) {
+  std::ostringstream out;
+  out << describe_sweep({c.spec}) << ", threads " << c.spec.threads
+      << ", top " << c.spec.top << ", cut at "
+      << static_cast<int>(c.cut_frac * 100.0) << "%";
+  return out.str();
+}
+
+std::string report_bytes(const serve::SweepReport& report) {
+  std::ostringstream out;
+  serve::write_sweep_report(out, report);
+  return out.str();
+}
+
+TEST_F(EngineInvariance, TruncatedCheckpointResumeBitIdentical) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("autopower_resume_diff_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+  const std::string ckpt = (dir / "sweep.ckpt").string();
+
+  const auto result = testcore::run_property<ResumeCase>(
+      {.name = "sweep.truncated_resume", .cases = 200},
+      [](Pcg32& rng) {
+        ResumeCase c;
+        const auto& space = arch::boom_design_space();
+        c.spec.base = space[rng.index(space.size())].name();
+        const auto params = arch::all_hw_params();
+        const arch::HwParam param = params[rng.index(params.size())];
+        std::vector<int> pool;
+        for (const auto& cfg : space) {
+          const int v = cfg.value(param);
+          bool seen = false;
+          for (const int u : pool) seen = seen || u == v;
+          if (!seen) pool.push_back(v);
+        }
+        serve::SweepAxis axis{param, {}};
+        for (int i = 0; i < 3; ++i) {
+          axis.values.push_back(pool[rng.index(pool.size())]);
+        }
+        c.spec.axes.push_back(std::move(axis));
+        const auto& workloads = workload::riscv_tests_workloads();
+        c.spec.workloads = {workloads[rng.index(workloads.size())].name};
+        c.spec.threads = 1 + rng.index(3);
+        c.spec.top = rng.next_bool(0.3) ? 2 : 0;
+        c.spec.metric = rng.next_bool() ? serve::SweepMetric::kIpcPerWatt
+                                        : serve::SweepMetric::kPower;
+        c.cut_frac = rng.next_unit();
+        return c;
+      },
+      [&ckpt](const ResumeCase& c) -> std::optional<std::string> {
+        std::error_code ec;
+        std::filesystem::remove(ckpt, ec);
+        serve::SweepSpec spec = c.spec;
+        spec.checkpoint = ckpt;
+        const auto full = serve::run_sweep(**model_, spec);
+        const std::string want = report_bytes(full);
+
+        // "Kill" the run: keep only a byte prefix of its checkpoint.
+        std::string bytes;
+        {
+          std::ifstream in(ckpt, std::ios::binary);
+          std::ostringstream buf;
+          buf << in.rdbuf();
+          bytes = buf.str();
+        }
+        const auto cut =
+            static_cast<std::size_t>(c.cut_frac * double(bytes.size()));
+        {
+          std::ofstream out(ckpt, std::ios::binary | std::ios::trunc);
+          out << bytes.substr(0, cut);
+        }
+
+        spec.resume = true;
+        const auto resumed = serve::run_sweep(**model_, spec);
+        if (const auto diff = sweep_reports_diff(full, resumed)) {
+          return "resumed report differs: " + *diff;
+        }
+        if (report_bytes(resumed) != want) {
+          return "resumed report bytes differ after cutting " +
+                 std::to_string(cut) + "/" + std::to_string(bytes.size());
+        }
+        return std::nullopt;
+      },
+      describe_resume);
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
   ASSERT_TRUE(result.passed) << result.report;
 }
 

@@ -430,6 +430,55 @@ TEST(FaultSweepReport, RowWriteFaultLatchesStream) {
 }
 
 // ---------------------------------------------------------------------
+// serve.checkpoint.write / serve.checkpoint.load
+
+class FaultCheckpoint : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("autopower_ckpt_fault_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+  serve::SweepSpec spec() const {
+    serve::SweepSpec s;
+    s.base = "C8";
+    s.workloads = {"dhrystone"};
+    s.checkpoint = (dir_ / "sweep.ckpt").string();
+    return s;
+  }
+  std::filesystem::path dir_;
+};
+
+TEST_F(FaultCheckpoint, WriteFaultFailsTheSweepNotSilently) {
+  // countdown(1) fires on the header flush, countdown(2) on the final
+  // row-batch flush — both must surface as util::Error, never as a sweep
+  // that "succeeded" without crash safety.
+  for (const int nth : {1, 2}) {
+    auto s = spec();
+    fault::ScopedFault armed("serve.checkpoint.write",
+                             fault::Trigger::countdown(nth));
+    EXPECT_THROW((void)serve::run_sweep(*tiny_model(), s), util::Error)
+        << "countdown " << nth;
+  }
+}
+
+TEST_F(FaultCheckpoint, LoadFaultFailsTheResume) {
+  auto s = spec();
+  (void)serve::run_sweep(*tiny_model(), s);  // write a valid checkpoint
+  s.resume = true;
+  fault::ScopedFault armed("serve.checkpoint.load",
+                           fault::Trigger::countdown(1));
+  EXPECT_THROW((void)serve::run_sweep(*tiny_model(), s), util::Error);
+  // Disarmed, the same resume replays cleanly.
+  const auto report = serve::run_sweep(*tiny_model(), s);
+  EXPECT_EQ(report.resumed, 1u);
+}
+
+// ---------------------------------------------------------------------
 // util.io.flush
 
 TEST(FaultIo, FlushFaultBecomesWriteError) {
@@ -538,6 +587,42 @@ TEST_F(FaultCliTest, SweepReportWriteFaultExitsOne) {
       "sweep --model '" + model_path() +
           "' --workloads dhrystone --base C8 --out '" +
           out_path("sweep_out.jsonl") + "'",
+      &output);
+  expect_clean_error_exit(status, output);
+}
+
+TEST_F(FaultCliTest, SweepCheckpointWriteFaultExitsOne) {
+  std::string output;
+  const int status = run_cli_with_fault(
+      "serve.checkpoint.write=countdown:1",
+      "sweep --model '" + model_path() +
+          "' --workloads dhrystone --base C8 --grid RobEntry=64,96 "
+          "--checkpoint '" +
+          out_path("faulted.ckpt") + "' --out '" +
+          out_path("sweep_ckpt_out.jsonl") + "'",
+      &output);
+  expect_clean_error_exit(status, output);
+  EXPECT_NE(output.find("checkpoint"), std::string::npos) << output;
+}
+
+TEST_F(FaultCliTest, SweepResumeLoadFaultExitsOne) {
+  const std::string ckpt = out_path("resume_fault.ckpt");
+  std::string output;
+  int status = run_cli_with_fault(
+      "",
+      "sweep --model '" + model_path() +
+          "' --workloads dhrystone --base C8 --grid RobEntry=64,96 "
+          "--checkpoint '" + ckpt + "' --out '" +
+          out_path("resume_fault_out.jsonl") + "'",
+      &output);
+  ASSERT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0) << output;
+
+  status = run_cli_with_fault(
+      "serve.checkpoint.load=countdown:1",
+      "sweep --model '" + model_path() +
+          "' --workloads dhrystone --base C8 --grid RobEntry=64,96 "
+          "--checkpoint '" + ckpt + "' --resume --out '" +
+          out_path("resume_fault_out.jsonl") + "'",
       &output);
   expect_clean_error_exit(status, output);
 }
@@ -715,6 +800,8 @@ TEST(FaultDaemonSites, AdmitFaultShedsWithStructuredError) {
 
 TEST(FaultRegistry, AllDocumentedSitesExercised) {
   const std::vector<std::string> documented = {
+      "serve.checkpoint.load",
+      "serve.checkpoint.write",
       "serve.daemon.admit",
       "serve.engine.handle",
       "serve.eval_cache.compute",

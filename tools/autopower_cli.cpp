@@ -12,8 +12,11 @@
 //   sweep    --model m.ap --grid "RobEntry=64,96;FetchWidth=4,8"
 //            --workloads dhrystone,qsort [--base C8] [--rank ipc_per_watt]
 //            [--top K] [--out sweep.jsonl] [--threads N] [--progress]
-//                                          parallel design-space sweep with
-//                                          a ranked JSONL report
+//            [--checkpoint sweep.ckpt] [--resume] [--memory-budget 64M]
+//                                          streaming parallel design-space
+//                                          sweep with a ranked JSONL report,
+//                                          crash-safe checkpoint/resume and
+//                                          a bounded structural-cache budget
 //   serve    --model m.ap --port 9410 [--queue-depth N]
 //            [--max-connections N] [--max-batch N] [--threads N]
 //                                          resident JSONL-over-TCP daemon;
@@ -341,6 +344,16 @@ int cmd_sweep(const ArgMap& flags) {
     spec.metric = serve::sweep_metric_from_string(it->second);
   }
   spec.top = static_cast<std::size_t>(parse_int_flag(flags, "top", 0, 1));
+  if (const auto it = flags.find("checkpoint"); it != flags.end()) {
+    spec.checkpoint = it->second;
+  }
+  spec.resume = flags.count("resume") > 0;
+  AP_REQUIRE(!spec.resume || !spec.checkpoint.empty(),
+             "--resume needs --checkpoint");
+  if (const auto it = flags.find("memory-budget"); it != flags.end()) {
+    spec.memory_budget =
+        util::parse_size_bytes(it->second, "--memory-budget");
+  }
 
   // --progress: a monitor thread polls the process-wide sweep-cells
   // counter and reports to stderr while the workers run.  The expected
@@ -391,17 +404,18 @@ int cmd_sweep(const ArgMap& flags) {
                                   : "sweep report (stdout)");
 
   std::size_t failed = 0;
-  for (const auto& row : report.rows) {
-    for (const auto& cell : row.cells) {
-      if (!cell.ok) ++failed;
-    }
-  }
+  for (const auto& row : report.rows) failed += row.failed;
   std::cerr << report.configs << " configurations x " << spec.workloads.size()
             << " workloads = " << report.evaluations << " evaluations ("
             << failed << " failed; " << spec.threads
             << " threads; ranked by " << serve::to_string(spec.metric)
             << "; structural memo " << report.structural.hits << "/"
             << report.structural.misses << " hit/miss)\n";
+  if (report.resumed > 0) {
+    std::cerr << "resumed " << report.resumed << "/" << report.configs
+              << " configurations from checkpoint " << spec.checkpoint
+              << "\n";
+  }
   if (!report.rows.empty()) {
     const auto& best = report.rows.front();
     std::cerr << "best: " << best.config.name() << " ("
@@ -519,6 +533,7 @@ int usage() {
       " --workloads dhrystone,qsort\n"
       "           [--base C8] [--rank ipc_per_watt|ipc|power] [--top K]"
       " [--out sweep.jsonl] [--threads N] [--progress]"
+      " [--checkpoint sweep.ckpt] [--resume] [--memory-budget 64M]"
       " [--stats stats.json]\n"
       "  serve    --model model.ap --port 9410 [--queue-depth N]"
       " [--max-connections N] [--max-batch N] [--threads N]"
@@ -554,8 +569,9 @@ const std::map<std::string, Command>& commands() {
         cmd_batch}},
       {"sweep",
        {{.valued = {"model", "grid", "workloads", "base", "rank", "top",
-                    "out", "threads", "stats"},
-         .boolean = {"progress"}},
+                    "out", "threads", "stats", "checkpoint",
+                    "memory-budget"},
+         .boolean = {"progress", "resume"}},
         cmd_sweep}},
       {"serve",
        {{.valued = {"model", "port", "queue-depth", "max-connections",
