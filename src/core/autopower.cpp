@@ -4,6 +4,7 @@
 #include <exception>
 #include <fstream>
 #include <mutex>
+#include <sstream>
 #include <thread>
 
 #include "util/archive.hpp"
@@ -75,6 +76,7 @@ void AutoPowerModel::train(std::span<const EvalContext> samples,
       train_metrics().submodel_fits.add(3);
     }
     trained_ = true;
+    refresh_fingerprint();
     return;
   }
 
@@ -122,6 +124,15 @@ void AutoPowerModel::train(std::span<const EvalContext> samples,
   pool.shutdown();
   if (first_error) std::rethrow_exception(first_error);
   trained_ = true;
+  refresh_fingerprint();
+}
+
+void AutoPowerModel::refresh_fingerprint() {
+  // Fingerprint the archive bytes, not the in-memory layout, so a trained
+  // model and a load() of its saved archive carry the same identity token.
+  std::ostringstream archive;
+  save(archive);
+  fingerprint_ = util::content_fingerprint(archive.str());
 }
 
 void AutoPowerModel::save(std::ostream& out) const {
@@ -139,7 +150,15 @@ void AutoPowerModel::save(std::ostream& out) const {
 }
 
 void AutoPowerModel::load(std::istream& in) {
-  util::ArchiveReader r(in);
+  // Slurp the whole archive first: the fingerprint must hash exactly the
+  // bytes that were parsed, and hashing a replay of the same buffer keeps
+  // the two trivially in sync.
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  AP_REQUIRE(!in.bad(), "failed reading AutoPower archive stream");
+  const std::string bytes = buf.str();
+  std::istringstream replay(bytes);
+  util::ArchiveReader r(replay);
   AP_REQUIRE(r.read_int("autopower.format") == 1,
              "unsupported AutoPower archive format");
   AP_REQUIRE(r.read_int("autopower.components") ==
@@ -152,6 +171,7 @@ void AutoPowerModel::load(std::istream& in) {
     logic_[i].load(r);
   }
   trained_ = true;
+  fingerprint_ = util::content_fingerprint(bytes);
 }
 
 void AutoPowerModel::save_to_file(const std::string& path) const {

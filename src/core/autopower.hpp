@@ -93,6 +93,15 @@ class AutoPowerModel {
 
   [[nodiscard]] bool trained() const noexcept { return trained_; }
 
+  /// Content fingerprint of this model's serialized archive (16 hex chars),
+  /// set by train() and load().  Equal fingerprints mean byte-identical
+  /// archives, so the serving layer keys every memo on it: two models — or
+  /// two versions of one model across a hot-swap — can never alias cache
+  /// entries.  Empty only for a default-constructed, untrained model.
+  [[nodiscard]] const std::string& fingerprint() const noexcept {
+    return fingerprint_;
+  }
+
   /// Serializes the fully-trained model (all 22 x 3 sub-models).
   void save(std::ostream& out) const;
   /// Restores a model previously written by save().
@@ -107,6 +116,9 @@ class AutoPowerModel {
   std::array<SramPowerModel, arch::kNumComponents> sram_;
   std::array<LogicPowerModel, arch::kNumComponents> logic_;
   bool trained_ = false;
+  std::string fingerprint_;
+
+  void refresh_fingerprint();
 };
 
 }  // namespace autopower::core

@@ -132,8 +132,10 @@ std::uint32_t crc32(std::string_view data) noexcept {
 
 std::string sweep_fingerprint(const std::string& base,
                               std::span<const SweepAxis> axes,
-                              std::span<const std::string> workloads) {
-  std::uint64_t h = util::hash_str("sweep-checkpoint-v1");
+                              std::span<const std::string> workloads,
+                              std::string_view model_fingerprint) {
+  std::uint64_t h = util::hash_str("sweep-checkpoint-v2");
+  h = util::hash_combine(h, util::hash_str(model_fingerprint));
   h = util::hash_combine(h, util::hash_str(base));
   h = util::hash_combine(h, axes.size());
   for (const SweepAxis& axis : axes) {

@@ -56,10 +56,15 @@ namespace autopower::serve {
 [[nodiscard]] std::uint32_t crc32(std::string_view data) noexcept;
 
 /// The sweep-identity fingerprint recorded in a checkpoint header:
-/// 16 lowercase hex digits over base + axes + workloads.
+/// 16 lowercase hex digits over base + axes + workloads + the model's
+/// archive fingerprint.  Including the model identity means resuming a
+/// sweep with a retrained archive refuses with a fingerprint mismatch
+/// instead of silently splicing the old model's rows into the new
+/// model's report.
 [[nodiscard]] std::string sweep_fingerprint(
     const std::string& base, std::span<const SweepAxis> axes,
-    std::span<const std::string> workloads);
+    std::span<const std::string> workloads,
+    std::string_view model_fingerprint);
 
 /// What load_checkpoint recovered.
 struct CheckpointReplay {

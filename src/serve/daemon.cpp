@@ -4,13 +4,16 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <cstring>
 #include <utility>
 
 #include "serve/jsonl.hpp"
+#include "util/error.hpp"
 #include "util/fault.hpp"
 #include "util/simd.hpp"
 
@@ -33,15 +36,24 @@ DaemonRequest daemon_request_from_jsonl(std::string_view line) {
 
   if (doc.find("cmd") != nullptr) {
     out.kind = DaemonRequest::Kind::kControl;
+    bool have_model = false;
     for (const auto& [key, value] : object) {
       if (key == "cmd") {
         out.cmd = value.as_string();
+      } else if (key == "model") {
+        out.model = value.as_string();
+        have_model = true;
       } else {
-        fail("unknown control key \"" + key + "\" (expected only \"cmd\")");
+        fail("unknown control key \"" + key +
+             "\" (expected \"cmd\" and, for reload, \"model\")");
       }
     }
-    if (out.cmd != "health" && out.cmd != "metrics") {
-      fail("unknown cmd \"" + out.cmd + "\" (expected \"health\" | \"metrics\")");
+    if (out.cmd != "health" && out.cmd != "metrics" && out.cmd != "reload") {
+      fail("unknown cmd \"" + out.cmd +
+           "\" (expected \"health\" | \"metrics\" | \"reload\")");
+    }
+    if (have_model && out.cmd != "reload") {
+      fail("\"model\" is only valid with \"cmd\": \"reload\"");
     }
     return out;
   }
@@ -67,6 +79,8 @@ DaemonRequest daemon_request_from_jsonl(std::string_view line) {
       }
       out.has_deadline = true;
       out.deadline_ms = static_cast<std::uint64_t>(ms);
+    } else if (key == "model") {
+      out.model = value.as_string();
     } else {
       fail("unknown request key \"" + key + "\"");
     }
@@ -97,19 +111,55 @@ struct Daemon::Connection {
   bool write_failed = false;     ///< a write died; drop later responses
 };
 
+/// One named model slot: a routing name, the backing archive path (held
+/// by the registry), a dedicated BatchEngine whose published snapshot is
+/// what reload swaps, and the slot's metric instruments.
+struct Daemon::ModelSlot {
+  std::string name;
+  std::unique_ptr<BatchEngine> engine;
+  util::Counter& requests;  ///< daemon.model.<name>.requests
+  util::Counter& reloads;   ///< daemon.model.<name>.reloads
+};
+
+/// A queue item: either one admitted compute request, or a model swap.
+/// Swaps ride the SAME queue so they linearize with admission — every
+/// compute admitted before the swap is popped (and batched) before it,
+/// every one after sees the new snapshot.
 struct Daemon::Work {
-  Connection* conn = nullptr;
+  enum class Kind { kCompute, kSwap };
+  Kind kind = Kind::kCompute;
+  Connection* conn = nullptr;  ///< kSwap: nullptr for SIGHUP reloads
   std::uint64_t seq = 0;
+  ModelSlot* slot = nullptr;
+  // kCompute:
   BatchRequest request;
   Clock::time_point arrival{};
   bool has_deadline = false;
   Clock::time_point deadline{};
+  // kSwap: the pre-loaded snapshot and the pre-built reload response
+  // (delivered when the swap is applied, so the client's "ok" is ordered
+  // exactly at the swap point in its response stream).
+  ModelRegistry::ModelHandle new_model;
+  std::string response_line;
 };
+
+namespace {
+
+bool valid_slot_name(const std::string& name) {
+  if (name.empty()) return false;
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '.' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+}  // namespace
 
 Daemon::Daemon(std::shared_ptr<const core::AutoPowerModel> model,
                DaemonOptions options)
     : options_(options),
-      engine_(std::make_unique<BatchEngine>(std::move(model), options.engine)),
       listener_(std::make_unique<net::Listener>(options.port)),
       metrics_{util::MetricsRegistry::global().counter("daemon.connections"),
                util::MetricsRegistry::global().gauge(
@@ -119,9 +169,60 @@ Daemon::Daemon(std::shared_ptr<const core::AutoPowerModel> model,
                util::MetricsRegistry::global().counter(
                    "daemon.deadline_expired"),
                util::MetricsRegistry::global().counter("daemon.net_errors"),
+               util::MetricsRegistry::global().counter(
+                   "daemon.unknown_model"),
                util::MetricsRegistry::global().gauge("daemon.queue_depth"),
                util::MetricsRegistry::global().histogram(
                    "daemon.request_latency_ns")} {
+  AP_REQUIRE(model != nullptr, "daemon: null model");
+  registry_.publish("default", std::move(model));
+  init_slots({ModelSpec{"default", ""}});
+}
+
+Daemon::Daemon(const std::vector<ModelSpec>& models, DaemonOptions options)
+    : options_(options),
+      listener_(std::make_unique<net::Listener>(options.port)),
+      metrics_{util::MetricsRegistry::global().counter("daemon.connections"),
+               util::MetricsRegistry::global().gauge(
+                   "daemon.active_connections"),
+               util::MetricsRegistry::global().counter("daemon.requests"),
+               util::MetricsRegistry::global().counter("daemon.shed"),
+               util::MetricsRegistry::global().counter(
+                   "daemon.deadline_expired"),
+               util::MetricsRegistry::global().counter("daemon.net_errors"),
+               util::MetricsRegistry::global().counter(
+                   "daemon.unknown_model"),
+               util::MetricsRegistry::global().gauge("daemon.queue_depth"),
+               util::MetricsRegistry::global().histogram(
+                   "daemon.request_latency_ns")} {
+  AP_REQUIRE(!models.empty(), "daemon: at least one model slot required");
+  for (const ModelSpec& spec : models) {
+    AP_REQUIRE(valid_slot_name(spec.name),
+               "invalid model slot name '" + spec.name +
+                   "' (expected [A-Za-z0-9_.-]+)");
+    AP_REQUIRE(!spec.path.empty(),
+               "model slot '" + spec.name + "' needs an archive path");
+    registry_.open(spec.name, spec.path);  // throws if the load fails
+  }
+  init_slots(models);
+}
+
+void Daemon::init_slots(const std::vector<ModelSpec>& specs) {
+  auto& reg = util::MetricsRegistry::global();
+  for (const ModelSpec& spec : specs) {
+    AP_REQUIRE(slots_.find(spec.name) == slots_.end(),
+               "duplicate model slot name '" + spec.name + "'");
+    auto slot = std::unique_ptr<ModelSlot>(new ModelSlot{
+        spec.name,
+        std::make_unique<BatchEngine>(registry_.named(spec.name),
+                                      options_.engine),
+        reg.counter("daemon.model." + spec.name + ".requests"),
+        reg.counter("daemon.model." + spec.name + ".reloads")});
+    ModelSlot* raw = slot.get();
+    slots_.emplace(spec.name, std::move(slot));
+    if (default_slot_ == nullptr) default_slot_ = raw;
+  }
+
   if (options_.queue_depth == 0) options_.queue_depth = 1;
   if (options_.max_connections == 0) options_.max_connections = 1;
   if (options_.max_batch == 0) options_.max_batch = 1;
@@ -147,9 +248,34 @@ std::uint16_t Daemon::port() const noexcept { return listener_->port(); }
 
 void Daemon::notify_stop() noexcept {
   // Async-signal-safe: write(2) only.  One byte is enough; extra bytes
-  // from repeated signals are harmless (poll only checks readability).
+  // from repeated signals are harmless (the accept loop drains the pipe
+  // and acts once per wake-up; 's' always wins over 'h').
   const char byte = 's';
   [[maybe_unused]] const ssize_t n = ::write(stop_pipe_[1], &byte, 1);
+}
+
+void Daemon::notify_reload() noexcept {
+  // Same pipe as notify_stop with a distinct byte: the acceptor thread
+  // wakes, re-reads every disk-backed archive and enqueues the swaps.
+  const char byte = 'h';
+  [[maybe_unused]] const ssize_t n = ::write(stop_pipe_[1], &byte, 1);
+}
+
+const BatchEngine& Daemon::engine() const noexcept {
+  return *default_slot_->engine;
+}
+
+std::vector<std::string> Daemon::model_names() const {
+  std::vector<std::string> out;
+  out.reserve(slots_.size());
+  for (const auto& [name, slot] : slots_) out.push_back(name);
+  return out;
+}
+
+Daemon::ModelSlot* Daemon::find_slot(const std::string& name) const {
+  if (name.empty()) return default_slot_;
+  const auto it = slots_.find(name);
+  return it == slots_.end() ? nullptr : it->second.get();
 }
 
 Daemon::Stats Daemon::stats() const noexcept {
@@ -179,7 +305,21 @@ void Daemon::serve() {
       metrics_.net_errors.inc();
       continue;
     }
-    if (!client.valid()) break;  // stop pipe woke us: drain
+    if (!client.valid()) {
+      // The signal pipe woke us.  Drain it and decide: any 's' wins and
+      // starts the drain; only-'h' bytes mean SIGHUP-style reload-all.
+      char buf[64];
+      const ssize_t n = ::read(stop_pipe_[0], buf, sizeof(buf));
+      bool stop = n <= 0;  // a dead pipe can only mean shutdown
+      bool reload = false;
+      for (ssize_t i = 0; i < n; ++i) {
+        if (buf[i] == 'h') reload = true;
+        else stop = true;
+      }
+      if (stop) break;
+      if (reload) reload_all_slots();
+      continue;
+    }
 
     reap_finished(/*join_all=*/false);
 
@@ -219,11 +359,29 @@ void Daemon::serve() {
     raw->thread = std::thread([this, raw] { handle_connection(*raw); });
   }
 
-  // Graceful drain: stop accepting, half-close every client for reading
-  // (wakes blocked readers with EOF; their send direction stays open so
-  // queued responses still flush), then let the pipeline run dry.
+  // Graceful drain, two phases.
+  //
+  // Phase 1 — stop the world politely: close the listener (load
+  // balancers now see refused connects), flip draining_ so readers
+  // answer new compute/reload lines with {"error": "draining"} while
+  // health keeps responding with "status": "draining", and wait for
+  // every already-admitted request to be popped AND delivered.  Clients
+  // that sent work before the drain get every response.
   draining_.store(true, std::memory_order_seq_cst);
   listener_->close();
+  {
+    std::unique_lock<std::mutex> lock(queue_mu_);
+    drain_cv_.wait(lock, [this] {
+      return queue_.empty() && inflight_batches_ == 0;
+    });
+  }
+
+  // Phase 2 — half-close every client for reading (wakes blocked
+  // readers with EOF; buffered lines are still parsed — and, being
+  // post-drain, answered "draining" — and their send direction stays
+  // open so queued responses still flush), then let the pipeline run
+  // dry.  A reader that raced one last line past phase 1 is still
+  // served: the dispatcher only exits once every reader is done.
   {
     std::lock_guard<std::mutex> lock(conns_mu_);
     for (auto& [id, conn] : conns_) conn->sock.shutdown_read();
@@ -260,14 +418,53 @@ void Daemon::handle_connection(Connection& conn) {
       }
 
       if (request.kind == DaemonRequest::Kind::kControl) {
-        deliver(conn, seq, control_response_line(seq, request.cmd),
-                /*admitted=*/false);
+        if (request.cmd == "reload") {
+          handle_reload(conn, seq, request.model);
+        } else {
+          deliver(conn, seq, control_response_line(seq, request.cmd),
+                  /*admitted=*/false);
+        }
         ++seq;
         continue;
       }
 
       requests_.fetch_add(1, std::memory_order_relaxed);
       metrics_.requests.inc();
+
+      // Draining gate (phase 1): the listener is closed, but clients that
+      // connected earlier may still send.  New work is refused with a
+      // structured error so load balancers retry elsewhere; responses for
+      // already-admitted requests keep flowing.
+      if (draining_.load(std::memory_order_relaxed)) {
+        BatchResponse refused;
+        refused.index = seq;
+        refused.config = request.request.config;
+        refused.workload = request.request.workload;
+        refused.mode = request.request.mode;
+        refused.ok = false;
+        refused.error = "draining";
+        deliver(conn, seq, response_to_jsonl(refused), /*admitted=*/false);
+        ++seq;
+        continue;
+      }
+
+      // Model routing: an unknown slot is a client error answered in
+      // place — it never occupies a queue slot.
+      ModelSlot* slot = find_slot(request.model);
+      if (slot == nullptr) {
+        metrics_.unknown_model.inc();
+        BatchResponse unknown;
+        unknown.index = seq;
+        unknown.config = request.request.config;
+        unknown.workload = request.request.workload;
+        unknown.mode = request.request.mode;
+        unknown.ok = false;
+        unknown.error = "unknown_model";
+        deliver(conn, seq, response_to_jsonl(unknown), /*admitted=*/false);
+        ++seq;
+        continue;
+      }
+      slot->requests.inc();
 
       bool forced_full = false;
 #if defined(AUTOPOWER_FAULT_INJECTION)
@@ -281,8 +478,10 @@ void Daemon::handle_connection(Connection& conn) {
         std::lock_guard<std::mutex> lock(queue_mu_);
         if (queue_.size() < options_.queue_depth) {
           Work work;
+          work.kind = Work::Kind::kCompute;
           work.conn = &conn;
           work.seq = seq;
+          work.slot = slot;
           work.request = request.request;
           work.arrival = arrival;
           work.has_deadline = request.has_deadline;
@@ -356,6 +555,86 @@ void Daemon::handle_connection(Connection& conn) {
   }
 }
 
+void Daemon::handle_reload(Connection& conn, std::uint64_t seq,
+                           const std::string& model_name) {
+  const std::string display =
+      model_name.empty() ? default_slot_->name : model_name;
+  const auto error_line = [&](const std::string& error) {
+    return "{\"index\": " + std::to_string(seq) +
+           ", \"cmd\": \"reload\", \"ok\": false, \"model\": \"" +
+           json_escape(display) + "\", \"error\": \"" + json_escape(error) +
+           "\"}";
+  };
+
+  if (draining_.load(std::memory_order_relaxed)) {
+    deliver(conn, seq, error_line("draining"), /*admitted=*/false);
+    return;
+  }
+  ModelSlot* slot = find_slot(model_name);
+  if (slot == nullptr) {
+    metrics_.unknown_model.inc();
+    deliver(conn, seq, error_line("unknown_model"), /*admitted=*/false);
+    return;
+  }
+  // The archive re-read happens HERE, on the requesting reader thread —
+  // a slow disk must stall neither the dispatcher nor other clients.  A
+  // failed load answers in place and swaps nothing.
+  ModelRegistry::ModelHandle loaded;
+  try {
+    loaded = registry_.reload_named(slot->name);
+  } catch (const std::exception& e) {
+    deliver(conn, seq, error_line(e.what()), /*admitted=*/false);
+    return;
+  }
+  std::string ok_line = "{\"index\": " + std::to_string(seq) +
+                        ", \"cmd\": \"reload\", \"ok\": true, \"model\": \"" +
+                        json_escape(slot->name) + "\", \"fingerprint\": \"" +
+                        loaded->fingerprint() + "\"}";
+  enqueue_swap(*slot, std::move(loaded), &conn, seq, std::move(ok_line));
+}
+
+void Daemon::reload_all_slots() {
+  // SIGHUP semantics: best-effort reload of every disk-backed slot.  The
+  // acceptor thread does the archive reads (it is otherwise idle between
+  // accepts); a slot whose load fails keeps serving its old snapshot.
+  for (auto& [name, slot] : slots_) {
+    if (registry_.path_of(name).empty()) continue;  // in-memory slot
+    try {
+      ModelRegistry::ModelHandle loaded = registry_.reload_named(name);
+      enqueue_swap(*slot, std::move(loaded), nullptr, 0, {});
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "autopower serve: reload of model '%s' failed: %s\n",
+                   name.c_str(), e.what());
+    }
+  }
+}
+
+void Daemon::enqueue_swap(ModelSlot& slot, ModelRegistry::ModelHandle model,
+                          Connection* conn, std::uint64_t seq,
+                          std::string response_line) {
+  // Swaps bypass the queue-depth bound: shedding a reload under load
+  // would make the one operation meant to fix a bad model depend on the
+  // very congestion it may be causing.  At most a handful are ever
+  // queued (one per reload command / SIGHUP slot).
+  if (conn != nullptr) {
+    std::lock_guard<std::mutex> conn_lock(conn->mu);
+    ++conn->outstanding;
+  }
+  Work work;
+  work.kind = Work::Kind::kSwap;
+  work.conn = conn;
+  work.seq = seq;
+  work.slot = &slot;
+  work.new_model = std::move(model);
+  work.response_line = std::move(response_line);
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    queue_.push_back(std::move(work));
+    metrics_.queue_depth.set(static_cast<double>(queue_.size()));
+  }
+  queue_cv_.notify_one();
+}
+
 void Daemon::dispatch_loop() {
   std::vector<Work> batch;
   std::vector<BatchRequest> requests;
@@ -370,48 +649,109 @@ void Daemon::dispatch_loop() {
                 reading_handlers_ == 0);
       });
       if (queue_.empty()) return;  // draining and no reader can enqueue
-      const std::size_t take = std::min(options_.max_batch, queue_.size());
-      for (std::size_t i = 0; i < take; ++i) {
+      // A swap is a batch of its own: batch formation never crosses one,
+      // so requests admitted before a reload can only ever be evaluated
+      // by the pre-swap snapshot and requests after by the new one.
+      if (queue_.front().kind == Work::Kind::kSwap) {
         batch.push_back(std::move(queue_.front()));
         queue_.pop_front();
+      } else {
+        const std::size_t take = std::min(options_.max_batch, queue_.size());
+        while (batch.size() < take &&
+               queue_.front().kind == Work::Kind::kCompute) {
+          batch.push_back(std::move(queue_.front()));
+          queue_.pop_front();
+          if (queue_.empty()) break;
+        }
       }
+      ++inflight_batches_;
       metrics_.queue_depth.set(static_cast<double>(queue_.size()));
     }
 
-    // Deadline gate: expired requests are answered here and never reach
-    // an engine worker.
-    const Clock::time_point now = Clock::now();
-    requests.clear();
-    live.clear();
-    for (Work& work : batch) {
-      if (work.has_deadline && now >= work.deadline) {
-        deadline_expired_.fetch_add(1, std::memory_order_relaxed);
-        metrics_.deadline_expired.inc();
-        BatchResponse expired;
-        expired.index = work.seq;
-        expired.config = work.request.config;
-        expired.workload = work.request.workload;
-        expired.mode = work.request.mode;
-        expired.ok = false;
-        expired.error = "deadline exceeded";
-        deliver(*work.conn, work.seq, response_to_jsonl(expired),
-                /*admitted=*/true);
-      } else {
-        live.push_back(&work);
-        requests.push_back(work.request);
+    process_batch(batch, requests, live);
+
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      --inflight_batches_;
+      if (draining_.load(std::memory_order_relaxed) && queue_.empty() &&
+          inflight_batches_ == 0) {
+        drain_cv_.notify_all();
       }
     }
-    if (live.empty()) continue;
+  }
+}
+
+void Daemon::process_batch(std::vector<Work>& batch,
+                           std::vector<BatchRequest>& requests,
+                           std::vector<Work*>& live) {
+  if (batch.front().kind == Work::Kind::kSwap) {
+    Work& work = batch.front();
+    // Publish atomically; in-flight engine runs finish on the snapshot
+    // they pinned (RCU by shared_ptr), new batches see the new model.
+    work.slot->engine->swap_model(std::move(work.new_model));
+    work.slot->reloads.inc();
+    if (work.conn != nullptr) {
+      deliver(*work.conn, work.seq, std::move(work.response_line),
+              /*admitted=*/true);
+    }
+    return;
+  }
+
+  // Deadline gate: expired requests are answered here and never reach
+  // an engine worker.  Re-checked HERE — after the queue wait — because
+  // a deadline that expired while the request sat in the admission
+  // queue must be answered "deadline exceeded", not computed.
+  const Clock::time_point now = Clock::now();
+  requests.clear();
+  live.clear();
+  for (Work& work : batch) {
+    if (work.has_deadline && now >= work.deadline) {
+      deadline_expired_.fetch_add(1, std::memory_order_relaxed);
+      metrics_.deadline_expired.inc();
+      BatchResponse expired;
+      expired.index = work.seq;
+      expired.config = work.request.config;
+      expired.workload = work.request.workload;
+      expired.mode = work.request.mode;
+      expired.ok = false;
+      expired.error = "deadline exceeded";
+      deliver(*work.conn, work.seq, response_to_jsonl(expired),
+              /*admitted=*/true);
+    } else {
+      live.push_back(&work);
+    }
+  }
+  if (live.empty()) return;
+
+  // Partition by model slot, preserving first-appearance order (the
+  // reorder buffer restores per-connection order either way; stable
+  // grouping just keeps the execution deterministic).  The common case
+  // — every request on the default slot — stays one engine run.
+  std::vector<std::pair<ModelSlot*, std::vector<Work*>>> groups;
+  for (Work* work : live) {
+    ModelSlot* slot = work->slot;
+    auto it = std::find_if(groups.begin(), groups.end(),
+                           [slot](const auto& g) { return g.first == slot; });
+    if (it == groups.end()) {
+      groups.emplace_back(slot, std::vector<Work*>{});
+      it = std::prev(groups.end());
+    }
+    it->second.push_back(work);
+  }
+
+  for (auto& [slot, works] : groups) {
+    requests.clear();
+    for (const Work* work : works) requests.push_back(work->request);
 
     std::vector<BatchResponse> responses;
     try {
-      responses = engine_->run(requests);
+      responses = slot->engine->run(requests);
     } catch (const std::exception& e) {
       // The engine isolates per-request failures; reaching here means
       // the whole batch failed (e.g. serial-path model error).  Every
       // admitted request still gets a structured answer — a resident
       // daemon never drops a response on the floor.
-      for (Work* work : live) {
+      for (Work* work : works) {
         BatchResponse failed;
         failed.index = work->seq;
         failed.config = work->request.config;
@@ -425,8 +765,8 @@ void Daemon::dispatch_loop() {
       continue;
     }
 
-    for (std::size_t i = 0; i < live.size(); ++i) {
-      Work* work = live[i];
+    for (std::size_t i = 0; i < works.size(); ++i) {
+      Work* work = works[i];
       // The engine numbers responses by batch position; rewrite to the
       // per-connection sequence so clients see `batch`-identical indices.
       responses[i].index = work->seq;
@@ -485,6 +825,7 @@ std::string Daemon::control_response_line(std::uint64_t seq,
     out += "\", \"connections\": " +
            std::to_string(active_.load(std::memory_order_relaxed));
     out += ", \"queue_depth\": " + std::to_string(depth);
+    out += ", \"models\": " + std::to_string(slots_.size());
     // Numeric tier (0 scalar / 1 sse2 / 2 avx2), not the name: golden
     // snapshots normalise numbers, so the schema stays host-independent.
     out += ", \"simd_tier\": " + std::to_string(static_cast<int>(

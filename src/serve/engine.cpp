@@ -37,9 +37,17 @@ PredictMode mode_from_string(std::string_view text) {
 namespace {
 
 // '\x1f' cannot appear in config/workload names; the mode tag makes the
-// key unique per response shape.
-std::string response_key(const BatchRequest& request) {
-  std::string key = request.config;
+// key unique per response shape.  The fingerprint leads the key so two
+// model snapshots can never alias a memo entry — de-routed, not
+// invalidated: swapping back to an identical archive re-hits its entries.
+std::string response_key(std::string_view fingerprint,
+                         const BatchRequest& request) {
+  std::string key;
+  key.reserve(fingerprint.size() + 3 + request.config.size() +
+              request.workload.size() + 16);
+  key += fingerprint;
+  key += '\x1f';
+  key += request.config;
   key += '\x1f';
   key += request.workload;
   key += '\x1f';
@@ -92,19 +100,36 @@ EvalCache::Stats BatchEngine::response_stats() const noexcept {
           response_misses_.load(std::memory_order_relaxed)};
 }
 
+void BatchEngine::swap_model(
+    std::shared_ptr<const core::AutoPowerModel> model) {
+  AP_REQUIRE(model != nullptr, "BatchEngine: null model");
+  std::lock_guard<std::mutex> lock(model_mu_);
+  model_ = std::move(model);
+}
+
+std::shared_ptr<const core::AutoPowerModel> BatchEngine::model() const {
+  std::lock_guard<std::mutex> lock(model_mu_);
+  return model_;
+}
+
+std::string BatchEngine::model_fingerprint() const {
+  return model()->fingerprint();
+}
+
 BatchResponse BatchEngine::handle(const BatchRequest& request,
                                   std::size_t index,
-                                  const sim::PerfSimulator& sim) {
+                                  const sim::PerfSimulator& sim,
+                                  const core::AutoPowerModel& model) {
   // Outside compute()'s try block: an injected failure here exercises the
   // worker-loop error isolation, not the per-request error reporting.
   AUTOPOWER_FAULT_POINT("serve.engine.handle");
   if (!options_.memoize_responses || request.mode == PredictMode::kTrace) {
-    BatchResponse resp = compute(request, sim);
+    BatchResponse resp = compute(request, sim, model);
     resp.index = index;
     return resp;
   }
 
-  const std::string key = response_key(request);
+  const std::string key = response_key(model.fingerprint(), request);
   ResponseShard& shard =
       response_shards_[std::hash<std::string>{}(key) %
                        response_shards_.size()];
@@ -121,7 +146,8 @@ BatchResponse BatchEngine::handle(const BatchRequest& request,
 
   // Compute outside the lock; on a racing miss the first insert wins and
   // both copies are bit-identical anyway (everything is deterministic).
-  auto computed = std::make_shared<const BatchResponse>(compute(request, sim));
+  auto computed =
+      std::make_shared<const BatchResponse>(compute(request, sim, model));
   if (!computed->ok) {
     // Never memoise a failed response: compute() folds transient faults
     // (allocation / injected failures) into ok == false, and publishing
@@ -156,7 +182,8 @@ BatchResponse BatchEngine::handle(const BatchRequest& request,
 }
 
 BatchResponse BatchEngine::compute(const BatchRequest& request,
-                                   const sim::PerfSimulator& sim) {
+                                   const sim::PerfSimulator& sim,
+                                   const core::AutoPowerModel& model) {
   BatchResponse resp;
   resp.config = request.config;
   resp.workload = request.workload;
@@ -176,16 +203,17 @@ BatchResponse BatchEngine::compute(const BatchRequest& request,
         contexts[w].program = program;
         contexts[w].events = windows[w];
       }
-      resp.trace_mw = model_->predict_trace(contexts);
+      resp.trace_mw = model.predict_trace(contexts);
       for (double mw : resp.trace_mw) resp.total_mw += mw;
       if (!resp.trace_mw.empty()) {
         resp.total_mw /= static_cast<double>(resp.trace_mw.size());
       }
     } else {
-      const auto ctx =
-          cache_.get_or_compute(request.config, request.workload, sim);
+      const auto ctx = cache_.get_or_compute(model.fingerprint(),
+                                             request.config,
+                                             request.workload, sim);
       if (request.mode == PredictMode::kPerComponent) {
-        const auto result = model_->predict(*ctx);
+        const auto result = model.predict(*ctx);
         resp.components.reserve(result.components.size());
         for (const auto& cp : result.components) {
           resp.components.push_back(
@@ -195,7 +223,7 @@ BatchResponse BatchEngine::compute(const BatchRequest& request,
         }
         resp.total_mw = result.total();
       } else {
-        resp.total_mw = model_->predict_total(*ctx);
+        resp.total_mw = model.predict_total(*ctx);
       }
     }
     resp.ok = true;
@@ -215,13 +243,17 @@ std::vector<BatchResponse> BatchEngine::run(
   metrics_.requests.add(requests.size());
   const auto run_start = std::chrono::steady_clock::now();
 
+  // Pin the published snapshot ONCE: a swap_model() landing mid-run can
+  // never tear this batch across two models.
+  const std::shared_ptr<const core::AutoPowerModel> pinned = model();
+
   const std::size_t workers =
       std::min(options_.threads, requests.size());
   if (workers <= 1) {
     sim::PerfSimulator sim(sim::SimOptions{}, structural_);
     for (std::size_t i = 0; i < requests.size(); ++i) {
       util::ScopedTimer timer(metrics_.request_latency_ns);
-      responses[i] = handle(requests[i], i, sim);
+      responses[i] = handle(requests[i], i, sim, *pinned);
     }
     finish_run(responses);
     return responses;
@@ -255,7 +287,7 @@ std::vector<BatchResponse> BatchEngine::run(
   std::atomic<std::size_t> next{0};
   util::ThreadPool pool(workers);
   for (std::size_t w = 0; w < workers; ++w) {
-    pool.submit([this, &requests, &responses, &next, run_start] {
+    pool.submit([this, &requests, &responses, &next, &pinned, run_start] {
       sim::PerfSimulator sim(sim::SimOptions{}, structural_);
       for (;;) {
         const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
@@ -275,7 +307,7 @@ std::vector<BatchResponse> BatchEngine::run(
         // next index instead of taking its remaining share of the batch
         // down with it.
         try {
-          responses[i] = handle(requests[i], i, sim);
+          responses[i] = handle(requests[i], i, sim, *pinned);
         } catch (const std::exception& e) {
           responses[i] = BatchResponse{};
           responses[i].index = i;

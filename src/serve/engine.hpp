@@ -1,7 +1,15 @@
 // Batch inference engine — fans a request list out across a thread pool.
 //
-// One engine wraps one immutable model snapshot (from serve::ModelRegistry
-// or any shared_ptr<const AutoPowerModel>) plus three sharded memo layers.
+// One engine wraps a PUBLISHED immutable model snapshot (from
+// serve::ModelRegistry or any shared_ptr<const AutoPowerModel>) plus three
+// sharded memo layers.  The snapshot is swappable (RCU by shared_ptr):
+// swap_model() atomically publishes a new handle, each run() pins the
+// snapshot once at entry, and in-flight batches finish on the handle they
+// pinned — so a hot-swap never tears a batch, and requests admitted before
+// the swap stay bit-identical to the old model's output.  Every memo key
+// (response memo, EvalCache) is qualified by the pinned model's archive
+// fingerprint, so entries filled under one model can never be served for
+// another — the stale-model hazard hot-swap would otherwise create.
 // run() executes every request and returns responses IN INPUT ORDER; each
 // worker thread owns a private PerfSimulator (the simulator's instance
 // memo is not thread-safe) while the serve::EvalCache deduplicates
@@ -26,7 +34,8 @@
 // worker simulators, and its response vector; the state shared across
 // calls — the EvalCache (sharded, internally locked), the response memo
 // (mutex per shard), the StructuralSimCache, and the hit/miss atomics —
-// is individually thread-safe, and the model snapshot is immutable.
+// is individually thread-safe, and each model snapshot is immutable
+// (swap_model() replaces the published handle; it never mutates a model).
 // Concurrent calls therefore stay bit-identical per call; only the
 // aggregate cache counters interleave.  (The daemon still funnels
 // requests through ONE dispatcher call at a time — not for safety, but
@@ -105,9 +114,23 @@ class BatchEngine {
   explicit BatchEngine(std::shared_ptr<const core::AutoPowerModel> model,
                        EngineOptions options = {});
 
-  /// Runs every request; responses are returned in input order.
+  /// Runs every request; responses are returned in input order.  The
+  /// published model snapshot is pinned ONCE at entry: the whole batch is
+  /// evaluated against one model even if swap_model() lands mid-run.
   [[nodiscard]] std::vector<BatchResponse> run(
       std::span<const BatchRequest> requests);
+
+  /// Atomically publishes a new model snapshot.  In-flight run() calls
+  /// finish on the handle they pinned; subsequent calls see `model`.
+  /// Memo entries from previous models stay resident but can never be
+  /// served (keys carry the archive fingerprint) — swapping back to a
+  /// model with an identical archive re-hits its old entries.
+  void swap_model(std::shared_ptr<const core::AutoPowerModel> model);
+
+  /// The currently published model snapshot.
+  [[nodiscard]] std::shared_ptr<const core::AutoPowerModel> model() const;
+  /// Archive fingerprint of the currently published snapshot.
+  [[nodiscard]] std::string model_fingerprint() const;
 
   [[nodiscard]] const EvalCache& cache() const noexcept { return cache_; }
   /// The structural sub-simulation cache shared by all worker simulators.
@@ -137,13 +160,18 @@ class BatchEngine {
 
   [[nodiscard]] BatchResponse handle(const BatchRequest& request,
                                      std::size_t index,
-                                     const sim::PerfSimulator& sim);
+                                     const sim::PerfSimulator& sim,
+                                     const core::AutoPowerModel& model);
   [[nodiscard]] BatchResponse compute(const BatchRequest& request,
-                                      const sim::PerfSimulator& sim);
+                                      const sim::PerfSimulator& sim,
+                                      const core::AutoPowerModel& model);
   /// Post-run bookkeeping: failed-request count and the structural-cache
   /// gauge export (no-op while metrics are disabled).
   void finish_run(std::span<const BatchResponse> responses);
 
+  // The published snapshot, guarded by a tiny mutex (a swap and a pin are
+  // both a shared_ptr copy; never held across any compute).
+  mutable std::mutex model_mu_;
   std::shared_ptr<const core::AutoPowerModel> model_;
   EngineOptions options_;
   EvalCache cache_;

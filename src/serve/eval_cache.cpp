@@ -12,11 +12,14 @@ namespace autopower::serve {
 
 namespace {
 
-// '\x1f' (unit separator) cannot appear in config or workload names, so
-// the concatenation is collision-free.
-std::string cache_key(const std::string& config, const std::string& workload) {
+// '\x1f' (unit separator) cannot appear in fingerprints (hex), config or
+// workload names, so the concatenation is collision-free.
+std::string cache_key(std::string_view fingerprint, const std::string& config,
+                      const std::string& workload) {
   std::string key;
-  key.reserve(config.size() + 1 + workload.size());
+  key.reserve(fingerprint.size() + 2 + config.size() + workload.size());
+  key += fingerprint;
+  key += '\x1f';
   key += config;
   key += '\x1f';
   key += workload;
@@ -48,9 +51,9 @@ EvalCache::Shard& EvalCache::shard_for(std::string_view key) noexcept {
 }
 
 std::shared_ptr<const core::EvalContext> EvalCache::get_or_compute(
-    const std::string& config, const std::string& workload,
-    const sim::PerfSimulator& sim) {
-  const std::string key = cache_key(config, workload);
+    std::string_view model_fingerprint, const std::string& config,
+    const std::string& workload, const sim::PerfSimulator& sim) {
+  const std::string key = cache_key(model_fingerprint, config, workload);
   Shard& shard = shard_for(key);
   {
     std::lock_guard lock(shard.mu);

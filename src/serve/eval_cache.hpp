@@ -1,4 +1,4 @@
-// Sharded (config, workload) → EvalContext cache.
+// Sharded (model fingerprint, config, workload) → EvalContext cache.
 //
 // Building an evaluation context — looking up the configuration and
 // workload, extracting program-level features, and above all running
@@ -37,11 +37,16 @@ class EvalCache {
   /// `shards` is clamped to at least 1.
   explicit EvalCache(std::size_t shards = 16);
 
-  /// Returns the cached context for (config, workload), computing it with
-  /// `sim` on a miss.  Throws util::Error for unknown names.
+  /// Returns the cached context for (model_fingerprint, config, workload),
+  /// computing it with `sim` on a miss.  Throws util::Error for unknown
+  /// names.  The fingerprint qualifies the key so entries filled while one
+  /// model was published can never be served for another after a hot-swap
+  /// (contexts are model-independent today, but the cache sits on the
+  /// serving path and the keying contract is: no memo outlives the model
+  /// that filled it).
   [[nodiscard]] std::shared_ptr<const core::EvalContext> get_or_compute(
-      const std::string& config, const std::string& workload,
-      const sim::PerfSimulator& sim);
+      std::string_view model_fingerprint, const std::string& config,
+      const std::string& workload, const sim::PerfSimulator& sim);
 
   /// Relaxed counters: approximate while callers are running, exact once
   /// they have quiesced.  A miss is counted only by the winning insert,

@@ -2,12 +2,22 @@
 
 #include <utility>
 
+#include "util/error.hpp"
+#include "util/metrics.hpp"
+
 namespace autopower::serve {
 
 ModelRegistry::ModelHandle ModelRegistry::load(const std::string& path) {
   auto model = std::make_shared<core::AutoPowerModel>();
   model->load_from_file(path);
   return model;  // converts to shared_ptr<const AutoPowerModel>
+}
+
+void ModelRegistry::update_gauge_locked() const {
+  if (!util::MetricsRegistry::enabled()) return;
+  util::MetricsRegistry::global()
+      .gauge("serve.registry.models")
+      .set(static_cast<double>(models_.size() + slots_.size()));
 }
 
 ModelRegistry::ModelHandle ModelRegistry::get(const std::string& path) {
@@ -19,11 +29,13 @@ ModelRegistry::ModelHandle ModelRegistry::get(const std::string& path) {
   }
   // Load outside the lock: archive reads are slow and must not block
   // concurrent lookups of already-published models.  If two threads race
-  // on the same cold path the first insert wins and both see one snapshot.
+  // on the same cold path the first insert wins and both see one snapshot;
+  // a load that throws unwinds before the emplace and publishes nothing.
   ModelHandle loaded = load(path);
   std::lock_guard lock(mu_);
   const auto [it, inserted] = models_.emplace(path, std::move(loaded));
   (void)inserted;
+  update_gauge_locked();
   return it->second;
 }
 
@@ -31,17 +43,104 @@ ModelRegistry::ModelHandle ModelRegistry::reload(const std::string& path) {
   ModelHandle loaded = load(path);
   std::lock_guard lock(mu_);
   models_[path] = loaded;
+  update_gauge_locked();
   return loaded;
 }
 
 void ModelRegistry::erase(const std::string& path) {
   std::lock_guard lock(mu_);
   models_.erase(path);
+  update_gauge_locked();
 }
 
 std::size_t ModelRegistry::size() const {
   std::lock_guard lock(mu_);
-  return models_.size();
+  return models_.size() + slots_.size();
+}
+
+ModelRegistry::ModelHandle ModelRegistry::open(const std::string& name,
+                                               const std::string& path) {
+  AP_REQUIRE(!name.empty(), "model slot name must not be empty");
+  {
+    std::lock_guard lock(mu_);
+    if (const auto it = slots_.find(name); it != slots_.end()) {
+      AP_REQUIRE(it->second.path == path,
+                 "model slot '" + name + "' already bound to " +
+                     (it->second.path.empty() ? "an in-memory model"
+                                              : it->second.path));
+      return it->second.model;
+    }
+  }
+  // Same convention as get(): the disk read happens outside mu_, the
+  // first insert wins, and a throwing load never publishes the slot.
+  ModelHandle loaded = load(path);
+  std::lock_guard lock(mu_);
+  const auto [it, inserted] = slots_.emplace(name, Slot{path, {}});
+  if (inserted) {
+    it->second.model = std::move(loaded);
+  } else {
+    AP_REQUIRE(it->second.path == path,
+               "model slot '" + name + "' already bound to " +
+                   (it->second.path.empty() ? "an in-memory model"
+                                            : it->second.path));
+  }
+  update_gauge_locked();
+  return it->second.model;
+}
+
+ModelRegistry::ModelHandle ModelRegistry::publish(const std::string& name,
+                                                  ModelHandle model) {
+  AP_REQUIRE(!name.empty(), "model slot name must not be empty");
+  AP_REQUIRE(model != nullptr, "cannot publish a null model");
+  std::lock_guard lock(mu_);
+  const auto [it, inserted] = slots_.emplace(name, Slot{"", model});
+  AP_REQUIRE(inserted, "model slot '" + name + "' already exists");
+  update_gauge_locked();
+  return it->second.model;
+}
+
+ModelRegistry::ModelHandle ModelRegistry::named(
+    const std::string& name) const {
+  std::lock_guard lock(mu_);
+  const auto it = slots_.find(name);
+  return it == slots_.end() ? nullptr : it->second.model;
+}
+
+std::string ModelRegistry::path_of(const std::string& name) const {
+  std::lock_guard lock(mu_);
+  const auto it = slots_.find(name);
+  AP_REQUIRE(it != slots_.end(), "unknown model slot: " + name);
+  return it->second.path;
+}
+
+ModelRegistry::ModelHandle ModelRegistry::reload_named(
+    const std::string& name) {
+  std::string path;
+  {
+    std::lock_guard lock(mu_);
+    const auto it = slots_.find(name);
+    AP_REQUIRE(it != slots_.end(), "unknown model slot: " + name);
+    AP_REQUIRE(!it->second.path.empty(),
+               "model slot '" + name + "' has no backing archive");
+    path = it->second.path;
+  }
+  // Disk read outside mu_; a throwing load leaves the old snapshot
+  // published (the caller sees the exception, clients see no change).
+  ModelHandle loaded = load(path);
+  std::lock_guard lock(mu_);
+  const auto it = slots_.find(name);
+  AP_REQUIRE(it != slots_.end(), "unknown model slot: " + name);
+  it->second.model = loaded;
+  update_gauge_locked();
+  return loaded;
+}
+
+std::vector<std::string> ModelRegistry::names() const {
+  std::lock_guard lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(slots_.size());
+  for (const auto& [name, slot] : slots_) out.push_back(name);
+  return out;
 }
 
 }  // namespace autopower::serve

@@ -9,6 +9,21 @@
 // and atomically swaps the published snapshot; callers that grabbed the
 // old snapshot keep a consistent model until they drop their handle
 // (read-copy-update by shared_ptr refcount).
+//
+// Two key spaces coexist:
+//   * path-keyed (`get` / `reload` / `erase`) — the original cache used by
+//     one-shot commands (`batch`, `sweep`): dedupes loads of one archive.
+//   * named slots (`open` / `publish` / `named` / `reload_named`) — the
+//     daemon's model zoo: a stable routing name bound to a backing archive
+//     path, so `--model name=path` slots can be re-read and hot-swapped by
+//     name while clients keep routing to the same `"model"` token.
+//
+// Locking convention (shared with StructuralSimCache and EvalCache): disk
+// I/O always happens OUTSIDE `mu_` — a slow archive read must not block
+// lookups of already-published models — and a cold-path race is resolved
+// by first-insert-wins publication, so a load that throws can never
+// publish a slot.  The gauge `serve.registry.models` tracks the number of
+// published snapshots across both key spaces.
 #pragma once
 
 #include <cstddef>
@@ -16,6 +31,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "core/autopower.hpp"
 
@@ -36,13 +52,47 @@ class ModelRegistry {
   /// already given out stay valid.
   void erase(const std::string& path);
 
+  /// Published snapshots across both key spaces.
   [[nodiscard]] std::size_t size() const;
 
+  /// Binds the slot `name` to the archive at `path` and publishes its
+  /// model (loaded outside the mutex; on a cold-path race the first
+  /// insert wins).  Re-opening an existing name with the same path
+  /// returns the already-published handle; a different path throws.
+  ModelHandle open(const std::string& name, const std::string& path);
+
+  /// Publishes an already-loaded model under `name` with no backing
+  /// archive.  reload_named() on such a slot throws — there is nothing
+  /// on disk to re-read.
+  ModelHandle publish(const std::string& name, ModelHandle model);
+
+  /// The slot's published snapshot, or nullptr for an unknown name.
+  [[nodiscard]] ModelHandle named(const std::string& name) const;
+
+  /// Backing archive path of a named slot; empty for publish()ed slots.
+  /// Throws for an unknown name.
+  [[nodiscard]] std::string path_of(const std::string& name) const;
+
+  /// Re-reads the slot's backing archive and atomically swaps the
+  /// published snapshot (the load happens outside the mutex; a failed
+  /// load leaves the old snapshot published).  Returns the new handle.
+  ModelHandle reload_named(const std::string& name);
+
+  /// Slot names in sorted order.
+  [[nodiscard]] std::vector<std::string> names() const;
+
  private:
+  struct Slot {
+    std::string path;  ///< backing archive; empty for publish()ed slots
+    ModelHandle model;
+  };
+
   static ModelHandle load(const std::string& path);
+  void update_gauge_locked() const;
 
   mutable std::mutex mu_;
-  std::map<std::string, ModelHandle> models_;
+  std::map<std::string, ModelHandle> models_;  ///< path-keyed cache
+  std::map<std::string, Slot> slots_;          ///< named slots
 };
 
 }  // namespace autopower::serve

@@ -316,7 +316,8 @@ SweepReport run_sweep(const core::AutoPowerModel& model, const SweepSpec& spec,
   std::unique_ptr<CheckpointWriter> checkpoint;
   if (!spec.checkpoint.empty()) {
     const std::string fingerprint =
-        sweep_fingerprint(spec.base, spec.axes, spec.workloads);
+        sweep_fingerprint(spec.base, spec.axes, spec.workloads,
+                          model.fingerprint());
     std::uint64_t keep_bytes = 0;
     if (spec.resume) {
       CheckpointReplay replay = load_checkpoint(spec.checkpoint, fingerprint,

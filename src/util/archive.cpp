@@ -28,6 +28,21 @@ double parse_double(const std::string& token, std::string_view tag) {
 
 }  // namespace
 
+std::string content_fingerprint(std::string_view bytes) {
+  // FNV-1a 64-bit, same constants as util::hash_str but over an arbitrary
+  // byte blob; rendered as fixed-width lowercase hex so fingerprints sort
+  // and compare as plain tokens in JSON and memo keys.
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(h));
+  return buf;
+}
+
 void ArchiveWriter::begin(std::string_view tag) {
   AP_REQUIRE(!tag.empty() &&
                  tag.find_first_of(" \t\n") == std::string_view::npos,

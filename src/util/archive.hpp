@@ -35,6 +35,13 @@ class ArchiveWriter {
   std::ostream& out_;
 };
 
+/// Content fingerprint of a serialized blob: 16 lowercase hex chars of a
+/// 64-bit FNV-1a hash.  Two archives fingerprint equal iff their bytes are
+/// equal, so the serving layer can use this as a model-identity token in
+/// cache keys (fingerprints of distinct archives collide only with hash
+/// probability, which is acceptable for cache partitioning, not security).
+[[nodiscard]] std::string content_fingerprint(std::string_view bytes);
+
 /// Reads tagged fields back, verifying each tag.
 class ArchiveReader {
  public:

@@ -16,6 +16,7 @@
 
 #include <sys/socket.h>
 #include <sys/wait.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <atomic>
@@ -61,31 +62,60 @@ core::AutoPowerOptions tiny_options() {
   return opt;
 }
 
-std::shared_ptr<const core::AutoPowerModel> tiny_model() {
-  static const auto* model = [] {
-    sim::SimOptions opt;
-    opt.sample_accesses = 400;
-    opt.sample_branches = 400;
-    sim::PerfSimulator sim(opt);
-    const power::GoldenPowerModel golden;
-    std::vector<core::EvalContext> ctxs;
-    for (const char* cfg_name : {"C1", "C15"}) {
-      const auto& cfg = arch::boom_config(cfg_name);
-      for (const char* wl_name : {"dhrystone", "qsort"}) {
-        const auto& wl = workload::workload_by_name(wl_name);
-        core::EvalContext ctx;
-        ctx.cfg = &cfg;
-        ctx.workload = wl.name;
-        ctx.program = workload::program_features(wl);
-        ctx.events = sim.simulate(cfg, wl);
-        ctxs.push_back(std::move(ctx));
-      }
+std::shared_ptr<const core::AutoPowerModel> train_tiny(
+    core::AutoPowerOptions opt) {
+  sim::SimOptions sopt;
+  sopt.sample_accesses = 400;
+  sopt.sample_branches = 400;
+  sim::PerfSimulator sim(sopt);
+  const power::GoldenPowerModel golden;
+  std::vector<core::EvalContext> ctxs;
+  for (const char* cfg_name : {"C1", "C15"}) {
+    const auto& cfg = arch::boom_config(cfg_name);
+    for (const char* wl_name : {"dhrystone", "qsort"}) {
+      const auto& wl = workload::workload_by_name(wl_name);
+      core::EvalContext ctx;
+      ctx.cfg = &cfg;
+      ctx.workload = wl.name;
+      ctx.program = workload::program_features(wl);
+      ctx.events = sim.simulate(cfg, wl);
+      ctxs.push_back(std::move(ctx));
     }
-    auto m = std::make_shared<core::AutoPowerModel>(tiny_options());
-    m->train(ctxs, golden, 1);
-    return new std::shared_ptr<const core::AutoPowerModel>(std::move(m));
-  }();
+  }
+  auto m = std::make_shared<core::AutoPowerModel>(opt);
+  m->train(ctxs, golden, 1);
+  return m;
+}
+
+std::shared_ptr<const core::AutoPowerModel> tiny_model() {
+  static const auto* model = new std::shared_ptr<const core::AutoPowerModel>(
+      train_tiny(tiny_options()));
   return *model;
+}
+
+/// Same training data, different hyper-parameters: a distinct archive
+/// fingerprint AND distinct predictions, so a response served by the
+/// wrong model can never accidentally equal the right one.
+std::shared_ptr<const core::AutoPowerModel> variant_model() {
+  static const auto* model = new std::shared_ptr<const core::AutoPowerModel>(
+      [] {
+        auto opt = tiny_options();
+        opt.clock.gbt.num_rounds = 5;
+        opt.sram.gbt.num_rounds = 5;
+        opt.logic.gbt.num_rounds = 5;
+        return train_tiny(opt);
+      }());
+  return *model;
+}
+
+/// Writes a model's archive to a per-process temp path (overwriting any
+/// previous contents) and returns the path.
+std::string write_archive(const core::AutoPowerModel& model,
+                          const std::string& filename) {
+  const std::string path = ::testing::TempDir() + "autopower_daemon_" +
+                           std::to_string(::getpid()) + "_" + filename;
+  model.save_to_file(path);
+  return path;
 }
 
 // --- Daemon + client plumbing ------------------------------------------------
@@ -96,6 +126,9 @@ struct DaemonRunner {
   explicit DaemonRunner(DaemonOptions options = {})
       : daemon(tiny_model(), options),
         server([this] { daemon.serve(); }) {}
+  DaemonRunner(const std::vector<ModelSpec>& specs,
+               DaemonOptions options = {})
+      : daemon(specs, options), server([this] { daemon.serve(); }) {}
   ~DaemonRunner() { stop(); }
 
   void stop() {
@@ -163,6 +196,22 @@ std::string request_line(const BatchRequest& request) {
          std::string(to_string(request.mode)) + "\"}";
 }
 
+/// Request line routed to a named model slot.
+std::string request_line(const BatchRequest& request,
+                         const std::string& model) {
+  return std::string("{\"model\": \"") + model + "\", \"config\": \"" +
+         request.config + "\", \"workload\": \"" + request.workload +
+         "\", \"mode\": \"" + std::string(to_string(request.mode)) + "\"}";
+}
+
+/// Rewrites an oracle line's leading {"index": N, ...} to the request's
+/// position on its daemon connection (control lines and interleaving
+/// shift compute indices relative to the offline batch).
+std::string with_index(const std::string& line, std::size_t index) {
+  const auto comma = line.find(',');
+  return "{\"index\": " + std::to_string(index) + line.substr(comma);
+}
+
 std::vector<BatchRequest> sample_requests(std::size_t n) {
   std::vector<BatchRequest> reqs;
   const char* configs[] = {"C2", "C5", "C9", "C13"};
@@ -175,14 +224,22 @@ std::vector<BatchRequest> sample_requests(std::size_t n) {
   return reqs;
 }
 
-/// What `autopower batch` would print for this request stream: the
-/// bit-identity oracle for every daemon response test.
-std::vector<std::string> batch_oracle(const std::vector<BatchRequest>& reqs) {
-  BatchEngine engine(tiny_model(), {});
+/// What `autopower batch` would print for this request stream under the
+/// given model: the bit-identity oracle for every daemon response test.
+/// (Archive doubles round-trip exactly via hex-float, so a daemon that
+/// loaded the model from disk matches an in-memory oracle bit for bit.)
+std::vector<std::string> batch_oracle(
+    std::shared_ptr<const core::AutoPowerModel> model,
+    const std::vector<BatchRequest>& reqs) {
+  BatchEngine engine(std::move(model), {});
   const auto responses = engine.run(reqs);
   std::vector<std::string> lines;
   for (const auto& r : responses) lines.push_back(response_to_jsonl(r));
   return lines;
+}
+
+std::vector<std::string> batch_oracle(const std::vector<BatchRequest>& reqs) {
+  return batch_oracle(tiny_model(), reqs);
 }
 
 bool response_ok(const std::string& line) {
@@ -511,6 +568,236 @@ TEST_F(DaemonTest, StopIsIdempotentAndStatsSettle) {
   EXPECT_EQ(stats.active, 0u);
   EXPECT_EQ(stats.requests, 6u);
   EXPECT_EQ(stats.shed, 0u);
+}
+
+// --- Deadline re-check after queue wait --------------------------------------
+
+TEST_F(DaemonTest, DeadlineIsRecheckedAfterQueueWait) {
+  DaemonOptions options;
+  options.engine.threads = 1;
+  options.max_batch = 1;
+  DaemonRunner runner(options);
+
+  // Three uncached trace simulations occupy the single engine thread for
+  // far longer than the 50 ms deadline, and max_batch 1 keeps the
+  // deadlined request out of their batches.  It is admitted immediately
+  // (50 ms have NOT passed at the admission-time check), so the only
+  // place it can expire is the dispatcher's re-check after the queue
+  // wait — the regression this test pins: a request must never burn an
+  // engine worker after its caller already gave up on it.
+  const std::vector<std::string> lines = {
+      "{\"config\": \"C2\", \"workload\": \"multiply\", \"mode\": \"trace\"}",
+      "{\"config\": \"C5\", \"workload\": \"median\", \"mode\": \"trace\"}",
+      "{\"config\": \"C9\", \"workload\": \"multiply\", \"mode\": \"trace\"}",
+      "{\"config\": \"C13\", \"workload\": \"qsort\", \"deadline_ms\": 50}",
+  };
+  const auto got = roundtrip(runner.daemon.port(), lines);
+  ASSERT_EQ(got.size(), 4u);
+  for (int i = 0; i < 3; ++i) EXPECT_TRUE(response_ok(got[i])) << got[i];
+  EXPECT_EQ(response_error(got[3]), "deadline exceeded");
+  EXPECT_EQ(runner.daemon.stats().deadline_expired, 1u);
+}
+
+// --- Two-phase drain: health keeps answering ---------------------------------
+
+TEST_F(DaemonTest, HealthDuringDrainReportsDraining) {
+  DaemonOptions options;
+  options.engine.threads = 1;
+  options.max_batch = 1;
+  DaemonRunner runner(options);
+
+  // Park slow traces in the queue, then start the drain while they are
+  // still in flight.  Phase 1 keeps reading from live connections: a
+  // health probe must still be answered — reporting "draining", the
+  // signal a load balancer keys off — while a NEW compute line is
+  // refused with a structured error instead of being admitted.
+  const std::vector<std::string> lines = {
+      "{\"config\": \"C2\", \"workload\": \"multiply\", \"mode\": \"trace\"}",
+      "{\"config\": \"C5\", \"workload\": \"median\", \"mode\": \"trace\"}",
+      "{\"config\": \"C9\", \"workload\": \"multiply\", \"mode\": \"trace\"}",
+  };
+  net::Socket sock = net::connect_loopback(runner.daemon.port());
+  std::string blob;
+  for (const auto& l : lines) blob += l + "\n";
+  raw_send(sock.fd(), blob);
+  while (runner.daemon.stats().requests < lines.size()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  runner.daemon.notify_stop();
+  raw_send(sock.fd(), "{\"cmd\": \"health\"}\n");
+  raw_send(sock.fd(), request_line(sample_requests(1)[0]) + "\n");
+  ::shutdown(sock.fd(), SHUT_WR);
+  const auto got = read_all_lines(sock.fd());
+  runner.stop();
+
+  ASSERT_EQ(got.size(), 5u);
+  for (int i = 0; i < 3; ++i) EXPECT_TRUE(response_ok(got[i])) << got[i];
+  EXPECT_NE(got[3].find("\"status\": \"draining\""), std::string::npos)
+      << got[3];
+  EXPECT_EQ(response_error(got[4]), "draining");
+}
+
+// --- Multi-model routing and hot-swap ----------------------------------------
+
+TEST_F(DaemonTest, UnknownModelAnswersStructuredErrorAndKeepsServing) {
+  const std::string path = write_archive(*tiny_model(), "unknown.ap");
+  DaemonRunner runner(std::vector<ModelSpec>{{"main", path}});
+  const auto req = sample_requests(1)[0];
+  const std::vector<std::string> lines = {
+      request_line(req, "nope"),   // unknown slot
+      request_line(req, "main"),   // explicit route
+      request_line(req),           // default route (first spec)
+  };
+  const auto got = roundtrip(runner.daemon.port(), lines);
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(response_error(got[0]), "unknown_model");
+  const auto oracle = batch_oracle({req});
+  EXPECT_EQ(got[1], with_index(oracle[0], 1));
+  EXPECT_EQ(got[2], with_index(oracle[0], 2));
+  std::remove(path.c_str());
+}
+
+TEST_F(DaemonTest, TwoModelRoutingNeverAliasesSharedCaches) {
+  ASSERT_NE(tiny_model()->fingerprint(), variant_model()->fingerprint());
+  const std::string path_a = write_archive(*tiny_model(), "route_a.ap");
+  const std::string path_b = write_archive(*variant_model(), "route_b.ap");
+  DaemonOptions options;
+  options.engine.threads = 2;
+  DaemonRunner runner({{"a", path_a}, {"b", path_b}}, options);
+
+  // The SAME (config, workload, mode) stream routed to both slots,
+  // interleaved on one connection.  Every response must match its own
+  // model's offline batch output: under pre-fingerprint memo keying the
+  // second slot would replay the first slot's cached numbers.
+  const auto requests = sample_requests(8);
+  std::vector<std::string> lines;
+  for (const auto& r : requests) {
+    lines.push_back(request_line(r, "a"));
+    lines.push_back(request_line(r, "b"));
+  }
+  const auto got = roundtrip(runner.daemon.port(), lines);
+  ASSERT_EQ(got.size(), 2 * requests.size());
+  const auto oracle_a = batch_oracle(tiny_model(), requests);
+  const auto oracle_b = batch_oracle(variant_model(), requests);
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    EXPECT_EQ(got[2 * i], with_index(oracle_a[i], 2 * i)) << "slot a, " << i;
+    EXPECT_EQ(got[2 * i + 1], with_index(oracle_b[i], 2 * i + 1))
+        << "slot b, " << i;
+  }
+  std::remove(path_a.c_str());
+  std::remove(path_b.c_str());
+}
+
+TEST_F(DaemonTest, ReloadMidStreamHalvesBitIdenticalToEachModel) {
+  const std::string live = write_archive(*tiny_model(), "live.ap");
+  DaemonRunner runner(std::vector<ModelSpec>{{"m", live}});
+  // Overwrite the backing archive while the daemon serves the old
+  // snapshot: nothing may change until the reload lands.
+  variant_model()->save_to_file(live);
+
+  // [old-model half | reload | new-model half] on ONE connection: the
+  // swap linearizes with admission, so the halves must be bit-identical
+  // to each model's offline batch — no response computed by a half-
+  // swapped zoo, no stale memo entry crossing the boundary.
+  const auto requests = sample_requests(8);
+  std::vector<std::string> lines;
+  for (const auto& r : requests) lines.push_back(request_line(r));
+  lines.push_back("{\"cmd\": \"reload\"}");
+  for (const auto& r : requests) lines.push_back(request_line(r));
+
+  const auto got = roundtrip(runner.daemon.port(), lines);
+  ASSERT_EQ(got.size(), 2 * requests.size() + 1);
+  const auto before = batch_oracle(tiny_model(), requests);
+  const auto after = batch_oracle(variant_model(), requests);
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    EXPECT_EQ(got[i], before[i]) << "pre-reload line " << i;
+    EXPECT_EQ(got[requests.size() + 1 + i],
+              with_index(after[i], requests.size() + 1 + i))
+        << "post-reload line " << i;
+  }
+  const auto reload = JsonValue::parse(got[requests.size()]);
+  ASSERT_NE(reload.find("ok"), nullptr) << got[requests.size()];
+  EXPECT_TRUE(reload.find("ok")->as_bool()) << got[requests.size()];
+  ASSERT_NE(reload.find("fingerprint"), nullptr);
+  EXPECT_EQ(reload.find("fingerprint")->as_string(),
+            variant_model()->fingerprint());
+  std::remove(live.c_str());
+}
+
+TEST_F(DaemonTest, ConcurrentClientDuringReloadSeesOnlyWholeModels) {
+  const std::string live = write_archive(*tiny_model(), "churn.ap");
+  DaemonOptions options;
+  options.engine.threads = 2;
+  DaemonRunner runner({{"m", live}}, options);
+
+  // A churner flips the backing archive between the two models and
+  // reloads in a tight loop while a probe client streams requests.  The
+  // interesting interleavings (swap vs. batch formation vs. memo fills,
+  // under TSan in check.sh) are exercised by construction; the observable
+  // contract is that EVERY response equals one model's oracle line in
+  // full — a batch torn across the swap or an aliased memo entry would
+  // produce a line matching neither.
+  std::atomic<bool> done{false};
+  std::thread churner([&] {
+    bool use_variant = true;
+    while (!done.load(std::memory_order_relaxed)) {
+      (use_variant ? variant_model() : tiny_model())->save_to_file(live);
+      use_variant = !use_variant;
+      const auto resp =
+          roundtrip(runner.daemon.port(), {"{\"cmd\": \"reload\"}"});
+      EXPECT_EQ(resp.size(), 1u);  // ok or a clean torn-read error line
+    }
+  });
+
+  const auto requests = sample_requests(24);
+  std::vector<std::string> lines;
+  for (const auto& r : requests) lines.push_back(request_line(r));
+  const auto oracle_a = batch_oracle(tiny_model(), requests);
+  const auto oracle_b = batch_oracle(variant_model(), requests);
+  const auto got = roundtrip(runner.daemon.port(), lines);
+  done.store(true, std::memory_order_relaxed);
+  churner.join();
+
+  ASSERT_EQ(got.size(), requests.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_TRUE(got[i] == oracle_a[i] || got[i] == oracle_b[i])
+        << "line " << i << " matches neither model: " << got[i];
+  }
+  std::remove(live.c_str());
+}
+
+TEST_F(DaemonTest, NotifyReloadSwapsEveryDiskBackedSlot) {
+  const std::string path_a = write_archive(*tiny_model(), "hup_a.ap");
+  const std::string path_b = write_archive(*tiny_model(), "hup_b.ap");
+  DaemonRunner runner({{"a", path_a}, {"b", path_b}});
+
+  const auto req = sample_requests(1)[0];
+  const std::vector<std::string> lines = {request_line(req, "a"),
+                                          request_line(req, "b")};
+  const auto old_oracle = batch_oracle(tiny_model(), {req});
+  EXPECT_EQ(roundtrip(runner.daemon.port(), lines),
+            (std::vector<std::string>{with_index(old_oracle[0], 0),
+                                      with_index(old_oracle[0], 1)}));
+
+  // SIGHUP path: notify_reload() re-reads EVERY disk-backed slot.  The
+  // acceptor thread applies it asynchronously, so poll until both slots
+  // serve the new snapshot.
+  variant_model()->save_to_file(path_a);
+  variant_model()->save_to_file(path_b);
+  runner.daemon.notify_reload();
+
+  const auto new_oracle = batch_oracle(variant_model(), {req});
+  const std::vector<std::string> want = {with_index(new_oracle[0], 0),
+                                         with_index(new_oracle[0], 1)};
+  std::vector<std::string> got;
+  for (int i = 0; i < 5000; ++i) {
+    got = roundtrip(runner.daemon.port(), lines);
+    if (got == want) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(got, want);
+  std::remove(path_a.c_str());
+  std::remove(path_b.c_str());
 }
 
 // --- CLI flag validation (subprocess; exits before model load) ---------------

@@ -308,15 +308,15 @@ TEST(FaultEvalCache, ThrowingComputeLeavesNoPartialEntry) {
   {
     fault::ScopedFault armed("serve.eval_cache.compute",
                              fault::Trigger::countdown(1));
-    EXPECT_THROW((void)cache.get_or_compute("C3", "dhrystone", sim),
+    EXPECT_THROW((void)cache.get_or_compute("feedfacefeedface", "C3", "dhrystone", sim),
                  fault::FaultInjected);
   }
   EXPECT_EQ(cache.size(), 0u);  // nothing published
   // Recovery: the same key computes fine afterwards and is cached.
-  const auto ctx = cache.get_or_compute("C3", "dhrystone", sim);
+  const auto ctx = cache.get_or_compute("feedfacefeedface", "C3", "dhrystone", sim);
   ASSERT_NE(ctx, nullptr);
   EXPECT_EQ(cache.size(), 1u);
-  const auto again = cache.get_or_compute("C3", "dhrystone", sim);
+  const auto again = cache.get_or_compute("feedfacefeedface", "C3", "dhrystone", sim);
   EXPECT_EQ(ctx.get(), again.get());  // served from cache
   EXPECT_EQ(cache.stats().hits, 1u);
 }
@@ -327,11 +327,11 @@ TEST(FaultEvalCache, ThrowingInsertLeavesNoPartialEntry) {
   {
     fault::ScopedFault armed("serve.eval_cache.insert",
                              fault::Trigger::countdown(1));
-    EXPECT_THROW((void)cache.get_or_compute("C5", "qsort", sim),
+    EXPECT_THROW((void)cache.get_or_compute("feedfacefeedface", "C5", "qsort", sim),
                  fault::FaultInjected);
   }
   EXPECT_EQ(cache.size(), 0u);
-  const auto ctx = cache.get_or_compute("C5", "qsort", sim);
+  const auto ctx = cache.get_or_compute("feedfacefeedface", "C5", "qsort", sim);
   ASSERT_NE(ctx, nullptr);
   EXPECT_EQ(cache.size(), 1u);
 }
@@ -533,6 +533,38 @@ TEST(FaultArchive, ReadFaultThrowsCleanlyMidLoad) {
   fault::ScopedFault armed("util.archive.read",
                            fault::Trigger::countdown(4));
   EXPECT_THROW(loaded.load(reader), fault::FaultInjected);
+}
+
+// The registry's first-insert-wins publication contract: a load that
+// throws (here: an injected archive-read failure) must never publish a
+// named slot — no half-loaded model may become routable, and the slot
+// name stays free for a later, successful open.  Reuses the existing
+// util.archive.read site; no registry-private fault point is needed.
+TEST_F(FaultCliTest, RegistryThrowingLoadNeverPublishesSlot) {
+  serve::ModelRegistry registry;
+  {
+    fault::ScopedFault armed("util.archive.read",
+                             fault::Trigger::countdown(1));
+    EXPECT_THROW((void)registry.open("boom", model_path()),
+                 fault::FaultInjected);
+  }
+  EXPECT_EQ(registry.named("boom"), nullptr);
+  EXPECT_EQ(registry.size(), 0u);
+  EXPECT_TRUE(registry.names().empty());
+
+  // Recovery: the same name binds fine once the fault clears, and a
+  // subsequent armed reload_named keeps the published snapshot.
+  const auto model = registry.open("boom", model_path());
+  ASSERT_NE(model, nullptr);
+  EXPECT_EQ(registry.size(), 1u);
+  {
+    fault::ScopedFault armed("util.archive.read",
+                             fault::Trigger::countdown(1));
+    EXPECT_THROW((void)registry.reload_named("boom"),
+                 fault::FaultInjected);
+  }
+  EXPECT_EQ(registry.named("boom").get(), model.get());
+  EXPECT_EQ(registry.named("boom")->fingerprint(), model->fingerprint());
 }
 
 // ---------------------------------------------------------------------

@@ -87,6 +87,15 @@ std::string normalize_numbers(const std::string& text) {
   return std::regex_replace(text, number, "$1#");
 }
 
+/// Replace model-archive fingerprints (16 hex chars) with a stable
+/// token: the fingerprint is a content hash of the trained archive, and
+/// training embeds nothing volatile, but pinning the exact hash would
+/// make every intentional model-format change ripple into this golden.
+std::string normalize_fingerprints(const std::string& text) {
+  static const std::regex fp(R"("fingerprint": "[0-9a-f]{16}")");
+  return std::regex_replace(text, fp, R"("fingerprint": "<FP>")");
+}
+
 /// Compare `actual` against tests/golden/<name>, or rewrite the
 /// snapshot when --update-golden was passed.
 void check_golden(const std::string& name, const std::string& actual) {
@@ -196,15 +205,18 @@ TEST_F(GoldenCliTest, DaemonControlSchema) {
   const pid_t pid = fork();
   ASSERT_GE(pid, 0);
   if (pid == 0) {
-    const std::string model_path = model();
+    // Two named slots backed by the same archive: the golden pins the
+    // multi-model wire schema, not any per-model numeric difference.
+    const std::string main_spec = "main=" + model();
+    const std::string alt_spec = "alt=" + model();
     const std::string port_str = std::to_string(port);
     ::execl(AUTOPOWER_CLI_PATH, "autopower", "serve", "--model",
-            model_path.c_str(), "--port", port_str.c_str(),
-            static_cast<char*>(nullptr));
+            main_spec.c_str(), "--model", alt_spec.c_str(), "--port",
+            port_str.c_str(), static_cast<char*>(nullptr));
     _exit(127);  // exec failed
   }
 
-  // The daemon loads the model before it binds; retry-connect until the
+  // The daemon loads the models before it binds; retry-connect until the
   // listener is up.
   net::Socket sock;
   for (int attempt = 0; attempt < 200 && !sock.valid(); ++attempt) {
@@ -216,31 +228,97 @@ TEST_F(GoldenCliTest, DaemonControlSchema) {
   }
   ASSERT_TRUE(sock.valid()) << "daemon never started listening";
 
-  // health + one compute first, and READ both before asking for metrics:
-  // the metrics snapshot is taken when its line is parsed, so the
-  // compute must have fully finished for the instrument key set (the
-  // schema under test) to be deterministic.
+  // health, a routed compute, an unknown-model compute, and a reload —
+  // all READ before asking for metrics: the metrics snapshot is taken
+  // when its line is parsed, so the earlier requests must have fully
+  // finished for the instrument key set (the schema under test) to be
+  // deterministic.
   net::LineReader reader(sock.fd());
   std::string health;
   std::string compute;
+  std::string unknown;
+  std::string reload;
   std::string metrics;
   net::write_line(sock.fd(), R"({"cmd": "health"})");
-  net::write_line(sock.fd(), R"({"config": "C2", "workload": "dhrystone"})");
+  net::write_line(
+      sock.fd(), R"({"config": "C2", "workload": "dhrystone", "model": "alt"})");
+  net::write_line(
+      sock.fd(), R"({"config": "C2", "workload": "dhrystone", "model": "xx"})");
+  net::write_line(sock.fd(), R"({"cmd": "reload", "model": "alt"})");
   ASSERT_TRUE(reader.next_line(health));
   ASSERT_TRUE(reader.next_line(compute));
+  ASSERT_TRUE(reader.next_line(unknown));
+  ASSERT_TRUE(reader.next_line(reload));
   net::write_line(sock.fd(), R"({"cmd": "metrics"})");
   ASSERT_TRUE(reader.next_line(metrics));
-  sock.close();
+
+  // Draining health: queue enough uncached trace simulations to hold
+  // the drain's phase 1 open, SIGTERM, wait until the listener is
+  // provably closed (a fresh connect refuses — the drain flag is set
+  // before the close), then ask for health on the surviving connection.
+  int queued = 0;
+  for (const char* config :
+       {"C3", "C4", "C5", "C6", "C7", "C8", "C9", "C10", "C11", "C12"}) {
+    for (const char* workload : {"multiply", "median"}) {
+      net::write_line(sock.fd(),
+                      std::string("{\"config\": \"") + config +
+                          "\", \"workload\": \"" + workload +
+                          "\", \"mode\": \"trace\"}");
+      ++queued;
+    }
+  }
+
+  // The hold is only deterministic if the traces are ADMITTED before the
+  // drain flag flips (a drain that wins the race answers them all
+  // "draining" inline and phase 1 finishes with nothing queued).  The
+  // daemon.requests counter ticks at parse time, so polling metrics on a
+  // second connection until it reaches 2 + queued proves every trace
+  // line is past admission.  From there the window is compute-bound:
+  // the queued simulations take hundreds of milliseconds, the refused-
+  // connect probe and health write microseconds.
+  {
+    net::Socket meter = net::connect_loopback(port);
+    net::LineReader meter_reader(meter.fd());
+    const std::string want =
+        "\"daemon.requests\":" + std::to_string(2 + queued) + ",";
+    std::string snapshot;
+    for (int attempt = 0; attempt < 2000; ++attempt) {
+      net::write_line(meter.fd(), R"({"cmd": "metrics"})");
+      ASSERT_TRUE(meter_reader.next_line(snapshot));
+      if (snapshot.find(want) != std::string::npos) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    ASSERT_NE(snapshot.find(want), std::string::npos)
+        << "traces never fully admitted: " << snapshot;
+  }
 
   ::kill(pid, SIGTERM);
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    try {
+      net::Socket probe2 = net::connect_loopback(port);
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    } catch (const autopower::util::Error&) {
+      break;  // refused: the drain has started
+    }
+  }
+  net::write_line(sock.fd(), R"({"cmd": "health"})");
+  std::string line;
+  for (int i = 0; i < queued; ++i) {
+    ASSERT_TRUE(reader.next_line(line)) << "compute response " << i;
+  }
+  std::string draining_health;
+  ASSERT_TRUE(reader.next_line(draining_health));
+  sock.close();
+
   int status = 0;
   ASSERT_EQ(::waitpid(pid, &status, 0), pid);
   ASSERT_TRUE(WIFEXITED(status)) << "daemon did not exit cleanly";
   EXPECT_EQ(WEXITSTATUS(status), 0);  // graceful SIGTERM drain exits 0
 
   check_golden("daemon_control_schema.golden",
-               normalize_numbers(health + "\n" + compute + "\n" + metrics +
-                                 "\n"));
+               normalize_fingerprints(normalize_numbers(
+                   health + "\n" + compute + "\n" + unknown + "\n" + reload +
+                   "\n" + metrics + "\n" + draining_health + "\n")));
 }
 
 TEST_F(GoldenCliTest, SweepJsonlReport) {

@@ -85,6 +85,26 @@ TEST_F(PersistenceTest, FileRoundTrip) {
   std::remove(path.c_str());
 }
 
+TEST_F(PersistenceTest, FingerprintSurvivesRoundTripAndIsWellFormed) {
+  // The fingerprint is a content hash of the serialized archive, so a
+  // trained model and every copy loaded from its archive agree — that
+  // equality is what lets serving memo keys built before a save/load
+  // boundary stay valid across it.
+  const std::string& fp = model_->fingerprint();
+  ASSERT_EQ(fp.size(), 16u);
+  EXPECT_EQ(fp.find_first_not_of("0123456789abcdef"), std::string::npos);
+
+  std::stringstream buf;
+  model_->save(buf);
+  core::AutoPowerModel restored;
+  restored.load(buf);
+  EXPECT_EQ(restored.fingerprint(), fp);
+
+  // Untrained models have no archive and therefore no identity.
+  core::AutoPowerModel fresh;
+  EXPECT_TRUE(fresh.fingerprint().empty());
+}
+
 TEST_F(PersistenceTest, SaveUntrainedThrows) {
   core::AutoPowerModel fresh;
   std::stringstream buf;

@@ -208,28 +208,96 @@ TEST_F(RegistryTest, MissingArchiveThrows) {
   EXPECT_THROW((void)registry.get("/nonexistent/model.ap"), util::Error);
 }
 
+TEST_F(RegistryTest, NamedSlotsBindReloadAndEnumerate) {
+  const auto path = (std::filesystem::temp_directory_path() /
+                     "autopower_registry_slot_test.ap")
+                        .string();
+  model()->save_to_file(path);
+
+  ModelRegistry registry;
+  const auto a = registry.open("boom_a", path);
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(registry.named("boom_a").get(), a.get());
+  EXPECT_EQ(registry.path_of("boom_a"), path);
+  EXPECT_EQ(registry.size(), 1u);
+
+  // Re-opening the same binding is idempotent; rebinding to a different
+  // archive is a configuration error, not a silent swap.
+  EXPECT_EQ(registry.open("boom_a", path).get(), a.get());
+  EXPECT_THROW((void)registry.open("boom_a", "/elsewhere/model.ap"),
+               util::Error);
+
+  // reload_named publishes a fresh snapshot under the same name; old
+  // handles stay valid (RCU by shared_ptr).
+  const auto b = registry.reload_named("boom_a");
+  EXPECT_NE(a.get(), b.get());
+  EXPECT_EQ(registry.named("boom_a").get(), b.get());
+  EXPECT_EQ(a->fingerprint(), b->fingerprint());  // same archive bytes
+
+  EXPECT_EQ(registry.named("nope"), nullptr);
+  EXPECT_THROW((void)registry.path_of("nope"), util::Error);
+  EXPECT_THROW((void)registry.reload_named("nope"), util::Error);
+
+  const auto names = registry.names();
+  ASSERT_EQ(names.size(), 1u);
+  EXPECT_EQ(names[0], "boom_a");
+  std::remove(path.c_str());
+}
+
+TEST_F(RegistryTest, PublishedSlotHasNoBackingArchive) {
+  ModelRegistry registry;
+  const auto handle = registry.publish("inline", model());
+  EXPECT_EQ(handle.get(), model().get());
+  EXPECT_EQ(registry.named("inline").get(), model().get());
+  EXPECT_EQ(registry.path_of("inline"), "");
+  EXPECT_EQ(registry.size(), 1u);
+  // Nothing on disk to re-read: reload must refuse, and the published
+  // snapshot must survive the refusal.
+  EXPECT_THROW((void)registry.reload_named("inline"), util::Error);
+  EXPECT_EQ(registry.named("inline").get(), model().get());
+}
+
 // --- EvalCache ---------------------------------------------------------------
+
+constexpr std::string_view kFpA = "aaaaaaaaaaaaaaaa";
+constexpr std::string_view kFpB = "bbbbbbbbbbbbbbbb";
 
 TEST(EvalCacheTest, MissThenHitReturnsSameContext) {
   EvalCache cache(4);
   sim::PerfSimulator sim;
-  const auto a = cache.get_or_compute("C3", "dhrystone", sim);
-  const auto b = cache.get_or_compute("C3", "dhrystone", sim);
+  const auto a = cache.get_or_compute(kFpA, "C3", "dhrystone", sim);
+  const auto b = cache.get_or_compute(kFpA, "C3", "dhrystone", sim);
   EXPECT_EQ(a.get(), b.get());
   EXPECT_EQ(cache.stats().misses, 1u);
   EXPECT_EQ(cache.stats().hits, 1u);
   EXPECT_EQ(cache.size(), 1u);
 
-  (void)cache.get_or_compute("C4", "qsort", sim);
+  (void)cache.get_or_compute(kFpA, "C4", "qsort", sim);
   EXPECT_EQ(cache.size(), 2u);
   cache.clear();
   EXPECT_EQ(cache.size(), 0u);
 }
 
+TEST(EvalCacheTest, DistinctModelFingerprintsNeverAlias) {
+  // Regression for the stale-model serving bug: before fingerprints were
+  // part of the key, two models sharing one cache would serve each
+  // other's entries for the same (config, workload).
+  EvalCache cache(8);
+  sim::PerfSimulator sim;
+  const auto a = cache.get_or_compute(kFpA, "C3", "dhrystone", sim);
+  const auto b = cache.get_or_compute(kFpB, "C3", "dhrystone", sim);
+  EXPECT_NE(a.get(), b.get());
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().misses, 2u);
+  // Each fingerprint re-hits its own entry.
+  EXPECT_EQ(cache.get_or_compute(kFpA, "C3", "dhrystone", sim).get(), a.get());
+  EXPECT_EQ(cache.get_or_compute(kFpB, "C3", "dhrystone", sim).get(), b.get());
+}
+
 TEST(EvalCacheTest, CachedContextMatchesDirectComputation) {
   EvalCache cache;
   sim::PerfSimulator sim;
-  const auto cached = cache.get_or_compute("C5", "towers", sim);
+  const auto cached = cache.get_or_compute(kFpA, "C5", "towers", sim);
   const auto direct = make_context(sim, "C5", "towers");
   EXPECT_EQ(cached->cfg, direct.cfg);
   for (std::size_t i = 0; i < arch::kNumEvents; ++i) {
@@ -241,9 +309,9 @@ TEST(EvalCacheTest, CachedContextMatchesDirectComputation) {
 TEST(EvalCacheTest, UnknownNamesThrow) {
   EvalCache cache;
   sim::PerfSimulator sim;
-  EXPECT_THROW((void)cache.get_or_compute("C99", "dhrystone", sim),
+  EXPECT_THROW((void)cache.get_or_compute(kFpA, "C99", "dhrystone", sim),
                util::Error);
-  EXPECT_THROW((void)cache.get_or_compute("C1", "nonsense", sim),
+  EXPECT_THROW((void)cache.get_or_compute(kFpA, "C1", "nonsense", sim),
                util::Error);
 }
 
@@ -257,7 +325,7 @@ TEST(EvalCacheTest, CrossThreadLookupsAgree) {
     for (int t = 0; t < kThreads; ++t) {
       threads.emplace_back([&cache, &seen, t] {
         sim::PerfSimulator sim;  // thread-private, as the contract requires
-        seen[t] = cache.get_or_compute("C7", "spmv", sim);
+        seen[t] = cache.get_or_compute(kFpA, "C7", "spmv", sim);
       });
     }
     for (auto& th : threads) th.join();
@@ -529,6 +597,78 @@ TEST_F(EngineTest, EmptyBatchAndNullModel) {
   BatchEngine engine(model(), {.threads = 2});
   EXPECT_TRUE(engine.run({}).empty());
   EXPECT_THROW(BatchEngine(nullptr, {}), util::Error);
+}
+
+/// A deliberately different model (tiny GBT ensembles, narrow training
+/// set) whose predictions diverge from ServeTest::model() everywhere.
+std::shared_ptr<const core::AutoPowerModel> variant_model() {
+  sim::PerfSimulator sim;
+  power::GoldenPowerModel golden;
+  std::vector<core::EvalContext> train;
+  for (const std::string config : {"C1", "C15"}) {
+    for (const char* w : {"dhrystone", "qsort"}) {
+      train.push_back(make_context(sim, config, w));
+    }
+  }
+  core::AutoPowerOptions options;
+  options.clock.gbt.num_rounds = 3;
+  options.clock.gbt.tree.max_depth = 2;
+  options.sram.gbt.num_rounds = 3;
+  options.sram.gbt.tree.max_depth = 2;
+  options.logic.gbt.num_rounds = 3;
+  options.logic.gbt.tree.max_depth = 2;
+  auto variant = std::make_shared<core::AutoPowerModel>(options);
+  variant->train(train, golden, 1);
+  return variant;
+}
+
+TEST_F(EngineTest, HotSwapNeverServesStaleMemoEntries) {
+  // THE stale-model regression: every memo key (response memo and
+  // EvalCache) carries the model's archive fingerprint, so after
+  // swap_model() a repeated request must be recomputed under the new
+  // snapshot — under fingerprint-less keys this test fails by serving
+  // the OLD model's memoized responses bit-for-bit.
+  const auto other = variant_model();
+  ASSERT_NE(other->fingerprint(), model()->fingerprint());
+
+  std::vector<BatchRequest> requests = {
+      {"C3", "dhrystone", PredictMode::kTotal},
+      {"C8", "qsort", PredictMode::kTotal},
+      {"C8", "median", PredictMode::kPerComponent},
+  };
+  BatchEngine original(model(), {.threads = 2});
+  BatchEngine fresh_other(other, {.threads = 2});
+  const auto before = original.run(requests);   // warms both memo layers
+  const auto want_other = fresh_other.run(requests);
+
+  BatchEngine swapped(model(), {.threads = 2});
+  EXPECT_EQ(swapped.model_fingerprint(), model()->fingerprint());
+  const auto warm = swapped.run(requests);
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    ASSERT_TRUE(warm[i].ok) << warm[i].error;
+    EXPECT_EQ(warm[i].total_mw, before[i].total_mw);
+  }
+
+  swapped.swap_model(other);
+  EXPECT_EQ(swapped.model(), other);
+  EXPECT_EQ(swapped.model_fingerprint(), other->fingerprint());
+  const auto after = swapped.run(requests);
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    ASSERT_TRUE(after[i].ok) << after[i].error;
+    EXPECT_EQ(after[i].total_mw, want_other[i].total_mw) << "request " << i;
+    EXPECT_NE(after[i].total_mw, before[i].total_mw) << "request " << i;
+  }
+
+  // Swapping BACK re-hits the original model's still-keyed entries: the
+  // old memo was never invalidated, merely de-routed — so A→B→A serves
+  // A's answers again without recomputation.
+  const auto hits_before = swapped.response_stats().hits;
+  swapped.swap_model(model());
+  const auto back = swapped.run(requests);
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    EXPECT_EQ(back[i].total_mw, before[i].total_mw);
+  }
+  EXPECT_EQ(swapped.response_stats().hits, hits_before + requests.size());
 }
 
 TEST_F(EngineTest, TraceModeSharesStructuralCacheAcrossWorkers) {

@@ -111,14 +111,18 @@ TEST(CheckpointTest, Crc32MatchesTheStandardCheckValue) {
 TEST(CheckpointTest, FingerprintCoversIdentityNotRankingKnobs) {
   const auto axes = parse_grid("RobEntry=64,96");
   const std::vector<std::string> workloads = {"dhrystone"};
-  const auto fp = sweep_fingerprint("C8", axes, workloads);
+  const std::string model_fp = "00112233aabbccdd";
+  const auto fp = sweep_fingerprint("C8", axes, workloads, model_fp);
   EXPECT_EQ(fp.size(), 16u);
-  EXPECT_EQ(fp, sweep_fingerprint("C8", axes, workloads));
-  EXPECT_NE(fp, sweep_fingerprint("C4", axes, workloads));
+  EXPECT_EQ(fp, sweep_fingerprint("C8", axes, workloads, model_fp));
+  EXPECT_NE(fp, sweep_fingerprint("C4", axes, workloads, model_fp));
   EXPECT_NE(fp, sweep_fingerprint("C8", parse_grid("RobEntry=64,128"),
-                                  workloads));
+                                  workloads, model_fp));
   const std::vector<std::string> two = {"dhrystone", "qsort"};
-  EXPECT_NE(fp, sweep_fingerprint("C8", axes, two));
+  EXPECT_NE(fp, sweep_fingerprint("C8", axes, two, model_fp));
+  // The model's archive fingerprint is part of the sweep identity: a
+  // checkpoint written by one model refuses to resume under another.
+  EXPECT_NE(fp, sweep_fingerprint("C8", axes, workloads, "ffeeddccbbaa9988"));
 }
 
 TEST(CheckpointTest, MissingFileIsAFreshStart) {
@@ -238,7 +242,8 @@ TEST_F(StreamSweepTest, CheckpointedRunMatchesPlainRunAndRoundTrips) {
 
   // The finished checkpoint replays every row, and each replayed row
   // re-encodes to its original bytes (that is what the crc certifies).
-  const auto fp = sweep_fingerprint(spec.base, spec.axes, spec.workloads);
+  const auto fp = sweep_fingerprint(spec.base, spec.axes, spec.workloads,
+                                    model().fingerprint());
   const auto replay = load_checkpoint(spec.checkpoint, fp, plain.configs,
                                       spec.workloads.size());
   ASSERT_TRUE(replay.found);
@@ -343,6 +348,44 @@ TEST_F(StreamSweepTest, CorruptCheckpointLineRefusesResume) {
   missing.checkpoint = path("never_written.ckpt");
   EXPECT_FALSE(
       load_checkpoint(missing.checkpoint, "x", 1, 1).found);
+}
+
+TEST_F(StreamSweepTest, RetrainedModelRefusesStaleCheckpoint) {
+  auto spec = base_spec();
+  spec.checkpoint = path("retrained.ckpt");
+  (void)run_sweep(model(), spec);
+
+  // Same grid, same workloads — but a retrained model.  Its rows would
+  // differ from the checkpointed ones, so replaying them would splice
+  // stale predictions into the new model's report; the model fingerprint
+  // inside the sweep identity makes the resume refuse instead.
+  auto opts = tiny_options();
+  opts.clock.gbt.num_rounds = 4;
+  sim::PerfSimulator sim;
+  power::GoldenPowerModel golden;
+  std::vector<core::EvalContext> train;
+  for (const std::string config : {"C1", "C15"}) {
+    core::EvalContext ctx;
+    ctx.cfg = &arch::boom_config(config);
+    ctx.workload = "dhrystone";
+    const auto& profile = workload::workload_by_name("dhrystone");
+    ctx.program = workload::program_features(profile);
+    ctx.events = sim.simulate(*ctx.cfg, profile);
+    train.push_back(std::move(ctx));
+  }
+  core::AutoPowerModel retrained(opts);
+  retrained.train(train, golden, 1);
+  ASSERT_NE(retrained.fingerprint(), model().fingerprint());
+
+  spec.resume = true;
+  try {
+    (void)run_sweep(retrained, spec);
+    FAIL() << "expected util::Error";
+  } catch (const util::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("fingerprint mismatch"),
+              std::string::npos)
+        << e.what();
+  }
 }
 
 // --- Top-k, budget, clamp, failed rows ---------------------------------------

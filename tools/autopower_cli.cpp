@@ -17,9 +17,15 @@
 //                                          sweep with a ranked JSONL report,
 //                                          crash-safe checkpoint/resume and
 //                                          a bounded structural-cache budget
-//   serve    --model m.ap --port 9410 [--queue-depth N]
-//            [--max-connections N] [--max-batch N] [--threads N]
-//                                          resident JSONL-over-TCP daemon;
+//   serve    --model [name=]m.ap [--model other=o.ap ...] --port 9410
+//            [--queue-depth N] [--max-connections N] [--max-batch N]
+//            [--threads N]                 resident JSONL-over-TCP daemon;
+//                                          --model is repeatable (a model
+//                                          zoo; the first one is the
+//                                          default route, requests pick one
+//                                          with "model": "name"); SIGHUP or
+//                                          {"cmd": "reload"} hot-swap the
+//                                          archives without a restart;
 //                                          SIGINT/SIGTERM drain gracefully
 //
 // Observability: `--stats <path>` (train, evaluate, batch, sweep) writes
@@ -68,10 +74,14 @@ namespace {
 using ArgMap = std::map<std::string, std::string>;
 
 /// Which flags a subcommand accepts: valued flags consume the next token,
-/// boolean flags take none.
+/// boolean flags take none, repeatable flags are valued flags that may be
+/// given more than once (occurrences joined with '\x1f' in the ArgMap —
+/// the same cannot-appear-in-a-value separator the serving memo keys use;
+/// split them back with split_multi_flag).
 struct FlagSpec {
   std::set<std::string> valued;
   std::set<std::string> boolean;
+  std::set<std::string> repeatable;
 };
 
 ArgMap parse_flags(int argc, char** argv, int first, const FlagSpec& spec) {
@@ -82,19 +92,46 @@ ArgMap parse_flags(int argc, char** argv, int first, const FlagSpec& spec) {
       throw util::InvalidArgument("expected a --flag, got: " + key);
     }
     key = key.substr(2);
-    const bool is_valued = spec.valued.count(key) > 0;
+    const bool is_repeatable = spec.repeatable.count(key) > 0;
+    const bool is_valued = is_repeatable || spec.valued.count(key) > 0;
     if (!is_valued && spec.boolean.count(key) == 0) {
       throw util::InvalidArgument("unknown flag --" + key);
     }
-    AP_REQUIRE(flags.count(key) == 0, "duplicate flag --" + key);
+    AP_REQUIRE(is_repeatable || flags.count(key) == 0,
+               "duplicate flag --" + key);
     if (is_valued) {
       AP_REQUIRE(i + 1 < argc, "flag --" + key + " needs a value");
-      flags[key] = argv[++i];
+      const std::string value = argv[++i];
+      AP_REQUIRE(value.find('\x1f') == std::string::npos,
+                 "flag --" + key + " value contains a control character");
+      const auto it = flags.find(key);
+      if (it == flags.end()) {
+        flags[key] = value;
+      } else {
+        it->second += '\x1f';
+        it->second += value;
+      }
     } else {
       flags[key] = "1";
     }
   }
   return flags;
+}
+
+/// Splits a repeatable flag's joined ArgMap entry back into the values
+/// given on the command line, in order.
+std::vector<std::string> split_multi_flag(const std::string& joined) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t sep = joined.find('\x1f', start);
+    if (sep == std::string::npos) {
+      out.push_back(joined.substr(start));
+      return out;
+    }
+    out.push_back(joined.substr(start, sep - start));
+    start = sep + 1;
+  }
 }
 
 /// Every integer flag routes through util::parse_int (full-consume
@@ -436,10 +473,30 @@ void handle_stop_signal(int) {
   if (g_daemon != nullptr) g_daemon->notify_stop();
 }
 
+void handle_reload_signal(int) {
+  if (g_daemon != nullptr) g_daemon->notify_reload();
+}
+
+/// Parses one repeatable --model value: "name=path" binds a named slot,
+/// a bare path binds the slot "default".  (Split at the FIRST '=': slot
+/// names cannot contain '=' but paths may.)
+serve::ModelSpec parse_model_spec(const std::string& value) {
+  const auto eq = value.find('=');
+  if (eq == std::string::npos) return {"default", value};
+  serve::ModelSpec spec{value.substr(0, eq), value.substr(eq + 1)};
+  AP_REQUIRE(!spec.name.empty() && !spec.path.empty(),
+             "--model expects PATH or NAME=PATH, got: " + value);
+  return spec;
+}
+
 int cmd_serve(const ArgMap& flags) {
-  // All flag validation happens before the (slow) model load, so a bad
+  // All flag validation happens before the (slow) model loads, so a bad
   // --port fails fast with exit 1.
-  const auto model_path = require_flag(flags, "model");
+  std::vector<serve::ModelSpec> specs;
+  for (const std::string& value :
+       split_multi_flag(require_flag(flags, "model"))) {
+    specs.push_back(parse_model_spec(value));
+  }
   serve::DaemonOptions options;
   options.port = static_cast<std::uint16_t>(
       util::parse_int(require_flag(flags, "port"), "--port", 1, 65535));
@@ -454,8 +511,7 @@ int cmd_serve(const ArgMap& flags) {
     options.engine.threads = std::max(1u, std::thread::hardware_concurrency());
   }
 
-  serve::ModelRegistry registry;
-  serve::Daemon daemon(registry.get(model_path), options);
+  serve::Daemon daemon(specs, options);
 
   g_daemon = &daemon;
   struct sigaction action {};
@@ -463,10 +519,21 @@ int cmd_serve(const ArgMap& flags) {
   sigemptyset(&action.sa_mask);
   (void)sigaction(SIGINT, &action, nullptr);
   (void)sigaction(SIGTERM, &action, nullptr);
+  // SIGHUP = "re-read every --model archive and hot-swap" (the classic
+  // daemon reload convention); also available in-band as {"cmd":"reload"}.
+  struct sigaction reload_action {};
+  reload_action.sa_handler = handle_reload_signal;
+  sigemptyset(&reload_action.sa_mask);
+  (void)sigaction(SIGHUP, &reload_action, nullptr);
 
+  std::string model_list;
+  for (const auto& name : daemon.model_names()) {
+    if (!model_list.empty()) model_list += ",";
+    model_list += name;
+  }
   std::cerr << "autopower serve: listening on 127.0.0.1:" << daemon.port()
-            << " (queue " << options.queue_depth << ", max "
-            << options.max_connections << " connections, "
+            << " (models " << model_list << ", queue " << options.queue_depth
+            << ", max " << options.max_connections << " connections, "
             << options.engine.threads << " engine threads)\n";
   daemon.serve();
   g_daemon = nullptr;
@@ -535,9 +602,12 @@ int usage() {
       " [--out sweep.jsonl] [--threads N] [--progress]"
       " [--checkpoint sweep.ckpt] [--resume] [--memory-budget 64M]"
       " [--stats stats.json]\n"
-      "  serve    --model model.ap --port 9410 [--queue-depth N]"
-      " [--max-connections N] [--max-batch N] [--threads N]"
-      " [--stats stats.json]\n";
+      "  serve    --model [name=]model.ap [--model name2=other.ap ...]"
+      " --port 9410\n"
+      "           [--queue-depth N] [--max-connections N] [--max-batch N]"
+      " [--threads N] [--stats stats.json]\n"
+      "           (--model repeats; first is the default route; SIGHUP or"
+      " {\"cmd\": \"reload\"} hot-swap archives)\n";
   return 2;
 }
 
@@ -574,9 +644,10 @@ const std::map<std::string, Command>& commands() {
          .boolean = {"progress", "resume"}},
         cmd_sweep}},
       {"serve",
-       {{.valued = {"model", "port", "queue-depth", "max-connections",
-                    "max-batch", "threads", "stats"},
-         .boolean = {}},
+       {{.valued = {"port", "queue-depth", "max-connections", "max-batch",
+                    "threads", "stats"},
+         .boolean = {},
+         .repeatable = {"model"}},
         cmd_serve}},
   };
   return table;

@@ -5,7 +5,9 @@
 # serving + daemon wire path + structural-memo sweep) and collects their
 # headline numbers into BENCH_train.json, BENCH_serve.json and
 # BENCH_sim.json, smoke-tests the serving daemon against `batch` for
-# byte-identity and graceful drain, SIGKILLs a checkpointed sweep
+# byte-identity, graceful drain, and hot-swap (an in-stream reload and a
+# SIGHUP reload-all, each half diffed byte-for-byte against the matching
+# model's batch output), SIGKILLs a checkpointed sweep
 # mid-grid and diffs the resumed report byte-for-byte against an
 # uninterrupted run, re-runs the sweep/batch smokes under
 # AUTOPOWER_SIMD=scalar and diffs the JSONL byte-for-byte against the
@@ -173,6 +175,77 @@ kill -TERM "$daemon_pid"
 wait "$daemon_pid" \
   || { echo "daemon did not drain cleanly on SIGTERM"; exit 1; }
 echo "daemon responses byte-identical to batch; SIGTERM drained with exit 0"
+
+echo "== daemon hot-swap smoke: in-stream reload + SIGHUP reload-all =="
+# Model B: same pipeline, a different training set — a different archive
+# fingerprint AND different predictions, so a stale response is visible.
+./build/tools/autopower train --known C1,C8 --out "$smoke_dir/model_b.ap" \
+  --threads 2
+cp "$smoke_dir/model.ap" "$smoke_dir/live.ap"
+swap_port="$(python3 -c 'import socket; s = socket.socket();
+s.bind(("127.0.0.1", 0)); print(s.getsockname()[1]); s.close()')"
+./build/tools/autopower serve --model "main=$smoke_dir/live.ap" \
+  --port "$swap_port" --threads 2 &
+swap_pid=$!
+# Overwrite the live archive while the daemon still serves the old
+# snapshot, then stream [50 reqs | {"cmd":"reload"} | same 50 reqs] on
+# ONE connection.  The swap linearizes with admission, so the first half
+# must be byte-identical to `batch` under model A and the second half to
+# `batch` under model B — no half-swapped or memo-stale response ever.
+cp "$smoke_dir/model_b.ap" "$smoke_dir/live.ap"
+head -n 50 "$smoke_dir/daemon_reqs.jsonl" > "$smoke_dir/swap_reqs.jsonl"
+{
+  cat "$smoke_dir/swap_reqs.jsonl"
+  echo '{"cmd": "reload"}'
+  cat "$smoke_dir/swap_reqs.jsonl"
+} > "$smoke_dir/swap_stream.jsonl"
+python3 tools/serve_client.py --port "$swap_port" \
+  --requests "$smoke_dir/swap_stream.jsonl" --out "$smoke_dir/swap_out.jsonl"
+./build/tools/autopower batch --model "$smoke_dir/model.ap" \
+  --requests "$smoke_dir/swap_reqs.jsonl" \
+  --out "$smoke_dir/swap_oracle_a.jsonl"
+./build/tools/autopower batch --model "$smoke_dir/model_b.ap" \
+  --requests "$smoke_dir/swap_reqs.jsonl" \
+  --out "$smoke_dir/swap_oracle_b.jsonl"
+head -n 50 "$smoke_dir/swap_out.jsonl" > "$smoke_dir/swap_first.jsonl"
+diff "$smoke_dir/swap_first.jsonl" "$smoke_dir/swap_oracle_a.jsonl" \
+  || { echo "pre-reload half diverged from model A batch output"; exit 1; }
+sed -n '51p' "$smoke_dir/swap_out.jsonl" \
+  | grep -q '"cmd": "reload", "ok": true' \
+  || { echo "in-stream reload did not succeed"; exit 1; }
+# The post-reload half carries connection indices 51..100; rewrite them
+# to 0..49 before diffing against the offline oracle.
+tail -n 50 "$smoke_dir/swap_out.jsonl" | python3 -c '
+import re, sys
+for i, line in enumerate(sys.stdin):
+    sys.stdout.write(re.sub(r"^\{\"index\": \d+,", "{\"index\": %d," % i,
+                            line, count=1))' > "$smoke_dir/swap_second.jsonl"
+diff "$smoke_dir/swap_second.jsonl" "$smoke_dir/swap_oracle_b.jsonl" \
+  || { echo "post-reload half diverged from model B batch output"; exit 1; }
+echo "reload halves byte-identical to each model's batch output"
+
+# SIGHUP leg: flip the archive back to model A and reload every slot via
+# the signal.  The swap applies asynchronously (the acceptor thread picks
+# it up), so poll until responses match model A again.
+cp "$smoke_dir/model.ap" "$smoke_dir/live.ap"
+kill -HUP "$swap_pid"
+hup_ok=""
+for _ in $(seq 1 100); do
+  python3 tools/serve_client.py --port "$swap_port" \
+    --requests "$smoke_dir/swap_reqs.jsonl" --out "$smoke_dir/hup_out.jsonl"
+  if diff -q "$smoke_dir/hup_out.jsonl" "$smoke_dir/swap_oracle_a.jsonl" \
+      >/dev/null; then
+    hup_ok=1
+    break
+  fi
+  sleep 0.1
+done
+[ -n "$hup_ok" ] \
+  || { echo "SIGHUP reload never swapped back to model A"; exit 1; }
+kill -TERM "$swap_pid"
+wait "$swap_pid" \
+  || { echo "hot-swap daemon did not drain cleanly on SIGTERM"; exit 1; }
+echo "SIGHUP swapped the slot back; daemon drained with exit 0"
 
 echo "== proptest: differential oracles under AddressSanitizer =="
 # Property-based differential suite (reference vs fast paths) with the
