@@ -224,6 +224,39 @@ double AutoPowerModel::predict_total(const EvalContext& ctx) const {
   return predict(ctx).total();
 }
 
+std::vector<double> AutoPowerModel::predict_total_batch(
+    std::span<const EvalContext> ctxs) const {
+  if (ctxs.empty()) return {};
+  AP_REQUIRE(trained_, "AutoPower not trained");
+  // Same component-major evaluation as predict_batch, but each context
+  // keeps one running PowerGroups instead of a 22-component vector.  The
+  // per-field accumulation in component order followed by
+  // clock+sram+logic_register+logic_comb reproduces
+  // PowerResult::totals().total() exactly, so every element is
+  // bit-identical to predict(ctxs[i]).total().
+  std::vector<power::PowerGroups> acc(ctxs.size());
+  std::vector<double> reg(ctxs.size());
+  std::vector<double> comb(ctxs.size());
+  for (arch::ComponentKind c : arch::all_components()) {
+    const auto i = static_cast<std::size_t>(c);
+    const auto clock = clock_[i].predict_batch(ctxs);
+    const auto sram = sram_[i].predict_batch(ctxs);
+    logic_[i].predict_batch(ctxs, reg, comb);
+    for (std::size_t j = 0; j < ctxs.size(); ++j) {
+      power::PowerGroups groups;
+      groups.clock = clock[j];
+      groups.sram = sram[j];
+      groups.logic_register = reg[j];
+      groups.logic_comb = comb[j];
+      acc[j] += groups;
+    }
+  }
+  std::vector<double> out;
+  out.reserve(ctxs.size());
+  for (const power::PowerGroups& groups : acc) out.push_back(groups.total());
+  return out;
+}
+
 std::vector<double> AutoPowerModel::predict_trace(
     std::span<const EvalContext> windows) const {
   const auto results = predict_batch(windows);

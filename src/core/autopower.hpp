@@ -79,6 +79,15 @@ class AutoPowerModel {
   /// Total core power (mW).
   [[nodiscard]] double predict_total(const EvalContext& ctx) const;
 
+  /// Batched totals: element i is bit-identical to
+  /// predict(ctxs[i]).total(), evaluated component-major like
+  /// predict_batch but holding only one PowerGroups accumulator per
+  /// context instead of the full 22-component breakdown — the scoring
+  /// path for surrogate-driven search loops that rank thousands of
+  /// candidates per generation and never look at per-component power.
+  [[nodiscard]] std::vector<double> predict_total_batch(
+      std::span<const EvalContext> ctxs) const;
+
   /// Per-window total power for a time-based power trace.
   [[nodiscard]] std::vector<double> predict_trace(
       std::span<const EvalContext> windows) const;

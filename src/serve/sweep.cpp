@@ -184,6 +184,50 @@ SweepCell evaluate_cell(const core::AutoPowerModel& model,
   return cell;
 }
 
+/// Fills one named config's cells and summary means.  Shared by the
+/// streaming sweep workers and evaluate_configs so both paths produce
+/// bit-identical rows for the same configuration.
+void fill_row(const core::AutoPowerModel& model,
+              const sim::PerfSimulator& sim, SweepRow& row,
+              const std::vector<const workload::WorkloadProfile*>& profiles,
+              const std::vector<workload::ProgramFeatures>& programs,
+              util::Counter& m_cells, util::Counter& m_failed,
+              util::Histogram& m_cell_latency) {
+  const std::size_t n_workloads = profiles.size();
+  row.cells.clear();
+  row.cells.reserve(n_workloads);
+  double mw = 0.0, ipc = 0.0;
+  std::size_t ok = 0;
+  for (std::size_t j = 0; j < n_workloads; ++j) {
+    SweepCell cell;
+    {
+      util::ScopedTimer timer(m_cell_latency);
+      cell = evaluate_cell(model, sim, row.config, *profiles[j],
+                           programs[j]);
+    }
+    m_cells.inc();
+    if (cell.ok) {
+      mw += cell.total_mw;
+      ipc += cell.ipc;
+      ++ok;
+    } else {
+      m_failed.inc();
+    }
+    row.cells.push_back(std::move(cell));
+  }
+  row.failed = n_workloads - ok;
+  row.mean_total_mw = 0.0;
+  row.mean_ipc = 0.0;
+  row.ipc_per_watt = 0.0;
+  if (ok > 0) {
+    row.mean_total_mw = mw / static_cast<double>(ok);
+    row.mean_ipc = ipc / static_cast<double>(ok);
+    if (row.mean_total_mw > 0.0) {
+      row.ipc_per_watt = row.mean_ipc / (row.mean_total_mw / 1000.0);
+    }
+  }
+}
+
 /// Metric under which a row sorts; larger is always better (power is
 /// negated).  Rows with no successful cell sort last.
 double row_score(const SweepRow& row, SweepMetric metric) {
@@ -385,34 +429,8 @@ SweepReport run_sweep(const core::AutoPowerModel& model, const SweepSpec& spec,
       cursor.values_at(index, values_scratch);
       cursor.format_name(index, name_scratch);
       row.config = arch::HardwareConfig(name_scratch, values_scratch);
-      row.cells.reserve(n_workloads);
-      double mw = 0.0, ipc = 0.0;
-      std::size_t ok = 0;
-      for (std::size_t j = 0; j < n_workloads; ++j) {
-        SweepCell cell;
-        {
-          util::ScopedTimer timer(m_cell_latency);
-          cell = evaluate_cell(model, sim, row.config, *profiles[j],
-                               programs[j]);
-        }
-        m_cells.inc();
-        if (cell.ok) {
-          mw += cell.total_mw;
-          ipc += cell.ipc;
-          ++ok;
-        } else {
-          m_failed.inc();
-        }
-        row.cells.push_back(std::move(cell));
-      }
-      row.failed = n_workloads - ok;
-      if (ok > 0) {
-        row.mean_total_mw = mw / static_cast<double>(ok);
-        row.mean_ipc = ipc / static_cast<double>(ok);
-        if (row.mean_total_mw > 0.0) {
-          row.ipc_per_watt = row.mean_ipc / (row.mean_total_mw / 1000.0);
-        }
-      }
+      fill_row(model, sim, row, profiles, programs, m_cells, m_failed,
+               m_cell_latency);
       if (checkpoint != nullptr) {
         json_scratch.clear();
         append_row_json(json_scratch, row);
@@ -497,6 +515,73 @@ SweepReport run_sweep(const core::AutoPowerModel& model, const SweepSpec& spec,
     report.rows[i].rank = i + 1;
   }
   return report;
+}
+
+std::vector<SweepRow> evaluate_configs(
+    const core::AutoPowerModel& model,
+    std::span<const arch::HardwareConfig> configs,
+    std::span<const std::string> workloads, std::size_t threads,
+    std::shared_ptr<util::StructuralSimCache> structural) {
+  AP_REQUIRE(!workloads.empty(),
+             "evaluate_configs needs at least one workload");
+  std::vector<const workload::WorkloadProfile*> profiles;
+  std::vector<workload::ProgramFeatures> programs;
+  profiles.reserve(workloads.size());
+  for (const std::string& name : workloads) {
+    profiles.push_back(&workload::workload_by_name(name));
+    programs.push_back(workload::program_features(*profiles.back()));
+  }
+  if (structural == nullptr) {
+    structural =
+        std::make_shared<util::StructuralSimCache>(/*shards_per_sub=*/8,
+                                                   /*max_entries=*/0);
+  }
+  auto& registry = util::MetricsRegistry::global();
+  auto& m_cells = registry.counter("serve.sweep.cells");
+  auto& m_failed = registry.counter("serve.sweep.cells_failed");
+  auto& m_cell_latency = registry.histogram("serve.sweep.cell_latency_ns");
+
+  std::vector<SweepRow> rows(configs.size());
+  if (configs.empty()) return rows;
+
+  // Same worker-count clamp as run_sweep (floor of two when threading
+  // was requested, so threaded semantics survive 1-core hosts).
+  std::size_t requested = threads == 0 ? 1 : threads;
+  if (requested > 1) {
+    requested = std::min<std::size_t>(
+        requested,
+        std::max<std::size_t>(2, std::thread::hardware_concurrency()));
+  }
+  const std::size_t workers = std::min(requested, configs.size());
+
+  // Results land at their input index, so the output order (and every
+  // byte of it) is independent of the claim schedule.
+  std::atomic<std::size_t> next{0};
+  const auto worker_loop = [&] {
+    sim::PerfSimulator sim(sim::SimOptions{}, structural);
+    for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+         i < configs.size();
+         i = next.fetch_add(1, std::memory_order_relaxed)) {
+      SweepRow& row = rows[i];
+      row.index = i;
+      row.config = configs[i];
+      fill_row(model, sim, row, profiles, programs, m_cells, m_failed,
+               m_cell_latency);
+    }
+  };
+  if (workers <= 1) {
+    worker_loop();
+  } else {
+    util::ThreadPool pool(workers);
+    for (std::size_t w = 0; w < workers; ++w) pool.submit(worker_loop);
+    pool.wait_idle();
+    const util::ThreadPool::TaskFailures failures = pool.task_failures();
+    if (failures.count > 0) {
+      throw util::Error("evaluate_configs worker failed: " +
+                        failures.first_error);
+    }
+  }
+  return rows;
 }
 
 void append_row_json(std::string& out, const SweepRow& row) {

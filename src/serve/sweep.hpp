@@ -178,6 +178,23 @@ struct SweepReport {
     const core::AutoPowerModel& model, const SweepSpec& spec,
     std::shared_ptr<util::StructuralSimCache> structural = nullptr);
 
+/// Evaluates an explicit configuration list — every (config, workload)
+/// cell, performance simulation + power prediction — over `threads`
+/// workers (clamped like run_sweep) sharing one structural cache
+/// (`structural` if given, else a fresh unbounded one).  Returns one
+/// finalized row per config, in input order, with row.index = input
+/// position (callers that address a grid rewrite it).  Rows are
+/// bit-identical to the run_sweep rows for the same configs, for any
+/// thread count.  This is the verification path for callers (the
+/// explore loop) that pick sparse, non-contiguous grid points instead
+/// of streaming a whole grid.  Throws util::Error on unknown or empty
+/// workloads.
+[[nodiscard]] std::vector<SweepRow> evaluate_configs(
+    const core::AutoPowerModel& model,
+    std::span<const arch::HardwareConfig> configs,
+    std::span<const std::string> workloads, std::size_t threads,
+    std::shared_ptr<util::StructuralSimCache> structural = nullptr);
+
 /// Appends the body of one row's JSON object — everything after the
 /// opening '{' and the "rank" member:
 ///   "config":"C8+RobEntry=96","params":{...},"mean_total_mw":...,

@@ -35,6 +35,7 @@
 
 #include "arch/params.hpp"
 #include "core/autopower.hpp"
+#include "explore/explore.hpp"
 #include "ml/gbt.hpp"
 #include "power/golden.hpp"
 #include "serve/daemon.hpp"
@@ -479,6 +480,44 @@ TEST_F(FaultCheckpoint, LoadFaultFailsTheResume) {
 }
 
 // ---------------------------------------------------------------------
+// serve.explore.generation
+
+TEST_F(FaultCheckpoint, ExploreGenerationFaultLeavesResumableCheckpoint) {
+  explore::ExploreSpec spec;
+  spec.base = "C8";
+  spec.axes = serve::parse_grid("RobEntry=48,64,96;FetchBufferEntry=8,16");
+  spec.workloads = {"dhrystone"};
+  spec.seed = 11;
+  spec.population = 4;
+  spec.generations = 3;
+  spec.verify_top = 2;
+  // Uninterrupted reference run (no checkpoint).
+  const auto reference = explore::run_explore(*tiny_model(), spec);
+  std::ostringstream ref_bytes;
+  explore::write_frontier(ref_bytes, reference);
+
+  // Fault at the top of the second generation: run_explore must throw
+  // (never return a torn frontier) and leave the first generation's
+  // verified rows behind in an intact checkpoint.
+  spec.checkpoint = (dir_ / "explore.ckpt").string();
+  {
+    fault::ScopedFault armed("serve.explore.generation",
+                             fault::Trigger::countdown(2));
+    EXPECT_THROW((void)explore::run_explore(*tiny_model(), spec),
+                 fault::FaultInjected);
+  }
+  ASSERT_TRUE(std::filesystem::exists(spec.checkpoint));
+  // Disarmed, the resume replays those rows and converges to the exact
+  // frontier bytes of the uninterrupted run.
+  spec.resume = true;
+  const auto resumed = explore::run_explore(*tiny_model(), spec);
+  EXPECT_GT(resumed.resumed, 0u);
+  std::ostringstream res_bytes;
+  explore::write_frontier(res_bytes, resumed);
+  EXPECT_EQ(res_bytes.str(), ref_bytes.str());
+}
+
+// ---------------------------------------------------------------------
 // util.io.flush
 
 TEST(FaultIo, FlushFaultBecomesWriteError) {
@@ -657,6 +696,47 @@ TEST_F(FaultCliTest, SweepResumeLoadFaultExitsOne) {
           out_path("resume_fault_out.jsonl") + "'",
       &output);
   expect_clean_error_exit(status, output);
+}
+
+TEST_F(FaultCliTest, ExploreGenerationFaultExitsOneThenResumesByteIdentical) {
+  const auto read_file = [](const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream text;
+    text << in.rdbuf();
+    return text.str();
+  };
+  const std::string common =
+      "explore --model '" + model_path() +
+      "' --workloads dhrystone --base C8 --grid RobEntry=48,64,96 "
+      "--seed 5 --population 4 --generations 3 --verify-top 2 --threads 1 ";
+  const std::string out_clean = out_path("explore_clean.jsonl");
+  std::string output;
+  int status =
+      run_cli_with_fault("", common + "--out '" + out_clean + "'", &output);
+  ASSERT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0) << output;
+
+  // Mid-generation fault: clean exit 1 (not a signal), no frontier
+  // written, checkpoint left behind for the resume.
+  const std::string ckpt = out_path("explore_fault.ckpt");
+  const std::string out_resumed = out_path("explore_resumed.jsonl");
+  status = run_cli_with_fault(
+      "serve.explore.generation=countdown:2",
+      common + "--checkpoint '" + ckpt + "' --out '" + out_resumed + "'",
+      &output);
+  expect_clean_error_exit(status, output);
+  EXPECT_NE(output.find("injected fault"), std::string::npos) << output;
+  EXPECT_TRUE(std::filesystem::exists(ckpt));
+  EXPECT_FALSE(std::filesystem::exists(out_resumed));
+
+  // Disarmed resume: exit 0 and a frontier byte-identical to the
+  // uninterrupted run's.
+  status = run_cli_with_fault(
+      "",
+      common + "--checkpoint '" + ckpt + "' --resume --out '" + out_resumed +
+          "'",
+      &output);
+  ASSERT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0) << output;
+  EXPECT_EQ(read_file(out_resumed), read_file(out_clean));
 }
 
 TEST_F(FaultCliTest, MalformedFaultSpecExitsOne) {
@@ -838,6 +918,7 @@ TEST(FaultRegistry, AllDocumentedSitesExercised) {
       "serve.engine.handle",
       "serve.eval_cache.compute",
       "serve.eval_cache.insert",
+      "serve.explore.generation",
       "serve.jsonl.read_line",
       "serve.jsonl.write_response",
       "serve.net.accept",

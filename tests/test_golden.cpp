@@ -330,6 +330,25 @@ TEST_F(GoldenCliTest, SweepJsonlReport) {
   check_golden("sweep_report.golden", read_file(out_path));
 }
 
+TEST_F(GoldenCliTest, ExploreFrontierReport) {
+  // Numbers are normalised: the frontier membership, row schema and
+  // field order are the contract; the power/IPC values re-derive from
+  // the model and shift with any intentional retrain.
+  const std::string out_path = tmp_dir() + "/explore.jsonl";
+  const auto r = run_cli(
+      "explore --model " + model() +
+      " --grid 'RobEntry=48,64,96;FetchBufferEntry=8,16'"
+      " --workloads dhrystone,qsort --base C8 --seed 7 --population 6"
+      " --generations 3 --verify-top 3 --threads 1 --out " + out_path +
+      " --stats " + tmp_dir() + "/explore_stats.json");
+  ASSERT_EQ(r.exit_code, 0) << r.out;
+  check_golden("explore_frontier.golden",
+               normalize_numbers(read_file(out_path)));
+  check_golden(
+      "explore_stats_schema.golden",
+      normalize_numbers(read_file(tmp_dir() + "/explore_stats.json")));
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {

@@ -57,6 +57,7 @@
 #include "serve/daemon.hpp"
 #include "serve/engine.hpp"
 #include "serve/jsonl.hpp"
+#include "explore/explore.hpp"
 #include "serve/registry.hpp"
 #include "serve/sweep.hpp"
 #include "util/io.hpp"
@@ -464,6 +465,76 @@ int cmd_sweep(const ArgMap& flags) {
   return 0;
 }
 
+int cmd_explore(const ArgMap& flags) {
+  core::AutoPowerModel model;
+  model.load_from_file(require_flag(flags, "model"));
+
+  explore::ExploreSpec spec;
+  if (const auto it = flags.find("base"); it != flags.end()) {
+    spec.base = it->second;
+  }
+  spec.axes = serve::parse_grid(require_flag(flags, "grid"));
+  spec.workloads = split_csv(require_flag(flags, "workloads"));
+  spec.threads = static_cast<std::size_t>(parse_threads(flags));
+  if (flags.count("threads") == 0) {
+    spec.threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  spec.seed =
+      static_cast<std::uint64_t>(parse_int_flag(flags, "seed", 1, 0));
+  spec.population = static_cast<std::size_t>(
+      parse_int_flag(flags, "population", 64, 1));
+  spec.generations = static_cast<std::size_t>(
+      parse_int_flag(flags, "generations", 20, 1));
+  spec.verify_top = static_cast<std::size_t>(
+      parse_int_flag(flags, "verify-top", 16, 0));
+  if (const auto it = flags.find("checkpoint"); it != flags.end()) {
+    spec.checkpoint = it->second;
+  }
+  spec.resume = flags.count("resume") > 0;
+  AP_REQUIRE(!spec.resume || !spec.checkpoint.empty(),
+             "--resume needs --checkpoint");
+
+  const explore::ExploreReport report = explore::run_explore(model, spec);
+
+  std::ostream* out = &std::cout;
+  std::ofstream file;
+  if (const auto it = flags.find("out"); it != flags.end()) {
+    file.open(it->second);
+    AP_REQUIRE(file.good(), "cannot open output file: " + it->second);
+    out = &file;
+  }
+  explore::write_frontier(*out, report);
+  util::flush_and_check(*out, out == &file
+                                  ? "explore frontier " + flags.at("out")
+                                  : "explore frontier (stdout)");
+
+  std::cerr << "explored " << report.grid_configs << "-cell grid in "
+            << report.generations_run << " generations: "
+            << report.candidates_scored << " candidates model-scored, "
+            << report.verified << " simulator-verified, frontier of "
+            << report.frontier.size() << "\n";
+  if (report.resumed > 0) {
+    std::cerr << "resumed " << report.resumed
+              << " verified rows from checkpoint " << spec.checkpoint
+              << "\n";
+  }
+  if (!report.elite_err.empty()) {
+    std::cerr << "model-vs-simulator elite error by generation:";
+    for (double e : report.elite_err) std::cerr << ' ' << util::fmt(e);
+    std::cerr << "\n";
+  }
+  if (!report.frontier.empty()) {
+    const auto& best = report.frontier.front();
+    std::cerr << "best verified: " << best.row.config.name() << " ("
+              << util::fmt(best.row.mean_total_mw) << " mW, IPC "
+              << util::fmt(best.row.mean_ipc) << ", "
+              << util::fmt(best.row.ipc_per_watt) << " IPC/W, area "
+              << util::fmt(best.area) << ")\n";
+  }
+  write_stats_snapshot(flags);
+  return 0;
+}
+
 /// Signal plumbing for `serve`: the handler may only call the
 /// async-signal-safe Daemon::notify_stop().  Set before the handlers are
 /// installed, cleared after serve() returns.
@@ -602,6 +673,12 @@ int usage() {
       " [--out sweep.jsonl] [--threads N] [--progress]"
       " [--checkpoint sweep.ckpt] [--resume] [--memory-budget 64M]"
       " [--stats stats.json]\n"
+      "  explore  --model model.ap --grid \"RobEntry=64,96;FetchWidth=4,8\""
+      " --workloads dhrystone,qsort\n"
+      "           [--base C8] [--seed N] [--population N]"
+      " [--generations N] [--verify-top K] [--out frontier.jsonl]\n"
+      "           [--threads N] [--checkpoint explore.ckpt] [--resume]"
+      " [--stats stats.json]\n"
       "  serve    --model [name=]model.ap [--model name2=other.ap ...]"
       " --port 9410\n"
       "           [--queue-depth N] [--max-connections N] [--max-batch N]"
@@ -643,6 +720,12 @@ const std::map<std::string, Command>& commands() {
                     "memory-budget"},
          .boolean = {"progress", "resume"}},
         cmd_sweep}},
+      {"explore",
+       {{.valued = {"model", "grid", "workloads", "base", "seed",
+                    "population", "generations", "verify-top", "out",
+                    "threads", "stats", "checkpoint"},
+         .boolean = {"resume"}},
+        cmd_explore}},
       {"serve",
        {{.valued = {"port", "queue-depth", "max-connections", "max-batch",
                     "threads", "stats"},

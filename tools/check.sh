@@ -9,7 +9,11 @@
 # SIGHUP reload-all, each half diffed byte-for-byte against the matching
 # model's batch output), SIGKILLs a checkpointed sweep
 # mid-grid and diffs the resumed report byte-for-byte against an
-# uninterrupted run, re-runs the sweep/batch smokes under
+# uninterrupted run, smoke-tests `explore` (seed-pinned two-run diff
+# plus a SIGKILL/--resume leg diffed against the uninterrupted
+# frontier) and runs bench_explore's optimum-equality and
+# simulator-economy bars into BENCH_explore.json, re-runs the
+# sweep/batch smokes under
 # AUTOPOWER_SIMD=scalar and diffs the JSONL byte-for-byte against the
 # best tier, runs the property-based differential + SIMD kernel oracles
 # and the archive fuzz under AddressSanitizer, then race-checks the
@@ -124,6 +128,47 @@ diff "$smoke_dir/resumed.jsonl" "$smoke_dir/uninterrupted.jsonl" \
   || { echo "resumed sweep report diverged from the uninterrupted run"; \
        exit 1; }
 echo "resumed report byte-identical to the uninterrupted run"
+
+echo "== explore smoke: seed-pinned determinism + SIGKILL -> resume =="
+# Two identical seed-pinned explore runs over the 10k-config kill grid
+# must emit byte-identical frontiers; a third run is SIGKILLed mid-search
+# and resumed from its checkpoint, and the resumed frontier must be
+# byte-identical to the uninterrupted one too.
+explore_args=(--model "$smoke_dir/model.ap" --grid "$kill_grid"
+  --workloads dhrystone,qsort --base C8 --seed 42 --population 64
+  --generations 40 --verify-top 32 --threads 2)
+./build/tools/autopower explore "${explore_args[@]}" \
+  --out "$smoke_dir/explore_a.jsonl" --stats STATS_explore.json
+python3 -c "import json; json.load(open('STATS_explore.json'))" \
+  || { echo "STATS_explore.json is not valid JSON"; exit 1; }
+./build/tools/autopower explore "${explore_args[@]}" \
+  --out "$smoke_dir/explore_b.jsonl"
+diff "$smoke_dir/explore_a.jsonl" "$smoke_dir/explore_b.jsonl" \
+  || { echo "seed-pinned explore reruns diverged"; exit 1; }
+./build/tools/autopower explore "${explore_args[@]}" \
+  --checkpoint "$smoke_dir/explore_kill.ckpt" \
+  --out "$smoke_dir/explore_killed.jsonl" &
+explore_pid=$!
+sleep 1
+kill -KILL "$explore_pid" 2>/dev/null \
+  || echo "note: explore finished before the kill landed (fast host)"
+wait "$explore_pid" && true
+./build/tools/autopower explore "${explore_args[@]}" \
+  --checkpoint "$smoke_dir/explore_kill.ckpt" --resume \
+  --out "$smoke_dir/explore_resumed.jsonl"
+diff "$smoke_dir/explore_resumed.jsonl" "$smoke_dir/explore_a.jsonl" \
+  || { echo "resumed explore frontier diverged from the uninterrupted run"; \
+       exit 1; }
+echo "explore frontier byte-identical across reruns and SIGKILL -> resume"
+
+echo "== bench_explore (self-check: optimum equality + >=10x fewer simulator cells) =="
+# The full 1e5-cell acceptance grid: the exhaustive sweep baseline is
+# the dominant cost (~half a minute on one core); scale with
+# AUTOPOWER_BENCH_EXPLORE_CELLS if that ever outgrows the CI budget —
+# the JSON records grid_configs so the scale stays explicit.
+AUTOPOWER_BENCH_EXPLORE_CELLS="${AUTOPOWER_BENCH_EXPLORE_CELLS:-100000}" \
+  ./build/bench/bench_explore --json BENCH_explore.json
+echo "headline numbers in BENCH_explore.json"
 
 echo "== SIMD dual-tier byte-identity (sweep + batch JSONL) =="
 # The same sweep and batch runs under AUTOPOWER_SIMD=scalar must produce
@@ -254,10 +299,17 @@ echo "== proptest: differential oracles under AddressSanitizer =="
 # re-run ./build-asan/tests/test_differential --seed=N to chase it.
 cmake --preset asan
 cmake --build --preset asan \
-  --target test_differential test_simd autopower_tests \
+  --target test_differential test_simd test_explore autopower_tests \
   -j "$(nproc)"
 ASAN_OPTIONS="halt_on_error=1 ${ASAN_OPTIONS:-}" \
   timeout 900 ./build-asan/tests/test_differential --cases 60
+
+echo "== proptest: explore optimizer oracles under AddressSanitizer =="
+# Non-dominated sort vs the peeling oracle, crowding/grid-operator
+# invariants, seed/thread/resume determinism, and the frontier-equals-
+# exhaustive-Pareto differential, each over 200 randomized cases.
+ASAN_OPTIONS="halt_on_error=1 ${ASAN_OPTIONS:-}" \
+  timeout 900 ./build-asan/tests/test_explore --cases 200
 
 echo "== proptest: SIMD kernel oracles under AddressSanitizer =="
 # Every vector kernel vs its scalar twin over random sizes, lead offsets
@@ -277,7 +329,7 @@ cmake --preset tsan
 echo "== build tsan targets =="
 cmake --build --preset tsan \
   --target test_serve autopower_tests test_fault test_daemon test_simd \
-  -j "$(nproc)"
+  test_explore -j "$(nproc)"
 
 echo "== run test_serve under ThreadSanitizer =="
 # halt_on_error makes a race fail the run instead of just logging it.
@@ -311,6 +363,14 @@ echo "== run SIMD dispatch + cross-tier tests under ThreadSanitizer =="
 # the table, so TSan checks the dispatch handoff.
 TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}" \
   timeout 600 ./build-tsan/tests/test_simd --cases 20
+
+echo "== run threaded explore scoring/verification under ThreadSanitizer =="
+# The seed/thread-invariance property runs every search at threads 1 and
+# threads 3, so TSan sees the chunked surrogate scoring and the
+# evaluate_configs claim loop under contention.
+TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}" \
+  timeout 600 ./build-tsan/tests/test_explore --cases 10 \
+  --gtest_filter='ExploreSearch.SeedAndThreadCountInvariance'
 
 echo "== run parallel-train tests under ThreadSanitizer =="
 TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}" \
